@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the cache / stall-cycle simulator used for
+//! the real-memory scenario (Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcrf_ir::MemAccess;
+use hcrf_memsim::{simulate_kernel, Cache, CacheConfig, ScheduledAccess};
+
+fn cache_access(c: &mut Criterion) {
+    c.bench_function("cache_streaming_access", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_baseline());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(8);
+            cache.access(addr)
+        })
+    });
+}
+
+fn kernel_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_replay");
+    for streams in [2usize, 8, 16] {
+        let accesses: Vec<ScheduledAccess> = (0..streams)
+            .map(|k| ScheduledAccess {
+                issue_cycle: (k % 4) as u32,
+                is_load: k % 3 != 0,
+                access: MemAccess::unit(k as u32),
+                assumed_latency: 2,
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(streams),
+            &accesses,
+            |b, accesses| {
+                b.iter(|| {
+                    simulate_kernel(accesses, 4, 256, CacheConfig::paper_baseline(), 256)
+                        .stall_cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = cache_access, kernel_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the register-file hardware model
+//! (the Table 2 / Table 5 machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcrf_machine::{MachineConfig, RfOrganization};
+use hcrf_rfmodel::{evaluate, AnalyticRfModel};
+
+fn rf_model(c: &mut Criterion) {
+    let model = AnalyticRfModel::at_100nm();
+    c.bench_function("analytic_access_time_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for regs in [16u32, 32, 64, 128, 256] {
+                for ports in [6u32, 10, 18, 32] {
+                    acc += model.access_ns(regs, ports, ports / 2);
+                    acc += model.area_mlambda2(regs, ports, ports / 2);
+                }
+            }
+            acc
+        })
+    });
+    let configs: Vec<MachineConfig> = [
+        "S128", "S64", "S32", "4C32", "2C64", "1C64S64", "4C16S16", "8C16S16",
+    ]
+    .iter()
+    .map(|s| MachineConfig::paper_baseline(RfOrganization::parse(s).unwrap()))
+    .collect();
+    c.bench_function("hardware_evaluation_table5", |b| {
+        b.iter(|| {
+            configs
+                .iter()
+                .map(|m| evaluate(m).clock_ns)
+                .sum::<f64>()
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = rf_model
+}
+criterion_main!(benches);

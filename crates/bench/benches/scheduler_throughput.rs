@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the scheduler itself: loops scheduled per
+//! second for each register-file organization (the "Sch. time" column of
+//! Table 3 measures the same cost over the full workbench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcrf_machine::{MachineConfig, RfOrganization};
+use hcrf_sched::{schedule_loop, SchedulerParams};
+use hcrf_workloads::all_kernels;
+
+fn scheduler_throughput(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let params = SchedulerParams::default().without_schedule();
+    let mut group = c.benchmark_group("schedule_kernels");
+    for config in ["S128", "S32", "4C32", "1C64S64", "4C16S64", "8C16S16"] {
+        let machine = MachineConfig::paper_baseline(RfOrganization::parse(config).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(config), &machine, |b, m| {
+            b.iter(|| {
+                let mut total_ii = 0u64;
+                for k in &kernels {
+                    total_ii += schedule_loop(&k.ddg, m, &params).ii as u64;
+                }
+                total_ii
+            })
+        });
+    }
+    group.finish();
+}
+
+fn single_kernel_by_size(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let machine = MachineConfig::paper_baseline(RfOrganization::parse("4C16S64").unwrap());
+    let params = SchedulerParams::default().without_schedule();
+    let mut group = c.benchmark_group("schedule_single_kernel_4C16S64");
+    for name in ["daxpy", "lk7_eos", "fft_butterfly", "wide_expr"] {
+        let kernel = kernels.iter().find(|k| k.ddg.name == name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), kernel, |b, k| {
+            b.iter(|| schedule_loop(&k.ddg, &machine, &params).ii)
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = scheduler_throughput, single_kernel_by_size
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation studies for the design choices discussed in Sections 4 and 5 of
+//! the paper:
+//!
+//! 1. **Inter-level port sizing** — ΣII of the 4-cluster hierarchical
+//!    organization as a function of the `lp`/`sp` ports between each cluster
+//!    bank and the shared bank (the paper picks lp=2, sp=1 for 4 clusters via
+//!    the ≥95 % rule of Figure 4).
+//! 2. **Budget ratio** — ΣII and scheduling time of MIRS_HC as a function of
+//!    the backtracking budget per node (the paper's `Budget_Ratio`), showing
+//!    the quality/compile-time trade-off of the iterative scheduler.
+//! 3. **Backtracking on/off** — the value of Force_and_Eject itself, i.e.
+//!    MIRS_HC against the non-iterative baseline on the same machine.
+
+use hcrf::driver::{run_suite, ConfiguredMachine, RunOptions};
+use hcrf_bench::{header, HarnessArgs};
+use hcrf_sched::SchedulerParams;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // The ablations sweep many scheduler variants; default to a reduced
+    // suite unless the user asked for a specific size.
+    let suite = if args.loops.is_none() {
+        hcrf_workloads::suite::suite(hcrf_workloads::SuiteParams {
+            total_loops: 200,
+            ..Default::default()
+        })
+    } else {
+        args.suite()
+    };
+    header("Ablations — inter-level ports, budget ratio, backtracking", suite.len());
+
+    // 1. lp/sp port sizing on 4C16S64.
+    println!("\n(1) inter-level port sizing, 4C16S64 (paper design point: lp=2, sp=1)");
+    println!("    lp  sp     ΣII   %MII   sched(s)");
+    for (lp, sp) in [(1u32, 1u32), (2, 1), (3, 1), (4, 2), (8, 4)] {
+        let mut cfg = ConfiguredMachine::from_name("4C16S64").unwrap();
+        cfg.machine = cfg.machine.with_ports(lp, sp);
+        let run = run_suite(&cfg, &suite, &args.options());
+        println!(
+            "    {:>2}  {:>2}  {:>6}  {:5.1}  {:8.2}",
+            lp,
+            sp,
+            run.aggregate.sum_ii,
+            run.aggregate.percent_at_mii(),
+            run.scheduling_seconds
+        );
+    }
+
+    // 2. Budget ratio sweep on 8C16S16.
+    println!("\n(2) budget ratio (attempts per node before growing the II), 8C16S16");
+    println!("    budget   ΣII   %MII   sched(s)");
+    for budget in [1u32, 2, 4, 6, 12, 24] {
+        let cfg = ConfiguredMachine::from_name("8C16S16").unwrap();
+        let mut opts = args.options();
+        opts.scheduler = SchedulerParams {
+            budget_ratio: budget,
+            ..SchedulerParams::default().without_schedule()
+        };
+        let run = run_suite(&cfg, &suite, &opts);
+        println!(
+            "    {:>6}  {:>6}  {:5.1}  {:8.2}",
+            budget,
+            run.aggregate.sum_ii,
+            run.aggregate.percent_at_mii(),
+            run.scheduling_seconds
+        );
+    }
+
+    // 3. Backtracking on/off on 1C32S64.
+    println!("\n(3) backtracking (Force_and_Eject) on the hierarchical 1C32S64 target");
+    for (label, backtracking) in [("MIRS_HC (backtracking)", true), ("non-iterative baseline", false)] {
+        let cfg = ConfiguredMachine::from_name("1C32S64").unwrap();
+        let mut opts = args.options();
+        opts.scheduler = SchedulerParams {
+            backtracking,
+            ..SchedulerParams::default().without_schedule()
+        };
+        let run = run_suite(&cfg, &suite, &opts);
+        println!(
+            "    {:<24} ΣII={:>6}  %MII={:5.1}  failed={}",
+            label,
+            run.aggregate.sum_ii,
+            run.aggregate.percent_at_mii(),
+            run.aggregate.failed_loops
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 4: cumulative distribution of the number of LoadR
+//! (lp) and StoreR (sp) ports per distributed bank needed by the loops,
+//! for 1, 2, 4 and 8 clusters with unbounded registers and bandwidth.
+
+use hcrf::experiments::fig4;
+use hcrf_bench::{header, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let suite = args.suite();
+    header("Figure 4 — LoadR / StoreR port requirements per distributed bank", suite.len());
+    let series = fig4::run(&suite);
+    print!("{}", fig4::format(&series));
+    println!("\npaper design rule (>= 95% of loops satisfied): lp=4,sp=2 (1 cluster); lp=3,sp=1 (2);");
+    println!("lp=2,sp=1 (4); lp=1,sp=1 (8).");
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table 1: execution-cycle breakdown by loop bound class for
+//! three equally-sized register file organizations (S128, 4C32, 1C64S64).
+
+use hcrf::experiments::table1;
+use hcrf_bench::{header, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let suite = args.suite();
+    header("Table 1 — cycle breakdown by loop bound class (128-register organizations)", suite.len());
+    let columns = table1::run(&suite, &args.options());
+    print!("{}", table1::format(&columns));
+    if let (Some(mono), Some(clus)) = (
+        columns.iter().find(|c| c.config == "S128"),
+        columns.iter().find(|c| c.config == "4C32"),
+    ) {
+        println!(
+            "\ncycle ratio 4C32 / S128 = {:.2}  (paper: 1.25)",
+            clus.total_cycles as f64 / mono.total_cycles.max(1) as f64
+        );
+    }
+    if let (Some(mono), Some(hier)) = (
+        columns.iter().find(|c| c.config == "S128"),
+        columns.iter().find(|c| c.config == "1C64S64"),
+    ) {
+        println!(
+            "cycle ratio 1C64S64 / S128 = {:.2}  (paper: 1.06)",
+            hier.total_cycles as f64 / mono.total_cycles.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 2: access time and area of the three equally-sized
+//! register file organizations (S128, 4C32, 1C64S64), comparing the
+//! analytical model against the paper's CACTI 3.0 values.
+
+use hcrf::experiments::hardware;
+use hcrf_bench::header;
+
+fn main() {
+    header("Table 2 — access time and area of 128-register organizations", 0);
+    let rows = hardware::table2();
+    print!("{}", hardware::format(&rows));
+    println!("\npaper reference: 4C32 is 2.4x faster and 3.5x smaller than S128;");
+    println!("1C64S64 is 1.17x faster and 1.13x smaller than S128.");
+}

@@ -1,0 +1,106 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it:
+//!
+//! | Paper artefact | Binary |
+//! |---|---|
+//! | Figure 1 (IPC vs. resources) | `fig1_ipc_resources` |
+//! | Table 1 (cycle breakdown by bound class) | `table1_cycle_breakdown` |
+//! | Table 2 (access time / area, 128-register organizations) | `table2_rf_model` |
+//! | Figure 4 (LoadR/StoreR port distribution) | `fig4_port_distribution` |
+//! | Table 3 (static evaluation, unbounded registers) | `table3_static_eval` |
+//! | Table 4 (MIRS_HC vs. the non-iterative scheduler) | `table4_vs_baseline` |
+//! | Table 5 (hardware evaluation of 15 configurations) | `table5_hardware` |
+//! | Table 6 (ideal-memory performance) | `table6_ideal_memory` |
+//! | Figure 6 (real-memory performance) | `fig6_real_memory` |
+//!
+//! Each binary accepts an optional `--loops N` argument to run on a reduced
+//! suite (default: the full 1258-loop workbench) and `--threads N` to
+//! control parallelism. Criterion micro-benches for the scheduler, the RF
+//! model and the cache simulator live in `benches/`.
+
+use hcrf::RunOptions;
+use hcrf_ir::Loop;
+use hcrf_workloads::{standard_suite, SuiteParams};
+
+/// Command-line options shared by every harness binary.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Number of loops to evaluate (the full suite when `None`).
+    pub loops: Option<usize>,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl HarnessArgs {
+    /// Parse `--loops N` and `--threads N` from the process arguments.
+    pub fn parse() -> Self {
+        let mut loops = None;
+        let mut threads = 0usize;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--loops" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        loops = Some(v);
+                    }
+                    i += 2;
+                }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        threads = v;
+                    }
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--loops N] [--threads N]");
+                    std::process::exit(0);
+                }
+                _ => i += 1,
+            }
+        }
+        HarnessArgs { loops, threads }
+    }
+
+    /// Build the loop suite selected by the arguments.
+    pub fn suite(&self) -> Vec<Loop> {
+        match self.loops {
+            None => standard_suite(),
+            Some(n) => hcrf_workloads::suite::suite(SuiteParams {
+                total_loops: n,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Build the run options selected by the arguments.
+    pub fn options(&self) -> RunOptions {
+        RunOptions::default().with_threads(self.threads)
+    }
+}
+
+/// Print a standard harness header.
+pub fn header(title: &str, suite_len: usize) {
+    println!("================================================================");
+    println!("{title}");
+    println!("loop suite: {suite_len} loops (Perfect Club substitute)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_use_full_suite_size() {
+        let args = HarnessArgs {
+            loops: Some(30),
+            threads: 2,
+        };
+        assert_eq!(args.suite().len(), 30);
+        let opts = args.options();
+        assert_eq!(opts.threads, 2);
+    }
+}

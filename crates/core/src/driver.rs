@@ -1,0 +1,269 @@
+//! Parallel scheduling of a loop suite for one machine configuration.
+
+use hcrf_ir::Loop;
+use hcrf_machine::{MachineConfig, RfOrganization};
+use hcrf_memsim::CacheConfig;
+use hcrf_perf::{LoopPerformance, SuiteAggregate};
+use hcrf_rfmodel::{evaluate, HardwareEval};
+use hcrf_sched::{IterativeScheduler, ScheduleResult, SchedulerParams};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A machine configuration together with its hardware evaluation
+/// (clock cycle, per-configuration latencies, area).
+#[derive(Debug, Clone)]
+pub struct ConfiguredMachine {
+    /// The machine description, with its latencies already rescaled to the
+    /// configuration's clock (Table 5, last column).
+    pub machine: MachineConfig,
+    /// The hardware evaluation the latencies came from.
+    pub hardware: HardwareEval,
+}
+
+impl ConfiguredMachine {
+    /// Build from an `xCy-Sz` configuration name using the paper's baseline
+    /// core (8 FUs, 4 memory ports) and the hardware model.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        let rf = RfOrganization::parse(name).map_err(|e| e.to_string())?;
+        Ok(Self::from_rf(rf))
+    }
+
+    /// Build from a parsed register-file organization.
+    pub fn from_rf(rf: RfOrganization) -> Self {
+        let base = MachineConfig::paper_baseline(rf);
+        let hardware = evaluate(&base);
+        let machine = base.with_latencies(hardware.latencies);
+        ConfiguredMachine { machine, hardware }
+    }
+
+    /// Build keeping the baseline (S128) latencies instead of rescaling them
+    /// — used by the static studies (Table 3, Figure 4) where all
+    /// configurations must be compared at equal latencies.
+    pub fn with_baseline_latencies(rf: RfOrganization) -> Self {
+        let machine = MachineConfig::paper_baseline(rf);
+        let hardware = evaluate(&machine);
+        ConfiguredMachine { machine, hardware }
+    }
+
+    /// The configuration name (`"4C16S64"`).
+    pub fn name(&self) -> String {
+        self.machine.rf.to_string()
+    }
+
+    /// Cache configuration for the real-memory scenario: geometry from the
+    /// paper, latencies from this configuration's clock.
+    pub fn cache_config(&self) -> CacheConfig {
+        CacheConfig::with_latencies(self.machine.latencies.load, self.machine.latencies.load_miss)
+    }
+}
+
+/// Options of a suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Scheduler parameters.
+    pub scheduler: SchedulerParams,
+    /// Simulate the memory hierarchy and account stall cycles
+    /// (the real-memory scenario of Figure 6).
+    pub real_memory: bool,
+    /// Maximum iterations to simulate per loop in the cache model
+    /// (stalls are scaled up to the full trip count).
+    pub max_simulated_iterations: u64,
+    /// Number of worker threads (0 = one per available CPU).
+    pub threads: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scheduler: SchedulerParams::default().without_schedule(),
+            real_memory: false,
+            max_simulated_iterations: 64,
+            threads: 0,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Fast options for tests and examples: keep schedules, single thread.
+    pub fn fast() -> Self {
+        RunOptions {
+            scheduler: SchedulerParams::default(),
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Enable the real-memory scenario (cache simulation + binding
+    /// prefetching in the scheduler).
+    pub fn with_real_memory(mut self) -> Self {
+        self.real_memory = true;
+        self.scheduler.binding_prefetch = true;
+        // The memory simulation needs the final schedule.
+        self.scheduler.keep_schedule = true;
+        self
+    }
+
+    /// Use the given number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Per-loop outcome of a suite run.
+#[derive(Debug, Clone)]
+pub struct LoopRun {
+    /// Index of the loop in the suite.
+    pub index: usize,
+    /// The schedule produced.
+    pub schedule: ScheduleResult,
+    /// Derived performance numbers.
+    pub performance: LoopPerformance,
+}
+
+/// Outcome of scheduling a whole suite on one configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// The configuration that was evaluated.
+    pub config: ConfiguredMachine,
+    /// Per-loop outcomes, in suite order.
+    pub loops: Vec<LoopRun>,
+    /// Aggregated metrics.
+    pub aggregate: SuiteAggregate,
+    /// Wall-clock seconds spent scheduling (the paper's "Sch. time").
+    pub scheduling_seconds: f64,
+}
+
+/// Schedule every loop of `suite` for `config`, in parallel, and aggregate.
+pub fn run_suite(config: &ConfiguredMachine, suite: &[Loop], options: &RunOptions) -> SuiteRun {
+    let started = std::time::Instant::now();
+    let scheduler = IterativeScheduler::new(config.machine.clone(), options.scheduler);
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16)
+    } else {
+        options.threads
+    };
+    let results: Mutex<Vec<Option<LoopRun>>> = Mutex::new(vec![None; suite.len()]);
+    let next = AtomicUsize::new(0);
+
+    let worker = |_: usize| {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= suite.len() {
+                break;
+            }
+            let l = &suite[i];
+            let schedule = scheduler.schedule(&l.ddg);
+            let stall = if options.real_memory && !schedule.failed {
+                let accesses = crate::memory::kernel_accesses(
+                    &schedule,
+                    &config.machine,
+                    options.scheduler.binding_prefetch,
+                );
+                let sim = hcrf_memsim::simulate_kernel(
+                    &accesses,
+                    schedule.ii,
+                    l.iterations,
+                    config.cache_config(),
+                    options.max_simulated_iterations,
+                );
+                sim.scaled_stalls(l.iterations)
+            } else {
+                0
+            };
+            let performance = LoopPerformance::from_schedule(&schedule, l, stall);
+            let run = LoopRun {
+                index: i,
+                schedule,
+                performance,
+            };
+            results.lock()[i] = Some(run);
+        }
+    };
+
+    if threads <= 1 {
+        worker(0);
+    } else {
+        crossbeam::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move |_| worker(t));
+            }
+        })
+        .expect("scheduling worker panicked");
+    }
+
+    let loops: Vec<LoopRun> = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every loop must have been scheduled"))
+        .collect();
+    let mut aggregate = SuiteAggregate::new(config.name(), config.hardware.clock_ns);
+    for run in &loops {
+        aggregate.add(&run.performance);
+    }
+    SuiteRun {
+        config: config.clone(),
+        loops,
+        aggregate,
+        scheduling_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcrf_workloads::small_suite;
+
+    #[test]
+    fn configured_machine_from_name() {
+        let c = ConfiguredMachine::from_name("4C32S16").unwrap();
+        assert_eq!(c.name(), "4C32S16");
+        // Table 5: FU latency 7 cycles for this configuration.
+        assert_eq!(c.machine.latencies.fadd, 7);
+        assert!(ConfiguredMachine::from_name("bogus").is_err());
+    }
+
+    #[test]
+    fn run_small_suite_monolithic() {
+        let loops = small_suite(0);
+        let cfg = ConfiguredMachine::from_name("S128").unwrap();
+        let run = run_suite(&cfg, &loops, &RunOptions::fast());
+        assert_eq!(run.loops.len(), loops.len());
+        assert_eq!(run.aggregate.loops, loops.len());
+        assert_eq!(run.aggregate.failed_loops, 0);
+        assert!(run.aggregate.sum_ii > 0);
+        assert!(run.scheduling_seconds >= 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let loops = small_suite(4);
+        let cfg = ConfiguredMachine::from_name("2C32S32").unwrap();
+        let serial = run_suite(&cfg, &loops, &RunOptions::fast());
+        let parallel = run_suite(
+            &cfg,
+            &loops,
+            &RunOptions {
+                threads: 4,
+                scheduler: SchedulerParams::default(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.aggregate.sum_ii, parallel.aggregate.sum_ii);
+        assert_eq!(serial.aggregate.useful_cycles, parallel.aggregate.useful_cycles);
+        assert_eq!(serial.aggregate.memory_traffic, parallel.aggregate.memory_traffic);
+    }
+
+    #[test]
+    fn real_memory_adds_stalls() {
+        let loops = small_suite(0);
+        let cfg = ConfiguredMachine::from_name("S64").unwrap();
+        let ideal = run_suite(&cfg, &loops, &RunOptions::fast());
+        let real = run_suite(&cfg, &loops, &RunOptions::fast().with_real_memory());
+        assert_eq!(ideal.aggregate.stall_cycles, 0);
+        assert!(real.aggregate.stall_cycles > 0);
+    }
+}

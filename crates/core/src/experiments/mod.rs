@@ -1,0 +1,27 @@
+//! One module per table / figure of the paper's evaluation.
+//!
+//! Every experiment takes the loop suite (and, where relevant, run options)
+//! and returns structured rows; the bench binaries in `crates/bench` print
+//! them in the same layout as the paper, and the integration tests assert
+//! the qualitative claims on reduced suites.
+
+pub mod fig1;
+pub mod fig4;
+pub mod fig6;
+pub mod hardware;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod table6;
+
+/// The 15 register-file configurations evaluated in Tables 5 and 6,
+/// in the paper's order.
+pub const TABLE5_CONFIGS: [&str; 15] = [
+    "S128", "S64", "S32", "1C64S32", "1C32S64", "2C64", "2C32", "2C64S32", "2C32S32", "4C64",
+    "4C32", "4C32S16", "4C16S16", "8C32S16", "8C16S16",
+];
+
+/// The configurations shown in Figure 6 (real-memory evaluation).
+pub const FIG6_CONFIGS: [&str; 7] = [
+    "S64", "2C64", "4C32", "1C32S64", "2C32S32", "4C32S16", "8C16S16",
+];

@@ -1,0 +1,48 @@
+//! Hierarchical clustered register file organization for VLIW processors —
+//! experiment driver and public facade.
+//!
+//! This crate ties the substrates together and exposes the experiments of
+//! the paper as library functions:
+//!
+//! * [`driver`] — schedule a whole loop suite for one machine configuration
+//!   (in parallel across worker threads) and aggregate the results;
+//! * [`experiments`] — one module per table / figure of the paper, each
+//!   returning structured rows that the bench binaries print and the
+//!   integration tests assert on;
+//! * re-exports of the most commonly used types from the underlying crates.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hcrf::prelude::*;
+//!
+//! // Schedule a small suite for two register file organizations and compare.
+//! let loops = hcrf_workloads::small_suite(0);
+//! let mono = ConfiguredMachine::from_name("S64").unwrap();
+//! let hier = ConfiguredMachine::from_name("8C16S16").unwrap();
+//! let a = run_suite(&mono, &loops, &RunOptions::fast());
+//! let b = run_suite(&hier, &loops, &RunOptions::fast());
+//! // The hierarchical-clustered machine needs more cycles but its much
+//! // faster clock usually wins on execution time.
+//! assert!(b.aggregate.total_cycles() >= a.aggregate.total_cycles());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod experiments;
+pub mod memory;
+
+pub use driver::{run_suite, ConfiguredMachine, LoopRun, RunOptions, SuiteRun};
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::driver::{run_suite, ConfiguredMachine, LoopRun, RunOptions, SuiteRun};
+    pub use hcrf_ir::{Ddg, DdgBuilder, Loop, OpKind, OpLatencies};
+    pub use hcrf_machine::{Capacity, MachineConfig, RfOrganization};
+    pub use hcrf_memsim::{CacheConfig, PrefetchPolicy};
+    pub use hcrf_perf::{BoundClass, LoopPerformance, SuiteAggregate};
+    pub use hcrf_rfmodel::{evaluate, HardwareEval};
+    pub use hcrf_sched::{schedule_loop, ScheduleResult, SchedulerParams};
+}

@@ -1,0 +1,322 @@
+//! Graph analyses: strongly connected components, recurrence enumeration and
+//! modulo-scheduling oriented start-time bounds (ASAP / ALAP / slack).
+
+use crate::ddg::{Ddg, NodeId};
+use crate::op::OpLatencies;
+
+/// Identifier of a strongly connected component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SccId(pub u32);
+
+/// Result of Tarjan's SCC computation: the component of every node.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `component[i]` is the SCC of node `i`.
+    pub component: Vec<SccId>,
+    /// Number of components found.
+    pub count: usize,
+}
+
+/// Compute strongly connected components with Tarjan's algorithm
+/// (iterative formulation so deep graphs cannot overflow the stack).
+pub fn strongly_connected_components(g: &Ddg) -> SccResult {
+    let n = g.num_nodes();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component = vec![SccId(u32::MAX); n];
+    let mut next_index = 0usize;
+    let mut comp_count = 0usize;
+
+    // Explicit DFS stack: (node, iterator position over successors).
+    enum Frame {
+        Enter(usize),
+        Continue(usize, usize),
+    }
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(start)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Continue(v, 0));
+                }
+                Frame::Continue(v, succ_pos) => {
+                    let succs: Vec<usize> = g
+                        .successors(NodeId(v as u32))
+                        .map(|s| s.index())
+                        .collect();
+                    if succ_pos < succs.len() {
+                        let w = succs[succ_pos];
+                        frames.push(Frame::Continue(v, succ_pos + 1));
+                        if index[w] == usize::MAX {
+                            frames.push(Frame::Enter(w));
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    } else {
+                        // All successors processed: fold lowlinks of children.
+                        for &w in &succs {
+                            if on_stack[w] || component[w] != SccId(u32::MAX) {
+                                // child may already be assigned; lowlink only
+                                // propagates through stack members
+                            }
+                            if on_stack[w] {
+                                lowlink[v] = lowlink[v].min(lowlink[w]);
+                            }
+                        }
+                        if lowlink[v] == index[v] {
+                            // v is the root of an SCC.
+                            loop {
+                                let w = stack.pop().expect("tarjan stack underflow");
+                                on_stack[w] = false;
+                                component[w] = SccId(comp_count as u32);
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            comp_count += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    SccResult {
+        component,
+        count: comp_count,
+    }
+}
+
+/// A recurrence (elementary dependence cycle summary) of the graph.
+///
+/// Only per-SCC summaries are kept: the paper's RecMII is determined by the
+/// critical cycle, which the binary search in [`crate::mii::rec_mii`]
+/// evaluates without enumerating every elementary cycle.
+#[derive(Debug, Clone)]
+pub struct Recurrence {
+    /// Nodes participating in the recurrence (the non-trivial SCC).
+    pub nodes: Vec<NodeId>,
+    /// Lower bound on II contributed by this SCC.
+    pub rec_mii: u32,
+}
+
+/// Enumerate the non-trivial SCCs of the graph together with their
+/// individual RecMII contribution.
+pub fn recurrences(g: &Ddg, lat: &OpLatencies) -> Vec<Recurrence> {
+    let sccs = strongly_connected_components(g);
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); sccs.count];
+    for (i, c) in sccs.component.iter().enumerate() {
+        members[c.0 as usize].push(NodeId(i as u32));
+    }
+    let mut self_loop = vec![false; g.num_nodes()];
+    for (_, e) in g.edges() {
+        if e.src == e.dst {
+            self_loop[e.src.index()] = true;
+        }
+    }
+    let mut out = Vec::new();
+    for nodes in members {
+        let non_trivial = nodes.len() > 1 || (nodes.len() == 1 && self_loop[nodes[0].index()]);
+        if !non_trivial {
+            continue;
+        }
+        let rec_mii = crate::mii::rec_mii_of_subset(g, lat, &nodes);
+        out.push(Recurrence { nodes, rec_mii });
+    }
+    out
+}
+
+/// Earliest/latest start times of every node for a candidate II, assuming an
+/// unbounded number of resources. Used to derive scheduling priorities and
+/// the slack-based HRMS-style ordering.
+#[derive(Debug, Clone)]
+pub struct AcyclicSchedule {
+    /// Earliest start time (ASAP) of every node.
+    pub estart: Vec<i64>,
+    /// Latest start time (ALAP) of every node.
+    pub lstart: Vec<i64>,
+    /// Length of the critical path for this II.
+    pub length: i64,
+}
+
+impl AcyclicSchedule {
+    /// Slack (scheduling freedom) of a node: `lstart - estart`.
+    pub fn slack(&self, id: NodeId) -> i64 {
+        self.lstart[id.index()] - self.estart[id.index()]
+    }
+}
+
+/// Per-node slack information at a given II.
+#[derive(Debug, Clone, Copy)]
+pub struct SlackInfo {
+    /// Earliest feasible start.
+    pub estart: i64,
+    /// Latest feasible start.
+    pub lstart: i64,
+}
+
+/// Compute ASAP / ALAP start times for the candidate initiation interval
+/// `ii` assuming unlimited resources.
+///
+/// Edge `(u, v)` with delay `d` and distance `w` imposes
+/// `start(v) >= start(u) + d - ii * w`; the computation is a longest-path
+/// relaxation which converges because, for `ii >= RecMII`, the graph has no
+/// positive-weight cycles.
+pub fn acyclic_schedule(g: &Ddg, lat: &OpLatencies, ii: u32) -> AcyclicSchedule {
+    let n = g.num_nodes();
+    let mut estart = vec![0i64; n];
+    // Bellman-Ford style relaxation; at most n passes.
+    for _ in 0..n.max(1) {
+        let mut changed = false;
+        for (_, e) in g.edges() {
+            let d = e.delay(g.node(e.src).kind, lat);
+            let cand = estart[e.src.index()] + d - (ii as i64) * e.distance as i64;
+            if cand > estart[e.dst.index()] {
+                estart[e.dst.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let length = estart
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| s + lat.of(g.node(NodeId(i as u32)).kind) as i64)
+        .max()
+        .unwrap_or(0);
+
+    // ALAP: symmetric relaxation from the sinks.
+    let mut lstart: Vec<i64> = (0..n)
+        .map(|i| length - lat.of(g.node(NodeId(i as u32)).kind) as i64)
+        .collect();
+    for _ in 0..n.max(1) {
+        let mut changed = false;
+        for (_, e) in g.edges() {
+            let d = e.delay(g.node(e.src).kind, lat);
+            let cand = lstart[e.dst.index()] - d + (ii as i64) * e.distance as i64;
+            if cand < lstart[e.src.index()] {
+                lstart[e.src.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    AcyclicSchedule {
+        estart,
+        lstart,
+        length,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::OpKind;
+
+    #[test]
+    fn scc_of_dag_is_all_singletons() {
+        let mut b = DdgBuilder::new("dag");
+        let a = b.op(OpKind::FAdd);
+        let c = b.op(OpKind::FMul);
+        let d = b.op(OpKind::FAdd);
+        b.flow(a, c, 0).flow(c, d, 0);
+        let g = b.build();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.count, 3);
+        // all components distinct
+        assert_ne!(sccs.component[0], sccs.component[1]);
+        assert_ne!(sccs.component[1], sccs.component[2]);
+    }
+
+    #[test]
+    fn scc_detects_cycle() {
+        let mut b = DdgBuilder::new("cyc");
+        let a = b.op(OpKind::FAdd);
+        let c = b.op(OpKind::FMul);
+        let d = b.op(OpKind::FAdd);
+        b.flow(a, c, 0).flow(c, a, 1).flow(c, d, 0);
+        let g = b.build();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.count, 2);
+        assert_eq!(sccs.component[a.index()], sccs.component[c.index()]);
+        assert_ne!(sccs.component[a.index()], sccs.component[d.index()]);
+    }
+
+    #[test]
+    fn recurrences_report_rec_mii() {
+        let lat = OpLatencies::paper_baseline();
+        let mut b = DdgBuilder::new("rec");
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        b.flow(a, m, 0).flow(m, a, 2); // cycle latency 8, distance 2 => 4
+        let g = b.build();
+        let recs = recurrences(&g, &lat);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].rec_mii, 4);
+        assert_eq!(recs[0].nodes.len(), 2);
+    }
+
+    #[test]
+    fn asap_alap_chain() {
+        let lat = OpLatencies::paper_baseline();
+        let mut b = DdgBuilder::new("chain");
+        let l = b.load(0, 8);
+        let a = b.op(OpKind::FAdd);
+        let s = b.store(1, 8);
+        b.flow(l, a, 0).flow(a, s, 0);
+        let g = b.build();
+        let sched = acyclic_schedule(&g, &lat, 1);
+        assert_eq!(sched.estart[l.index()], 0);
+        assert_eq!(sched.estart[a.index()], 2);
+        assert_eq!(sched.estart[s.index()], 6);
+        // chain has no slack
+        assert_eq!(sched.slack(l), 0);
+        assert_eq!(sched.slack(a), 0);
+        assert_eq!(sched.slack(s), 0);
+        assert_eq!(sched.length, 7);
+    }
+
+    #[test]
+    fn slack_positive_for_off_critical_path() {
+        let lat = OpLatencies::paper_baseline();
+        let mut b = DdgBuilder::new("slack");
+        let l = b.load(0, 8);
+        let d = b.op(OpKind::FDiv); // long op: critical
+        let a = b.op(OpKind::FAdd); // short op: slack
+        let s = b.op(OpKind::FAdd);
+        b.flow(l, d, 0).flow(l, a, 0).flow(d, s, 0).flow(a, s, 0);
+        let g = b.build();
+        let sched = acyclic_schedule(&g, &lat, 1);
+        assert_eq!(sched.slack(d), 0);
+        assert!(sched.slack(a) > 0);
+    }
+
+    #[test]
+    fn larger_ii_relaxes_back_edges() {
+        let lat = OpLatencies::paper_baseline();
+        let mut b = DdgBuilder::new("rec2");
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        b.flow(a, m, 0).flow(m, a, 1);
+        let g = b.build();
+        // At II = 8 (== cycle latency) estart of a stays 0.
+        let s = acyclic_schedule(&g, &lat, 8);
+        assert_eq!(s.estart[a.index()], 0);
+        assert_eq!(s.estart[m.index()], 4);
+    }
+}

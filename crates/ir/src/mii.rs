@@ -1,0 +1,299 @@
+//! Lower bounds on the initiation interval: ResMII and RecMII.
+//!
+//! The minimum initiation interval (MII) of a modulo schedule is
+//! `max(ResMII, RecMII)`:
+//!
+//! * **ResMII** — resource-constrained bound: for every resource class, the
+//!   total occupancy of the loop body divided by the number of units.
+//! * **RecMII** — recurrence-constrained bound: for every dependence cycle
+//!   `c`, `ceil(latency(c) / distance(c))`. It is computed here by a binary
+//!   search on the II using positive-cycle detection on the graph whose edge
+//!   weights are `delay(e) - II * distance(e)`.
+
+use crate::ddg::{Ddg, NodeId};
+use crate::op::{OpKind, OpLatencies, ResourceClass};
+
+/// Resource counts available to a loop when computing ResMII.
+///
+/// For a clustered machine the scheduler typically computes ResMII with the
+/// *total* resources (the best any cluster assignment could do), which is the
+/// convention the paper follows when reporting "% of loops achieving MII".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceCounts {
+    /// Number of general purpose floating-point units.
+    pub fus: u32,
+    /// Number of memory (load/store) ports.
+    pub mem_ports: u32,
+    /// Number of inter-cluster buses (0 when not applicable / unbounded).
+    pub buses: u32,
+}
+
+impl ResourceCounts {
+    /// The paper's baseline: 8 FUs and 4 memory ports.
+    pub fn paper_baseline() -> Self {
+        ResourceCounts {
+            fus: 8,
+            mem_ports: 4,
+            buses: 0,
+        }
+    }
+}
+
+/// Resource-constrained lower bound on the II.
+pub fn res_mii(g: &Ddg, lat: &OpLatencies, res: ResourceCounts) -> u32 {
+    let mut fu_occ = 0u64;
+    let mut mem_occ = 0u64;
+    let mut bus_occ = 0u64;
+    for (_, n) in g.nodes() {
+        let occ = lat.occupancy(n.kind) as u64;
+        match n.kind.resource_class() {
+            ResourceClass::Fu => fu_occ += occ,
+            ResourceClass::MemPort => mem_occ += occ,
+            ResourceClass::Bus => bus_occ += occ,
+            // LoadR/StoreR port pressure is accounted separately by the
+            // scheduler (they are per-cluster port resources, not global).
+            ResourceClass::SharedReadPort | ResourceClass::SharedWritePort => {}
+        }
+    }
+    let mut mii = 1u64;
+    if res.fus > 0 {
+        mii = mii.max(div_ceil(fu_occ, res.fus as u64));
+    }
+    if res.mem_ports > 0 {
+        mii = mii.max(div_ceil(mem_occ, res.mem_ports as u64));
+    }
+    if res.buses > 0 {
+        mii = mii.max(div_ceil(bus_occ, res.buses as u64));
+    }
+    mii as u32
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    if a == 0 {
+        0
+    } else {
+        (a + b - 1) / b
+    }
+}
+
+/// Recurrence-constrained lower bound on the II for the whole graph.
+pub fn rec_mii(g: &Ddg, lat: &OpLatencies) -> u32 {
+    let all: Vec<NodeId> = g.node_ids().collect();
+    rec_mii_of_subset(g, lat, &all)
+}
+
+/// RecMII restricted to a subset of nodes (used per SCC).
+pub fn rec_mii_of_subset(g: &Ddg, lat: &OpLatencies, nodes: &[NodeId]) -> u32 {
+    // Upper bound: sum of all delays of edges inside the subset (any cycle's
+    // latency is at most this), lower bound 1.
+    let mut in_set = vec![false; g.num_nodes()];
+    for n in nodes {
+        in_set[n.index()] = true;
+    }
+    let mut hi: i64 = 1;
+    let mut any_back_edge = false;
+    for (_, e) in g.edges() {
+        if in_set[e.src.index()] && in_set[e.dst.index()] {
+            hi += e.delay(g.node(e.src).kind, lat).max(0);
+            if e.distance > 0 {
+                any_back_edge = true;
+            }
+        }
+    }
+    if !any_back_edge {
+        // No cycles possible without a loop-carried edge.
+        return 1;
+    }
+    let mut lo: i64 = 1;
+    let mut hi: i64 = hi.max(1);
+    // Invariant: feasible(hi) is true, feasible(lo - 1) is false (or lo == 1).
+    if has_positive_cycle(g, lat, &in_set, hi) {
+        // Degenerate: a cycle with zero total distance (malformed graph).
+        // Return the conservative upper bound.
+        return hi as u32;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if has_positive_cycle(g, lat, &in_set, mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+/// Detect whether the subgraph induced by `in_set` contains a cycle of
+/// positive weight when edge weights are `delay(e) - ii * distance(e)`.
+///
+/// Uses Bellman-Ford-style relaxation from a virtual source connected to
+/// every node with weight 0: if any distance can still be increased after
+/// `n` full passes, a positive cycle exists.
+fn has_positive_cycle(g: &Ddg, lat: &OpLatencies, in_set: &[bool], ii: i64) -> bool {
+    let n = g.num_nodes();
+    let mut dist = vec![0i64; n];
+    for pass in 0..=n {
+        let mut changed = false;
+        for (_, e) in g.edges() {
+            if !in_set[e.src.index()] || !in_set[e.dst.index()] {
+                continue;
+            }
+            let w = e.delay(g.node(e.src).kind, lat) - ii * e.distance as i64;
+            let cand = dist[e.src.index()] + w;
+            if cand > dist[e.dst.index()] {
+                dist[e.dst.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if pass == n {
+            return true;
+        }
+    }
+    false
+}
+
+/// Combined lower bound `max(ResMII, RecMII)`.
+pub fn mii(g: &Ddg, lat: &OpLatencies, res: ResourceCounts) -> u32 {
+    res_mii(g, lat, res).max(rec_mii(g, lat))
+}
+
+/// Convenience: count operations by resource class.
+pub fn op_counts(g: &Ddg) -> (usize, usize) {
+    let mut fu = 0;
+    let mut mem = 0;
+    for (_, n) in g.nodes() {
+        match n.kind {
+            OpKind::Load | OpKind::Store => mem += 1,
+            OpKind::FAdd | OpKind::FMul | OpKind::FDiv | OpKind::FSqrt => fu += 1,
+            _ => {}
+        }
+    }
+    (fu, mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::OpKind;
+
+    fn lat() -> OpLatencies {
+        OpLatencies::paper_baseline()
+    }
+
+    #[test]
+    fn res_mii_counts_occupancy() {
+        let mut b = DdgBuilder::new("res");
+        // 9 adds on 8 FUs -> ResMII = 2; 2 memory ops on 4 ports -> 1.
+        let mut prev = b.load(0, 8);
+        for _ in 0..9 {
+            let a = b.op(OpKind::FAdd);
+            b.flow(prev, a, 0);
+            prev = a;
+        }
+        let s = b.store(1, 8);
+        b.flow(prev, s, 0);
+        let g = b.build();
+        assert_eq!(res_mii(&g, &lat(), ResourceCounts::paper_baseline()), 2);
+    }
+
+    #[test]
+    fn res_mii_divider_occupancy() {
+        // A single 17-cycle divide on 8 FUs still forces ResMII = ceil(17/8) = 3.
+        let mut b = DdgBuilder::new("div");
+        let d = b.op(OpKind::FDiv);
+        let _ = d;
+        let g = b.build();
+        assert_eq!(res_mii(&g, &lat(), ResourceCounts::paper_baseline()), 3);
+    }
+
+    #[test]
+    fn res_mii_memory_bound() {
+        let mut b = DdgBuilder::new("mem");
+        for i in 0..9 {
+            let _ = b.load(i, 8);
+        }
+        let g = b.build();
+        // 9 memory ops on 4 ports -> ceil(9/4) = 3
+        assert_eq!(res_mii(&g, &lat(), ResourceCounts::paper_baseline()), 3);
+    }
+
+    #[test]
+    fn rec_mii_simple_recurrence() {
+        let mut b = DdgBuilder::new("rec");
+        let a = b.op(OpKind::FAdd);
+        b.flow(a, a, 1);
+        let g = b.build();
+        assert_eq!(rec_mii(&g, &lat()), 4);
+    }
+
+    #[test]
+    fn rec_mii_distance_two() {
+        let mut b = DdgBuilder::new("rec2");
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        b.flow(a, m, 0).flow(m, a, 2);
+        let g = b.build();
+        // cycle latency 8, total distance 2 -> ceil(8/2) = 4
+        assert_eq!(rec_mii(&g, &lat()), 4);
+    }
+
+    #[test]
+    fn rec_mii_of_dag_is_one() {
+        let mut b = DdgBuilder::new("dag");
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        b.flow(a, m, 0);
+        let g = b.build();
+        assert_eq!(rec_mii(&g, &lat()), 1);
+    }
+
+    #[test]
+    fn rec_mii_takes_critical_cycle() {
+        let mut b = DdgBuilder::new("two-cycles");
+        // cycle 1: fadd self-loop distance 1 -> 4
+        let a = b.op(OpKind::FAdd);
+        b.flow(a, a, 1);
+        // cycle 2: fdiv -> fadd -> fdiv distance 1 -> (17 + 4) / 1 = 21
+        let d = b.op(OpKind::FDiv);
+        let e = b.op(OpKind::FAdd);
+        b.flow(d, e, 0).flow(e, d, 1);
+        let g = b.build();
+        assert_eq!(rec_mii(&g, &lat()), 21);
+    }
+
+    #[test]
+    fn mii_is_max_of_both() {
+        let mut b = DdgBuilder::new("mix");
+        let a = b.op(OpKind::FAdd);
+        b.flow(a, a, 1); // RecMII 4
+        for i in 0..20 {
+            let _ = b.load(i, 8); // ResMII ceil(20/4) = 5
+        }
+        let g = b.build();
+        assert_eq!(mii(&g, &lat(), ResourceCounts::paper_baseline()), 5);
+    }
+
+    #[test]
+    fn op_counts_split() {
+        let mut b = DdgBuilder::new("counts");
+        let _ = b.op(OpKind::FAdd);
+        let _ = b.op(OpKind::FDiv);
+        let _ = b.load(0, 8);
+        let g = b.build();
+        assert_eq!(op_counts(&g), (2, 1));
+    }
+
+    #[test]
+    fn rec_mii_longer_distance_lowers_bound() {
+        let mut b = DdgBuilder::new("d4");
+        let a = b.op(OpKind::FMul);
+        b.flow(a, a, 4);
+        let g = b.build();
+        // latency 4 / distance 4 = 1
+        assert_eq!(rec_mii(&g, &lat()), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests of the IR layer: SCC computation against a brute-force
+//! reachability oracle, MII bounds, and ASAP/ALAP consistency.
+
+use hcrf_ir::{analysis, mii, DdgBuilder, Ddg, NodeId, OpKind, OpLatencies, ResourceCounts};
+use proptest::prelude::*;
+
+/// Random graph: `n` nodes, arbitrary edges (cycles allowed) with small
+/// distances on back edges so the graph remains a legal dependence graph.
+fn arb_graph() -> impl Strategy<Value = Ddg> {
+    (2usize..12, prop::collection::vec((0usize..12, 0usize..12, 0u32..3), 0..30)).prop_map(
+        |(n, edges)| {
+            let mut b = DdgBuilder::new("prop");
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| {
+                    b.op(match i % 3 {
+                        0 => OpKind::FAdd,
+                        1 => OpKind::FMul,
+                        _ => OpKind::FDiv,
+                    })
+                })
+                .collect();
+            for (s, d, dist) in edges {
+                let src = ids[s % n];
+                let dst = ids[d % n];
+                // Forward edges may have distance 0; edges that do not go
+                // strictly forward must carry a positive distance so every
+                // cycle has distance > 0 (a well-formed dependence graph).
+                let distance = if s % n < d % n { dist } else { dist.max(1) };
+                b.flow(src, dst, distance);
+            }
+            b.build()
+        },
+    )
+}
+
+/// Brute-force SCC oracle: mutual reachability via Floyd–Warshall.
+fn brute_force_same_scc(g: &Ddg) -> Vec<Vec<bool>> {
+    let n = g.num_nodes();
+    let mut reach = vec![vec![false; n]; n];
+    for (_, e) in g.edges() {
+        reach[e.src.index()][e.dst.index()] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if reach[i][k] && reach[k][j] {
+                    reach[i][j] = true;
+                }
+            }
+        }
+    }
+    let mut same = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            same[i][j] = i == j || (reach[i][j] && reach[j][i]);
+        }
+    }
+    same
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tarjan's SCC agrees with the mutual-reachability oracle.
+    #[test]
+    fn scc_matches_brute_force(g in arb_graph()) {
+        let sccs = analysis::strongly_connected_components(&g);
+        let oracle = brute_force_same_scc(&g);
+        let n = g.num_nodes();
+        for i in 0..n {
+            for j in 0..n {
+                let same = sccs.component[i] == sccs.component[j];
+                prop_assert_eq!(
+                    same, oracle[i][j],
+                    "nodes {} and {} disagree (tarjan {} vs oracle {})",
+                    i, j, same, oracle[i][j]
+                );
+            }
+        }
+    }
+
+    /// RecMII is at least 1, at most the sum of all delays, and equals 1 for
+    /// graphs without any loop-carried edge.
+    #[test]
+    fn rec_mii_bounds(g in arb_graph()) {
+        let lat = OpLatencies::paper_baseline();
+        let rec = mii::rec_mii(&g, &lat);
+        prop_assert!(rec >= 1);
+        let total_delay: i64 = g
+            .edges()
+            .map(|(_, e)| e.delay(g.node(e.src).kind, &lat))
+            .sum::<i64>()
+            .max(1);
+        prop_assert!(rec as i64 <= total_delay + 1);
+        if g.edges().all(|(_, e)| e.distance == 0) {
+            prop_assert_eq!(rec, 1);
+        }
+    }
+
+    /// At an II no smaller than RecMII, every node's ALAP is no earlier than
+    /// its ASAP (the acyclic schedule is feasible) and every edge constraint
+    /// holds between the ASAP times.
+    #[test]
+    fn asap_alap_consistent(g in arb_graph()) {
+        let lat = OpLatencies::paper_baseline();
+        let ii = mii::rec_mii(&g, &lat).max(1);
+        let sched = analysis::acyclic_schedule(&g, &lat, ii);
+        for id in g.node_ids() {
+            prop_assert!(
+                sched.lstart[id.index()] >= sched.estart[id.index()],
+                "negative slack at node {} (ii {})",
+                id,
+                ii
+            );
+        }
+        for (_, e) in g.edges() {
+            let d = e.delay(g.node(e.src).kind, &lat);
+            prop_assert!(
+                sched.estart[e.src.index()] + d - (ii as i64) * e.distance as i64
+                    <= sched.estart[e.dst.index()]
+            );
+        }
+    }
+
+    /// MII is the max of its two components and ResMII scales down with more
+    /// resources.
+    #[test]
+    fn mii_composition(g in arb_graph()) {
+        let lat = OpLatencies::paper_baseline();
+        let small = ResourceCounts { fus: 2, mem_ports: 1, buses: 0 };
+        let big = ResourceCounts { fus: 16, mem_ports: 8, buses: 0 };
+        let res_small = mii::res_mii(&g, &lat, small);
+        let res_big = mii::res_mii(&g, &lat, big);
+        prop_assert!(res_big <= res_small);
+        let m = mii::mii(&g, &lat, big);
+        prop_assert!(m >= res_big);
+        prop_assert!(m >= mii::rec_mii(&g, &lat));
+    }
+}

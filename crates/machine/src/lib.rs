@@ -1,0 +1,39 @@
+//! VLIW machine descriptions: functional units, memory ports, operation
+//! latencies and register file organizations.
+//!
+//! The register-file organizations follow the paper's notation `xCy-Sz`
+//! (Section 3): `x` clusters of `y` registers each, plus a shared
+//! second-level bank of `z` registers. Three degenerate forms exist:
+//!
+//! * `Sz` — monolithic register file of `z` registers (all FUs and memory
+//!   ports access it directly);
+//! * `xCy` — clustered register file, no shared bank, inter-cluster
+//!   communication through buses (`Move` operations);
+//! * `xCySz` — the paper's hierarchical-clustered organization: FUs are
+//!   split into `x` clusters with `y` registers each, memory ports talk only
+//!   to the shared bank of `z` registers, and values move between the levels
+//!   with `LoadR` / `StoreR` operations through `lp`/`sp` ports per cluster.
+//!
+//! # Example
+//!
+//! ```
+//! use hcrf_machine::{MachineConfig, RfOrganization};
+//!
+//! let m = MachineConfig::paper_baseline(RfOrganization::parse("4C16S64").unwrap());
+//! assert_eq!(m.fu_count, 8);
+//! assert_eq!(m.rf.clusters(), 4);
+//! assert_eq!(m.fus_per_cluster(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod ports;
+pub mod rf;
+
+pub use config::{ClusterId, MachineConfig};
+pub use ports::{BankPorts, PortCounts};
+pub use rf::{Capacity, RfOrganization};
+
+pub use hcrf_ir::OpLatencies;

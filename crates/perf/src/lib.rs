@@ -1,0 +1,23 @@
+//! Performance model: execution cycles, memory traffic, IPC, loop-bound
+//! classification and relative speedups (Section 2.3 of the paper).
+//!
+//! The paper estimates the execution cycles of a software-pipelined loop as
+//! `II × (N + (SC − 1) × E) + StallCycles`, where `N` is the total number of
+//! iterations across the program run, `E` the number of times the loop is
+//! entered, `II` the initiation interval and `SC` the stage count. Memory
+//! traffic is `N × trf`, with `trf` the number of memory accesses per
+//! iteration of the final kernel (original references plus spill code).
+//! Execution *time* multiplies the cycles by the configuration's clock
+//! period, which is how slower-but-leaner register-file organizations end up
+//! winning (Tables 5 and 6).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classify;
+pub mod metrics;
+
+pub use classify::{classify_loop, BoundClass};
+pub use metrics::{
+    execution_cycles, execution_time_ns, ipc, memory_traffic, LoopPerformance, SuiteAggregate,
+};

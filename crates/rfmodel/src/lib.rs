@@ -1,0 +1,51 @@
+//! Register-file timing and area model.
+//!
+//! The paper estimates access time and area of every register-file
+//! configuration with CACTI 3.0 adapted to register files (tag logic and TLB
+//! removed) at a minimum drawn gate length of 0.10 µm, then derives the
+//! processor clock cycle from the access time through the FO4 logic-depth
+//! argument of Hrishikesh et al. and re-quantises the functional-unit and
+//! memory latencies in cycles (Table 5).
+//!
+//! CACTI is not available here, so this crate provides:
+//!
+//! * [`AnalyticRfModel`] — a smooth, physically-motivated analytical model of
+//!   access time and area as a function of the number of registers and
+//!   read/write ports, calibrated at 0.10 µm against the paper's published
+//!   points (the fit is documented in `EXPERIMENTS.md`; expect 10–30 % error
+//!   on individual points but the correct ordering and trends);
+//! * [`reference`] — the paper's published Table 2 / Table 5 hardware numbers
+//!   as a calibration dataset; and
+//! * [`ClockModel`] / [`evaluate`] — the FO4-based clock-cycle derivation and
+//!   the per-configuration operation latencies, preferring the reference
+//!   values when the configuration matches a published row and falling back
+//!   to the analytical model otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use hcrf_machine::{MachineConfig, RfOrganization};
+//! use hcrf_rfmodel::evaluate;
+//!
+//! let mono = MachineConfig::paper_baseline(RfOrganization::parse("S128").unwrap());
+//! let clus = MachineConfig::paper_baseline(RfOrganization::parse("4C32").unwrap());
+//! let hw_mono = evaluate(&mono);
+//! let hw_clus = evaluate(&clus);
+//! // Clustering shortens the cycle time...
+//! assert!(hw_clus.clock_ns < hw_mono.clock_ns);
+//! // ...and shrinks the register file.
+//! assert!(hw_clus.total_area < hw_mono.total_area);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod eval;
+pub mod model;
+pub mod reference;
+
+pub use clock::ClockModel;
+pub use eval::{evaluate, evaluate_with, HardwareEval, ModelSource};
+pub use model::{AnalyticRfModel, BankEstimate};
+pub use reference::{paper_table5, PaperHardwareRow};

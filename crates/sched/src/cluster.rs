@@ -1,0 +1,250 @@
+//! Cluster selection heuristic (`Select_Cluster` in Figure 5 of the paper).
+//!
+//! When a node is picked from the priority list the scheduler chooses the
+//! cluster it will execute on, trying to (a) minimise the number of new
+//! communication operations, (b) balance the use of functional units across
+//! clusters and (c) balance register pressure.
+
+use crate::mrt::Mrt;
+use crate::pressure::Pressure;
+use crate::workgraph::WorkGraph;
+use hcrf_ir::{NodeId, OpKind, ResourceClass};
+
+/// Decision produced by [`select_cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterChoice {
+    /// Cluster the node should be scheduled on.
+    pub cluster: u32,
+    /// Number of neighbouring placed operations in *other* clusters
+    /// (an estimate of the communication this placement will require).
+    pub comm_cost: u32,
+}
+
+/// Pick the cluster for node `u`.
+///
+/// * Memory operations of a hierarchical machine execute on the memory ports
+///   of the shared bank, so the cluster is irrelevant; cluster 0 is used as a
+///   placeholder.
+/// * `LoadR` nodes go to the cluster of their (placed or unplaced) FU
+///   consumers; `StoreR` nodes to the cluster of their producer.
+/// * Every other node is scored against each cluster.
+pub fn select_cluster(
+    u: NodeId,
+    w: &WorkGraph,
+    mrt: &Mrt,
+    placements: &[Option<(i64, u32)>],
+    pressure: &Pressure,
+) -> ClusterChoice {
+    let clusters = mrt.caps().clusters;
+    let kind = w.ddg.node(u).kind;
+    if clusters <= 1 {
+        return ClusterChoice {
+            cluster: 0,
+            comm_cost: 0,
+        };
+    }
+    if w.is_hierarchical() && kind.is_memory() {
+        return ClusterChoice {
+            cluster: 0,
+            comm_cost: 0,
+        };
+    }
+    // Communication-anchored kinds follow their neighbour directly.
+    if kind == OpKind::StoreR {
+        if let Some(c) = placed_neighbor_cluster(w, placements, u, Direction::Producers) {
+            return ClusterChoice {
+                cluster: c,
+                comm_cost: 0,
+            };
+        }
+    }
+    if kind == OpKind::LoadR {
+        if let Some(c) = placed_neighbor_cluster(w, placements, u, Direction::Consumers) {
+            return ClusterChoice {
+                cluster: c,
+                comm_cost: 0,
+            };
+        }
+    }
+
+    let mut best = ClusterChoice {
+        cluster: 0,
+        comm_cost: u32::MAX,
+    };
+    let mut best_score = i64::MAX;
+    for c in 0..clusters {
+        let comm = communication_cost(w, placements, u, c);
+        let free_slots = mrt.free_fu_slots(c) as i64;
+        let press = pressure.cluster.get(c as usize).copied().unwrap_or(0) as i64;
+        // Lower is better: communication dominates, then register pressure,
+        // then (negated) free slots for load balance.
+        let score = (comm as i64) * 1000 + press * 10 - free_slots;
+        if score < best_score {
+            best_score = score;
+            best = ClusterChoice {
+                cluster: c,
+                comm_cost: comm,
+            };
+        }
+    }
+    best
+}
+
+enum Direction {
+    Producers,
+    Consumers,
+}
+
+fn placed_neighbor_cluster(
+    w: &WorkGraph,
+    placements: &[Option<(i64, u32)>],
+    u: NodeId,
+    dir: Direction,
+) -> Option<u32> {
+    let neighbors: Vec<NodeId> = match dir {
+        Direction::Producers => w
+            .active_pred_edges(u)
+            .filter(|(_, e)| e.kind == hcrf_ir::DepKind::Flow)
+            .map(|(_, e)| e.src)
+            .collect(),
+        Direction::Consumers => w
+            .active_succ_edges(u)
+            .filter(|(_, e)| e.kind == hcrf_ir::DepKind::Flow)
+            .map(|(_, e)| e.dst)
+            .collect(),
+    };
+    // Prefer a placed FU neighbour; fall back to any placed neighbour.
+    neighbors
+        .iter()
+        .filter(|n| w.ddg.node(**n).kind.resource_class() == ResourceClass::Fu)
+        .find_map(|n| placements[n.index()].map(|(_, c)| c))
+        .or_else(|| {
+            neighbors
+                .iter()
+                .find_map(|n| placements[n.index()].map(|(_, c)| c))
+        })
+}
+
+/// Number of placed flow neighbours of `u` that would sit in a different
+/// cluster if `u` were placed on cluster `c` (and would therefore require a
+/// communication chain).
+pub fn communication_cost(
+    w: &WorkGraph,
+    placements: &[Option<(i64, u32)>],
+    u: NodeId,
+    c: u32,
+) -> u32 {
+    let mut cost = 0u32;
+    for (_, e) in w.active_pred_edges(u) {
+        if let Some((_, pc)) = placements[e.src.index()] {
+            if w.needs_communication(e, pc, c) {
+                cost += 1;
+            }
+        }
+    }
+    for (_, e) in w.active_succ_edges(u) {
+        if let Some((_, sc)) = placements[e.dst.index()] {
+            if w.needs_communication(e, c, sc) {
+                cost += 1;
+            }
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrt::ResourceCaps;
+    use crate::pressure::pressure;
+    use hcrf_ir::{DdgBuilder, OpLatencies};
+    use hcrf_machine::{MachineConfig, RfOrganization};
+
+    fn setup(cfg: &str, g: &hcrf_ir::Ddg) -> (WorkGraph, Mrt, MachineConfig) {
+        let m = MachineConfig::paper_baseline(RfOrganization::parse(cfg).unwrap());
+        let w = WorkGraph::new(g, &m);
+        let mrt = Mrt::new(4, ResourceCaps::from_machine(&m));
+        (w, mrt, m)
+    }
+
+    #[test]
+    fn monolithic_always_cluster_zero() {
+        let mut b = DdgBuilder::new("m");
+        let a = b.op(OpKind::FAdd);
+        let g = b.build();
+        let (w, mrt, _) = setup("S64", &g);
+        let place = vec![None; w.ddg.num_nodes()];
+        let p = pressure(&w, &place, 4, 1, &OpLatencies::paper_baseline(), false);
+        let choice = select_cluster(a, &w, &mrt, &place, &p);
+        assert_eq!(choice.cluster, 0);
+    }
+
+    #[test]
+    fn prefers_cluster_of_placed_producer() {
+        let mut b = DdgBuilder::new("prod");
+        let p0 = b.op(OpKind::FMul);
+        let c0 = b.op(OpKind::FAdd);
+        b.flow(p0, c0, 0);
+        let g = b.build();
+        let (w, mrt, _) = setup("4C16S64", &g);
+        let mut place = vec![None; w.ddg.num_nodes()];
+        place[p0.index()] = Some((0i64, 2u32));
+        let pr = pressure(&w, &place, 4, 4, &OpLatencies::paper_baseline(), false);
+        let choice = select_cluster(c0, &w, &mrt, &place, &pr);
+        assert_eq!(choice.cluster, 2);
+        assert_eq!(choice.comm_cost, 0);
+    }
+
+    #[test]
+    fn balances_towards_empty_cluster_when_no_neighbors() {
+        let mut b = DdgBuilder::new("bal");
+        let a = b.op(OpKind::FAdd);
+        let x = b.op(OpKind::FMul);
+        let g = b.build();
+        let _ = x;
+        let (w, mut mrt, m) = setup("2C64", &g);
+        let lat = OpLatencies::paper_baseline();
+        // Fill cluster 0's FUs at every row so it looks busy.
+        for row in 0..4 {
+            for _ in 0..m.fus_per_cluster() {
+                mrt.place(OpKind::FAdd, row, 0, &lat);
+            }
+        }
+        let place = vec![None; w.ddg.num_nodes()];
+        let p = pressure(&w, &place, 4, 2, &lat, false);
+        let choice = select_cluster(a, &w, &mrt, &place, &p);
+        assert_eq!(choice.cluster, 1);
+    }
+
+    #[test]
+    fn memory_ops_on_hierarchical_machines_get_cluster_zero() {
+        let mut b = DdgBuilder::new("mem");
+        let l = b.load(0, 8);
+        let a = b.op(OpKind::FAdd);
+        b.flow(l, a, 0);
+        let g = b.build();
+        let (w, mrt, _) = setup("8C16S16", &g);
+        let place = vec![None; w.ddg.num_nodes()];
+        let p = pressure(&w, &place, 4, 8, &OpLatencies::paper_baseline(), false);
+        let choice = select_cluster(l, &w, &mrt, &place, &p);
+        assert_eq!(choice.cluster, 0);
+        assert_eq!(choice.comm_cost, 0);
+    }
+
+    #[test]
+    fn communication_cost_counts_cross_cluster_neighbors() {
+        let mut b = DdgBuilder::new("cc");
+        let p0 = b.op(OpKind::FMul);
+        let p1 = b.op(OpKind::FMul);
+        let c0 = b.op(OpKind::FAdd);
+        b.flow(p0, c0, 0).flow(p1, c0, 0);
+        let g = b.build();
+        let (w, _, _) = setup("4C32", &g);
+        let mut place = vec![None; w.ddg.num_nodes()];
+        place[p0.index()] = Some((0i64, 0u32));
+        place[p1.index()] = Some((0, 1));
+        assert_eq!(communication_cost(&w, &place, c0, 0), 1);
+        assert_eq!(communication_cost(&w, &place, c0, 1), 1);
+        assert_eq!(communication_cost(&w, &place, c0, 2), 2);
+    }
+}

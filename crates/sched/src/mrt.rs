@@ -1,0 +1,407 @@
+//! Modulo reservation table.
+//!
+//! Resource accounting is done per *resource class* and cluster with
+//! slot-count semantics: every row of the table (one per cycle of the II) has
+//! a capacity per resource, and a non-pipelined operation of occupancy `o`
+//! reserves one slot in each of the `o` consecutive rows (modulo the II)
+//! starting at its issue row. This aggregates units of the same class rather
+//! than binding operations to individual units, which is the usual
+//! abstraction for modulo-scheduling resource models and matches the ResMII
+//! bound of [`hcrf_ir::res_mii`].
+
+use hcrf_ir::{OpKind, OpLatencies, ResourceClass};
+use hcrf_machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Capacity of every resource class, per cluster where applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceCaps {
+    /// Functional units per cluster.
+    pub fus_per_cluster: u32,
+    /// Memory ports per cluster (0 for hierarchical organizations).
+    pub mem_ports_per_cluster: u32,
+    /// Memory ports shared by all clusters (hierarchical organizations and
+    /// monolithic machines route all memory traffic here).
+    pub shared_mem_ports: u32,
+    /// Inter-cluster buses (purely clustered organizations).
+    pub buses: u32,
+    /// LoadR ports per cluster (reads from the shared bank).
+    pub lp: u32,
+    /// StoreR ports per cluster (writes into the shared bank).
+    pub sp: u32,
+    /// Number of clusters.
+    pub clusters: u32,
+}
+
+impl ResourceCaps {
+    /// Derive the capacities from a machine configuration.
+    pub fn from_machine(m: &MachineConfig) -> Self {
+        let clusters = m.clusters();
+        let hierarchical = m.rf.is_hierarchical();
+        ResourceCaps {
+            fus_per_cluster: m.fu_count / clusters,
+            mem_ports_per_cluster: if hierarchical { 0 } else { m.mem_ports / clusters },
+            shared_mem_ports: if hierarchical || clusters == 1 {
+                m.mem_ports
+            } else {
+                0
+            },
+            buses: if m.rf.is_clustered() && !hierarchical {
+                if m.buses == 0 {
+                    clusters
+                } else {
+                    m.buses
+                }
+            } else {
+                0
+            },
+            lp: m.lp,
+            sp: m.sp,
+            clusters,
+        }
+    }
+
+    /// Whether memory operations are accounted against the shared port pool
+    /// (monolithic and hierarchical organizations) instead of per cluster.
+    pub fn memory_is_shared(&self) -> bool {
+        self.shared_mem_ports > 0
+    }
+}
+
+/// The modulo reservation table itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mrt {
+    ii: u32,
+    caps: ResourceCaps,
+    /// `fu[row * clusters + cluster]`
+    fu: Vec<u16>,
+    /// `mem[row * clusters + cluster]` (per-cluster memory ports)
+    mem: Vec<u16>,
+    /// `shared_mem[row]`
+    shared_mem: Vec<u16>,
+    /// `bus[row]`
+    bus: Vec<u16>,
+    /// `lp[row * clusters + cluster]`
+    lp: Vec<u16>,
+    /// `sp[row * clusters + cluster]`
+    sp: Vec<u16>,
+}
+
+impl Mrt {
+    /// Create an empty table for the given II.
+    pub fn new(ii: u32, caps: ResourceCaps) -> Self {
+        let ii = ii.max(1);
+        let rows = ii as usize;
+        let c = caps.clusters as usize;
+        Mrt {
+            ii,
+            caps,
+            fu: vec![0; rows * c],
+            mem: vec![0; rows * c],
+            shared_mem: vec![0; rows],
+            bus: vec![0; rows],
+            lp: vec![0; rows * c],
+            sp: vec![0; rows * c],
+        }
+    }
+
+    /// The II of the table.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The resource capacities.
+    pub fn caps(&self) -> &ResourceCaps {
+        &self.caps
+    }
+
+    fn row_of(&self, cycle: i64) -> usize {
+        (cycle.rem_euclid(self.ii as i64)) as usize
+    }
+
+    fn idx(&self, cycle: i64, cluster: u32) -> usize {
+        self.row_of(cycle) * self.caps.clusters as usize + cluster as usize
+    }
+
+    /// Number of rows (cycles) an operation of the given kind occupies.
+    fn occupancy(kind: OpKind, lat: &OpLatencies) -> u32 {
+        lat.occupancy(kind)
+    }
+
+    /// Number of FU-slot copies an operation with total occupancy `occ`
+    /// needs in relative row `k` of the table (it keeps a unit busy in every
+    /// row for `ceil(occ / ii)` overlapped iterations when `occ >= ii`).
+    fn fu_copies(&self, occ: u32, k: u32) -> u16 {
+        let copies = (occ / self.ii) + u32::from(k < occ % self.ii);
+        copies.max(1).min(occ) as u16
+    }
+
+    /// Check whether `kind` can be issued at `cycle` on `cluster`.
+    pub fn can_place(&self, kind: OpKind, cycle: i64, cluster: u32, lat: &OpLatencies) -> bool {
+        match kind.resource_class() {
+            ResourceClass::Fu => {
+                let occ = Self::occupancy(kind, lat);
+                let span = occ.min(self.ii);
+                for k in 0..span {
+                    let i = self.idx(cycle + k as i64, cluster);
+                    let needed = self.fu_copies(occ, k);
+                    if self.fu[i] + needed > self.caps.fus_per_cluster as u16 {
+                        return false;
+                    }
+                }
+                true
+            }
+            ResourceClass::MemPort => {
+                if self.caps.memory_is_shared() {
+                    self.shared_mem[self.row_of(cycle)] < self.caps.shared_mem_ports as u16
+                } else {
+                    self.mem[self.idx(cycle, cluster)] < self.caps.mem_ports_per_cluster as u16
+                }
+            }
+            ResourceClass::Bus => {
+                self.caps.buses == u32::MAX
+                    || self.bus[self.row_of(cycle)] < self.caps.buses as u16
+            }
+            ResourceClass::SharedReadPort => {
+                self.caps.lp == u32::MAX
+                    || self.lp[self.idx(cycle, cluster)] < self.caps.lp as u16
+            }
+            ResourceClass::SharedWritePort => {
+                self.caps.sp == u32::MAX
+                    || self.sp[self.idx(cycle, cluster)] < self.caps.sp as u16
+            }
+        }
+    }
+
+    /// Reserve the resources for `kind` issued at `cycle` on `cluster`.
+    /// Call only after [`Mrt::can_place`] (or when deliberately forcing an
+    /// over-subscription that will be repaired by ejection).
+    pub fn place(&mut self, kind: OpKind, cycle: i64, cluster: u32, lat: &OpLatencies) {
+        self.adjust(kind, cycle, cluster, lat, 1);
+    }
+
+    /// Release the resources previously reserved for an operation.
+    pub fn remove(&mut self, kind: OpKind, cycle: i64, cluster: u32, lat: &OpLatencies) {
+        self.adjust(kind, cycle, cluster, lat, -1);
+    }
+
+    fn adjust(&mut self, kind: OpKind, cycle: i64, cluster: u32, lat: &OpLatencies, delta: i32) {
+        let apply = |v: &mut u16| {
+            let nv = (*v as i32 + delta).max(0);
+            *v = nv as u16;
+        };
+        match kind.resource_class() {
+            ResourceClass::Fu => {
+                let occ = Self::occupancy(kind, lat);
+                let span = occ.min(self.ii);
+                for k in 0..span {
+                    let copies = self.fu_copies(occ, k);
+                    let i = self.idx(cycle + k as i64, cluster);
+                    for _ in 0..copies {
+                        apply(&mut self.fu[i]);
+                    }
+                }
+            }
+            ResourceClass::MemPort => {
+                if self.caps.memory_is_shared() {
+                    let r = self.row_of(cycle);
+                    apply(&mut self.shared_mem[r]);
+                } else {
+                    let i = self.idx(cycle, cluster);
+                    apply(&mut self.mem[i]);
+                }
+            }
+            ResourceClass::Bus => {
+                let r = self.row_of(cycle);
+                apply(&mut self.bus[r]);
+            }
+            ResourceClass::SharedReadPort => {
+                let i = self.idx(cycle, cluster);
+                apply(&mut self.lp[i]);
+            }
+            ResourceClass::SharedWritePort => {
+                let i = self.idx(cycle, cluster);
+                apply(&mut self.sp[i]);
+            }
+        }
+    }
+
+    /// Number of free FU slots in a cluster across the whole table
+    /// (used by the cluster-selection heuristic to balance load).
+    pub fn free_fu_slots(&self, cluster: u32) -> u32 {
+        let mut free = 0u32;
+        for row in 0..self.ii as usize {
+            let i = row * self.caps.clusters as usize + cluster as usize;
+            free += (self.caps.fus_per_cluster as i64 - self.fu[i] as i64).max(0) as u32;
+        }
+        free
+    }
+
+    /// Number of LoadR issues in the given cluster and row (Figure 4 port
+    /// profiling measures the peak over rows).
+    pub fn loadr_in_row(&self, row: u32, cluster: u32) -> u16 {
+        self.lp[row as usize * self.caps.clusters as usize + cluster as usize]
+    }
+
+    /// Number of StoreR issues in the given cluster and row.
+    pub fn storer_in_row(&self, row: u32, cluster: u32) -> u16 {
+        self.sp[row as usize * self.caps.clusters as usize + cluster as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcrf_machine::RfOrganization;
+
+    fn caps(cfg: &str) -> ResourceCaps {
+        let m = MachineConfig::paper_baseline(RfOrganization::parse(cfg).unwrap());
+        ResourceCaps::from_machine(&m)
+    }
+
+    #[test]
+    fn caps_monolithic() {
+        let c = caps("S128");
+        assert_eq!(c.fus_per_cluster, 8);
+        assert_eq!(c.shared_mem_ports, 4);
+        assert_eq!(c.clusters, 1);
+        assert!(c.memory_is_shared());
+    }
+
+    #[test]
+    fn caps_clustered() {
+        let c = caps("4C32");
+        assert_eq!(c.fus_per_cluster, 2);
+        assert_eq!(c.mem_ports_per_cluster, 1);
+        assert_eq!(c.shared_mem_ports, 0);
+        assert_eq!(c.buses, 4);
+        assert!(!c.memory_is_shared());
+    }
+
+    #[test]
+    fn caps_hierarchical() {
+        let c = caps("4C16S64");
+        assert_eq!(c.fus_per_cluster, 2);
+        assert_eq!(c.mem_ports_per_cluster, 0);
+        assert_eq!(c.shared_mem_ports, 4);
+        assert_eq!(c.lp, 2);
+        assert_eq!(c.sp, 1);
+        assert!(c.memory_is_shared());
+    }
+
+    #[test]
+    fn fu_slots_fill_up() {
+        let lat = OpLatencies::paper_baseline();
+        let mut mrt = Mrt::new(1, caps("S128"));
+        for _ in 0..8 {
+            assert!(mrt.can_place(OpKind::FAdd, 0, 0, &lat));
+            mrt.place(OpKind::FAdd, 0, 0, &lat);
+        }
+        assert!(!mrt.can_place(OpKind::FAdd, 0, 0, &lat));
+        mrt.remove(OpKind::FAdd, 0, 0, &lat);
+        assert!(mrt.can_place(OpKind::FAdd, 0, 0, &lat));
+    }
+
+    #[test]
+    fn mem_ports_shared_pool() {
+        let lat = OpLatencies::paper_baseline();
+        let mut mrt = Mrt::new(1, caps("S128"));
+        for _ in 0..4 {
+            assert!(mrt.can_place(OpKind::Load, 5, 0, &lat));
+            mrt.place(OpKind::Load, 5, 0, &lat);
+        }
+        assert!(!mrt.can_place(OpKind::Store, 5, 0, &lat));
+        // A different row of a larger II is unaffected.
+        let mut mrt2 = Mrt::new(2, caps("S128"));
+        mrt2.place(OpKind::Load, 0, 0, &lat);
+        assert!(mrt2.can_place(OpKind::Load, 1, 0, &lat));
+    }
+
+    #[test]
+    fn per_cluster_memory_ports_for_clustered_rf() {
+        let lat = OpLatencies::paper_baseline();
+        let mut mrt = Mrt::new(1, caps("4C32"));
+        assert!(mrt.can_place(OpKind::Load, 0, 0, &lat));
+        mrt.place(OpKind::Load, 0, 0, &lat);
+        // Cluster 0's single port is now busy, but cluster 1 is free.
+        assert!(!mrt.can_place(OpKind::Load, 0, 0, &lat));
+        assert!(mrt.can_place(OpKind::Load, 0, 1, &lat));
+    }
+
+    #[test]
+    fn non_pipelined_div_blocks_multiple_rows() {
+        let lat = OpLatencies::paper_baseline();
+        // 1 FU per cluster (8C16S16): a 17-cycle divide needs II >= 17 to fit
+        // on a single unit; at II = 17 it saturates the cluster's FU.
+        let mut small = Mrt::new(4, caps("8C16S16"));
+        assert!(
+            !small.can_place(OpKind::FDiv, 0, 3, &lat),
+            "a 17-cycle divide cannot recur every 4 cycles on one FU"
+        );
+        let mut mrt = Mrt::new(17, caps("8C16S16"));
+        assert!(mrt.can_place(OpKind::FDiv, 0, 3, &lat));
+        mrt.place(OpKind::FDiv, 0, 3, &lat);
+        for row in 0..17 {
+            assert!(!mrt.can_place(OpKind::FAdd, row, 3, &lat), "row {row}");
+        }
+        // Another cluster is unaffected.
+        assert!(mrt.can_place(OpKind::FAdd, 0, 2, &lat));
+        let _ = &mut small;
+    }
+
+    #[test]
+    fn lp_sp_ports_per_cluster() {
+        let lat = OpLatencies::paper_baseline();
+        let mut mrt = Mrt::new(1, caps("8C16S16")); // lp = sp = 1
+        mrt.place(OpKind::LoadR, 0, 0, &lat);
+        assert!(!mrt.can_place(OpKind::LoadR, 0, 0, &lat));
+        assert!(mrt.can_place(OpKind::LoadR, 0, 1, &lat));
+        mrt.place(OpKind::StoreR, 0, 0, &lat);
+        assert!(!mrt.can_place(OpKind::StoreR, 0, 0, &lat));
+    }
+
+    #[test]
+    fn buses_are_global() {
+        let lat = OpLatencies::paper_baseline();
+        let mut mrt = Mrt::new(1, caps("2C64")); // 2 buses
+        mrt.place(OpKind::Move, 0, 0, &lat);
+        mrt.place(OpKind::Move, 0, 1, &lat);
+        assert!(!mrt.can_place(OpKind::Move, 0, 0, &lat));
+    }
+
+    #[test]
+    fn unbounded_bandwidth() {
+        let lat = OpLatencies::paper_baseline();
+        let m = MachineConfig::paper_baseline(RfOrganization::parse("4C16S64").unwrap())
+            .with_unbounded_bandwidth();
+        let mut mrt = Mrt::new(1, ResourceCaps::from_machine(&m));
+        for _ in 0..100 {
+            assert!(mrt.can_place(OpKind::LoadR, 0, 0, &lat));
+            mrt.place(OpKind::LoadR, 0, 0, &lat);
+        }
+    }
+
+    #[test]
+    fn negative_cycles_wrap_correctly() {
+        let lat = OpLatencies::paper_baseline();
+        let mut mrt = Mrt::new(4, caps("S128"));
+        mrt.place(OpKind::Load, -1, 0, &lat); // row 3
+        assert_eq!(mrt.row_of(-1), 3);
+        mrt.remove(OpKind::Load, -1, 0, &lat);
+        // fully released
+        for _ in 0..4 {
+            assert!(mrt.can_place(OpKind::Load, 3, 0, &lat));
+            mrt.place(OpKind::Load, 3, 0, &lat);
+        }
+    }
+
+    #[test]
+    fn free_fu_slots_counts() {
+        let lat = OpLatencies::paper_baseline();
+        let mut mrt = Mrt::new(2, caps("4C32"));
+        assert_eq!(mrt.free_fu_slots(0), 4); // 2 FUs x 2 rows
+        mrt.place(OpKind::FAdd, 0, 0, &lat);
+        assert_eq!(mrt.free_fu_slots(0), 3);
+        assert_eq!(mrt.free_fu_slots(1), 4);
+    }
+}

@@ -1,0 +1,230 @@
+//! Scheduling priority order.
+//!
+//! The paper orders nodes with HRMS (Hypernode Reduction Modulo Scheduling),
+//! whose goal is to schedule the nodes of the critical recurrences first and
+//! to visit every other node while it still has scheduling freedom on at
+//! least one side (only predecessors or only successors already scheduled),
+//! keeping lifetimes short.
+//!
+//! This module implements a documented approximation with the same intent:
+//!
+//! 1. recurrences (non-trivial SCCs) are ordered first, most critical
+//!    (highest RecMII) first;
+//! 2. the remaining nodes are appended in a breadth-first sweep outwards from
+//!    the already-ordered set (so each node is adjacent to the ordered set
+//!    when possible), preferring nodes with the least slack;
+//! 3. ties break on graph depth and node id for determinism.
+
+use crate::workgraph::WorkGraph;
+use hcrf_ir::{analysis, NodeId, OpLatencies};
+use std::collections::VecDeque;
+
+/// Priority order for the iterative scheduler: `order[k]` is the node to
+/// schedule at the `k`-th position; `rank[node]` is its position (lower =
+/// higher priority).
+#[derive(Debug, Clone)]
+pub struct PriorityOrder {
+    /// Nodes in scheduling order.
+    pub order: Vec<NodeId>,
+    /// Rank (position in `order`) per node id; `usize::MAX` for nodes that
+    /// were inactive when the order was computed (they get lowest priority).
+    pub rank: Vec<usize>,
+}
+
+impl PriorityOrder {
+    /// Rank of a node (lower is scheduled earlier). Nodes unknown at ordering
+    /// time (inserted later) are given the lowest priority.
+    pub fn rank_of(&self, n: NodeId) -> usize {
+        self.rank.get(n.index()).copied().unwrap_or(usize::MAX)
+    }
+}
+
+/// Compute the priority order for the active nodes of a working graph at the
+/// given candidate II.
+pub fn priority_order(w: &WorkGraph, lat: &OpLatencies, ii: u32) -> PriorityOrder {
+    let g = &w.ddg;
+    let n = g.num_nodes();
+    let sched = analysis::acyclic_schedule(g, lat, ii.max(1));
+    let recs = analysis::recurrences(g, lat);
+
+    let mut ordered: Vec<NodeId> = Vec::with_capacity(n);
+    let mut in_order = vec![false; n];
+
+    // 1. Recurrences, most constrained first; inside a recurrence follow
+    //    increasing earliest start time so dependences flow forward.
+    let mut recs_sorted = recs;
+    recs_sorted.sort_by_key(|r| std::cmp::Reverse(r.rec_mii));
+    for rec in &recs_sorted {
+        let mut members: Vec<NodeId> = rec
+            .nodes
+            .iter()
+            .copied()
+            .filter(|id| w.is_active(*id) && !in_order[id.index()])
+            .collect();
+        members.sort_by_key(|id| (sched.estart[id.index()], id.index()));
+        for m in members {
+            in_order[m.index()] = true;
+            ordered.push(m);
+        }
+    }
+
+    // 2. Breadth-first sweep outwards from the ordered set; if nothing is
+    //    ordered yet (a DAG loop body), seed with the minimum-slack node.
+    let mut frontier: VecDeque<NodeId> = VecDeque::new();
+    // Expand along *active* edges only: scheduler-inserted interface
+    // operations (LoadR/StoreR) sit between memory operations and their FU
+    // consumers, and walking the deactivated original edges would order the
+    // endpoints before the interface node — exactly the "sandwiched between
+    // two placed neighbours" situation HRMS avoids.
+    let push_neighbors = |node: NodeId, frontier: &mut VecDeque<NodeId>| {
+        for (_, e) in w.active_succ_edges(node) {
+            frontier.push_back(e.dst);
+        }
+        for (_, e) in w.active_pred_edges(node) {
+            frontier.push_back(e.src);
+        }
+    };
+    for o in &ordered {
+        push_neighbors(*o, &mut frontier);
+    }
+
+    let mut remaining: Vec<NodeId> = g
+        .node_ids()
+        .filter(|id| w.is_active(*id) && !in_order[id.index()])
+        .collect();
+    // Sort remaining by (slack, depth) so the seed choices are deterministic
+    // and critical nodes go first.
+    remaining.sort_by_key(|id| {
+        (
+            sched.slack(*id),
+            std::cmp::Reverse(sched.estart[id.index()]),
+            id.index(),
+        )
+    });
+
+    let mut remaining_cursor = 0usize;
+    loop {
+        // Drain the frontier first (stay adjacent to the ordered set).
+        let mut advanced = false;
+        while let Some(cand) = frontier.pop_front() {
+            if w.is_active(cand) && !in_order[cand.index()] {
+                in_order[cand.index()] = true;
+                ordered.push(cand);
+                push_neighbors(cand, &mut frontier);
+                advanced = true;
+            }
+        }
+        // Seed from the remaining pool.
+        while remaining_cursor < remaining.len() {
+            let cand = remaining[remaining_cursor];
+            remaining_cursor += 1;
+            if !in_order[cand.index()] {
+                in_order[cand.index()] = true;
+                ordered.push(cand);
+                push_neighbors(cand, &mut frontier);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+
+    let mut rank = vec![usize::MAX; n];
+    for (i, id) in ordered.iter().enumerate() {
+        rank[id.index()] = i;
+    }
+    PriorityOrder {
+        order: ordered,
+        rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcrf_ir::{DdgBuilder, OpKind};
+    use hcrf_machine::{MachineConfig, RfOrganization};
+
+    fn machine() -> MachineConfig {
+        MachineConfig::paper_baseline(RfOrganization::monolithic(64))
+    }
+
+    #[test]
+    fn covers_every_active_node_exactly_once() {
+        let mut b = DdgBuilder::new("cover");
+        let l1 = b.load(0, 8);
+        let l2 = b.load(1, 8);
+        let m = b.op(OpKind::FMul);
+        let a = b.op(OpKind::FAdd);
+        let s = b.store(2, 8);
+        b.flow(l1, m, 0).flow(l2, m, 0).flow(m, a, 0).flow(a, a, 1).flow(a, s, 0);
+        let g = b.build();
+        let w = WorkGraph::new(&g, &machine());
+        let order = priority_order(&w, &OpLatencies::paper_baseline(), 4);
+        assert_eq!(order.order.len(), 5);
+        let mut seen = vec![false; 5];
+        for n in &order.order {
+            assert!(!seen[n.index()], "node {n} ordered twice");
+            seen[n.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn recurrence_nodes_come_first() {
+        let mut b = DdgBuilder::new("rec-first");
+        let free = b.load(0, 8);
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        b.flow(a, m, 0).flow(m, a, 1);
+        b.flow(free, a, 0);
+        let g = b.build();
+        let w = WorkGraph::new(&g, &machine());
+        let order = priority_order(&w, &OpLatencies::paper_baseline(), 8);
+        assert!(order.rank_of(a) < order.rank_of(free));
+        assert!(order.rank_of(m) < order.rank_of(free));
+    }
+
+    #[test]
+    fn most_critical_recurrence_first() {
+        let mut b = DdgBuilder::new("two-recs");
+        // slow recurrence: div
+        let d = b.op(OpKind::FDiv);
+        let x = b.op(OpKind::FAdd);
+        b.flow(d, x, 0).flow(x, d, 1);
+        // fast recurrence: add
+        let a = b.op(OpKind::FAdd);
+        b.flow(a, a, 1);
+        let g = b.build();
+        let w = WorkGraph::new(&g, &machine());
+        let order = priority_order(&w, &OpLatencies::paper_baseline(), 21);
+        assert!(order.rank_of(d) < order.rank_of(a));
+    }
+
+    #[test]
+    fn inactive_nodes_are_skipped() {
+        let mut b = DdgBuilder::new("skip");
+        let a = b.op(OpKind::FAdd);
+        let c = b.op(OpKind::FMul);
+        b.flow(a, c, 0);
+        let g = b.build();
+        // Hierarchical machine adds no interface nodes here (no memory ops),
+        // so active set == original set.
+        let w = WorkGraph::new(&g, &machine());
+        let order = priority_order(&w, &OpLatencies::paper_baseline(), 1);
+        assert_eq!(order.order.len(), 2);
+    }
+
+    #[test]
+    fn rank_of_unknown_node_is_lowest_priority() {
+        let mut b = DdgBuilder::new("unknown");
+        let a = b.op(OpKind::FAdd);
+        let _ = a;
+        let g = b.build();
+        let w = WorkGraph::new(&g, &machine());
+        let order = priority_order(&w, &OpLatencies::paper_baseline(), 1);
+        assert_eq!(order.rank_of(NodeId(500)), usize::MAX);
+    }
+}

@@ -1,0 +1,913 @@
+//! The iterative modulo scheduler with integrated register spilling,
+//! cluster selection and communication insertion (MIRS / MIRS_HC).
+//!
+//! The implementation follows the skeleton of Figure 5 of the paper: nodes
+//! are taken from a priority list; a cluster is selected for each
+//! (`Select_Cluster`); any communication operations needed to talk to already
+//! scheduled neighbours in other clusters (or in the other level of the
+//! hierarchy) are inserted and scheduled; the node itself is scheduled —
+//! forcing a slot and ejecting conflicting operations when none is free —
+//! and finally the register pressure of every bank is checked, inserting
+//! spill code when a bank exceeds its capacity. A budget proportional to the
+//! number of nodes bounds the work per II; when it is exhausted the partial
+//! schedule is discarded and the process restarts at II + 1.
+
+use crate::cluster::select_cluster;
+use crate::mrt::{Mrt, ResourceCaps};
+use crate::order::{priority_order, PriorityOrder};
+use crate::pressure::{pick_spill_candidate, pressure, Pressure};
+use crate::types::{
+    BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats,
+};
+use crate::workgraph::WorkGraph;
+use hcrf_ir::{mii as mii_mod, Ddg, DepKind, NodeId, OpKind, OpLatencies};
+use hcrf_machine::MachineConfig;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Schedule one loop for one machine configuration with the iterative
+/// MIRS / MIRS_HC scheduler (backtracking enabled by default).
+pub fn schedule_loop(ddg: &Ddg, machine: &MachineConfig, params: &SchedulerParams) -> ScheduleResult {
+    IterativeScheduler::new(machine.clone(), *params).schedule(ddg)
+}
+
+/// Schedule one loop with the non-iterative baseline scheduler used as the
+/// comparison point of Table 4 (same ordering and heuristics, no
+/// backtracking: when an operation finds no free slot the whole attempt is
+/// abandoned and the II is increased).
+pub fn schedule_loop_baseline36(ddg: &Ddg, machine: &MachineConfig) -> ScheduleResult {
+    let params = SchedulerParams::baseline36();
+    IterativeScheduler::new(machine.clone(), params).schedule(ddg)
+}
+
+/// The scheduler engine. Construct one per machine configuration and reuse
+/// it for many loops.
+#[derive(Debug, Clone)]
+pub struct IterativeScheduler {
+    machine: MachineConfig,
+    params: SchedulerParams,
+}
+
+/// Outcome of one II attempt.
+enum Attempt {
+    Success(Box<AttemptState>),
+    Exhausted,
+}
+
+/// Mutable state of one II attempt.
+struct AttemptState {
+    w: WorkGraph,
+    mrt: Mrt,
+    placements: Vec<Option<(i64, u32)>>,
+    prev_cycle: Vec<Option<i64>>,
+    order: PriorityOrder,
+    worklist: BinaryHeap<Reverse<(usize, u32)>>,
+    budget: i64,
+    stats: SchedulerStats,
+    ii: u32,
+}
+
+impl IterativeScheduler {
+    /// Create a scheduler for the given machine.
+    pub fn new(machine: MachineConfig, params: SchedulerParams) -> Self {
+        IterativeScheduler { machine, params }
+    }
+
+    /// The machine this scheduler targets.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Compute the MII of a loop for this machine.
+    pub fn mii(&self, ddg: &Ddg) -> u32 {
+        mii_mod::mii(
+            ddg,
+            &self.machine.latencies,
+            self.machine.resource_counts(),
+        )
+    }
+
+    /// Schedule one loop.
+    pub fn schedule(&self, ddg: &Ddg) -> ScheduleResult {
+        let lat = self.machine.latencies;
+        let mii = self.mii(ddg);
+        let mut stats = SchedulerStats::default();
+        let mut ii = mii.max(1);
+        while ii <= self.params.max_ii {
+            stats.ii_restarts += 1;
+            match self.attempt(ddg, ii, &lat) {
+                Attempt::Success(state) => {
+                    let mut result = self.finalize(ddg, *state, mii);
+                    result.stats.ii_restarts = stats.ii_restarts;
+                    return result;
+                }
+                Attempt::Exhausted => {
+                    ii += 1;
+                }
+            }
+        }
+        // No schedule found up to max_ii.
+        ScheduleResult {
+            loop_name: ddg.name.clone(),
+            config: self.machine.rf.to_string(),
+            ii: self.params.max_ii,
+            mii,
+            sc: 0,
+            achieved_mii: false,
+            failed: true,
+            max_live_cluster: vec![0; self.machine.clusters() as usize],
+            max_live_shared: 0,
+            loadr_ops: 0,
+            storer_ops: 0,
+            move_ops: 0,
+            spill_loads: 0,
+            spill_stores: 0,
+            memory_ops: ddg.memory_ops() as u32,
+            original_memory_ops: ddg.memory_ops() as u32,
+            total_ops: ddg.num_nodes() as u32,
+            original_ops: ddg.num_nodes() as u32,
+            stats,
+            final_graph: None,
+            placements: None,
+        }
+    }
+
+    /// One attempt at a fixed II.
+    fn attempt(&self, ddg: &Ddg, ii: u32, lat: &OpLatencies) -> Attempt {
+        let w = WorkGraph::new(ddg, &self.machine);
+        let caps = ResourceCaps::from_machine(&self.machine);
+        let mrt = Mrt::new(ii, caps);
+        let order = priority_order(&w, lat, ii);
+        let n = w.ddg.num_nodes();
+        let mut worklist = BinaryHeap::new();
+        for node in w.active_nodes() {
+            worklist.push(Reverse((order.rank_of(node), node.0)));
+        }
+        let budget = (self.params.budget_ratio as i64) * (w.active_count() as i64).max(1);
+        // Hard cap on scheduling attempts: the budget can legitimately grow
+        // when spill or communication operations are inserted (the paper adds
+        // Budget_Ratio per inserted node), but a pathological eject/re-insert
+        // ping-pong must not keep the attempt alive forever.
+        let attempt_cap = 64 * (w.active_count() as u64 + 8) * (self.params.budget_ratio as u64).max(1);
+        let mut state = AttemptState {
+            w,
+            mrt,
+            placements: vec![None; n],
+            prev_cycle: vec![None; n],
+            order,
+            worklist,
+            budget,
+            stats: SchedulerStats::default(),
+            ii,
+        };
+        let clusters = self.machine.clusters();
+        let spill_round_limit = 4 * (ddg.num_nodes() as u32 + 4);
+        let mut spill_rounds = 0u32;
+
+        while let Some(Reverse((_, raw))) = state.worklist.pop() {
+            let u = NodeId(raw);
+            if !state.w.is_active(u) || state.placements[u.index()].is_some() {
+                continue;
+            }
+            state.stats.attempts += 1;
+            if state.stats.attempts > attempt_cap {
+                return Attempt::Exhausted;
+            }
+            // 1. Cluster selection.
+            let pr = self.current_pressure(&state, lat);
+            let choice = select_cluster(u, &state.w, &state.mrt, &state.placements, &pr);
+            // 2. Communication with already placed neighbours.
+            if !self.insert_and_schedule_communication(&mut state, u, choice.cluster, lat) {
+                return Attempt::Exhausted;
+            }
+            // 3. Schedule the node itself.
+            if !self.schedule_node(&mut state, u, choice.cluster, lat) {
+                return Attempt::Exhausted;
+            }
+            // 4. Register pressure / spill.
+            if self.has_bounded_banks() {
+                if !self.check_and_spill(&mut state, u, lat, &mut spill_rounds, spill_round_limit) {
+                    return Attempt::Exhausted;
+                }
+            }
+            state.budget -= 1;
+            if state.budget <= 0 {
+                return Attempt::Exhausted;
+            }
+        }
+
+        // Every active node must be placed and the banks within capacity.
+        let all_placed = state
+            .w
+            .active_nodes()
+            .all(|nd| state.placements[nd.index()].is_some());
+        if !all_placed {
+            return Attempt::Exhausted;
+        }
+        if self.has_bounded_banks() {
+            let pr = pressure(&state.w, &state.placements, ii, clusters, lat, self.params.binding_prefetch);
+            if self.over_capacity_bank(&pr).is_some() {
+                return Attempt::Exhausted;
+            }
+        }
+        Attempt::Success(Box::new(state))
+    }
+
+    fn has_bounded_banks(&self) -> bool {
+        let cluster_bounded = self.machine.rf.cluster_capacity().is_bounded();
+        let shared_bounded = self
+            .machine
+            .rf
+            .shared_capacity()
+            .map(|c| c.is_bounded())
+            .unwrap_or(false);
+        cluster_bounded || shared_bounded
+    }
+
+    fn current_pressure(&self, state: &AttemptState, lat: &OpLatencies) -> Pressure {
+        pressure(
+            &state.w,
+            &state.placements,
+            state.ii,
+            self.machine.clusters(),
+            lat,
+            self.params.binding_prefetch,
+        )
+    }
+
+    /// Find a bank whose MaxLive exceeds its capacity.
+    fn over_capacity_bank(&self, pr: &Pressure) -> Option<BankAssignment> {
+        let cluster_cap = self.machine.cluster_regs();
+        for (c, live) in pr.cluster.iter().enumerate() {
+            if *live > cluster_cap {
+                return Some(BankAssignment::Cluster(c as u32));
+            }
+        }
+        if let Some(shared_cap) = self.machine.shared_regs() {
+            if pr.shared > shared_cap {
+                return Some(BankAssignment::Shared);
+            }
+        }
+        None
+    }
+
+    /// Insert (and immediately schedule) the communication chains needed for
+    /// `u` to talk to its already placed neighbours from cluster `cluster`.
+    /// Returns `false` when the attempt must be abandoned (baseline scheduler
+    /// finding no slot, or budget pathologies).
+    fn insert_and_schedule_communication(
+        &self,
+        state: &mut AttemptState,
+        u: NodeId,
+        cluster: u32,
+        lat: &OpLatencies,
+    ) -> bool {
+        loop {
+            // Find one active edge between u and a placed neighbour that needs
+            // communication; insert a chain for it; repeat until none remain.
+            let mut candidate = None;
+            for (id, e) in state.w.active_pred_edges(u) {
+                if let Some((_, pc)) = state.placements[e.src.index()] {
+                    if state.w.needs_communication(e, pc, cluster) {
+                        candidate = Some(id);
+                        break;
+                    }
+                }
+            }
+            if candidate.is_none() {
+                for (id, e) in state.w.active_succ_edges(u) {
+                    if let Some((_, sc)) = state.placements[e.dst.index()] {
+                        if state.w.needs_communication(e, cluster, sc) {
+                            candidate = Some(id);
+                            break;
+                        }
+                    }
+                }
+            }
+            let Some(edge_id) = candidate else {
+                return true;
+            };
+            let edge = *state.w.ddg.edge(edge_id);
+            let new_nodes = state.w.insert_communication(u, edge_id);
+            self.grow_arrays(state);
+            state.budget += (self.params.budget_ratio as i64) * new_nodes.len() as i64;
+            for node in new_nodes {
+                let kind = state.w.ddg.node(node).kind;
+                let target_cluster = match kind {
+                    // StoreR executes in the cluster of its producer.
+                    OpKind::StoreR => state.placements[edge.src.index()]
+                        .map(|(_, c)| c)
+                        .unwrap_or(cluster),
+                    // LoadR / Move execute in (write into) the consumer's cluster.
+                    _ => {
+                        if edge.dst == u {
+                            cluster
+                        } else {
+                            state.placements[edge.dst.index()]
+                                .map(|(_, c)| c)
+                                .unwrap_or(cluster)
+                        }
+                    }
+                };
+                if !self.schedule_node(state, node, target_cluster, lat) {
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Check register pressure and insert spill code until every bank fits
+    /// (or the spill budget is exhausted).
+    fn check_and_spill(
+        &self,
+        state: &mut AttemptState,
+        owner: NodeId,
+        lat: &OpLatencies,
+        spill_rounds: &mut u32,
+        spill_round_limit: u32,
+    ) -> bool {
+        loop {
+            let pr = self.current_pressure(state, lat);
+            let Some(bank) = self.over_capacity_bank(&pr) else {
+                return true;
+            };
+            if *spill_rounds >= spill_round_limit {
+                // Give up on this II; a larger II usually lowers MaxLive.
+                return true;
+            }
+            let Some(candidate) = pick_spill_candidate(&state.w, &pr, bank) else {
+                return true;
+            };
+            let def = candidate.def;
+            let Some(last_consumer) = candidate.last_consumer else {
+                return true;
+            };
+            // Find the active flow edge def -> last_consumer to reroute.
+            let Some(edge_id) = state
+                .w
+                .active_succ_edges(def)
+                .find(|(_, e)| e.kind == DepKind::Flow && e.dst == last_consumer)
+                .map(|(id, _)| id)
+            else {
+                return true;
+            };
+            *spill_rounds += 1;
+            let to_shared = state.w.is_hierarchical() && matches!(bank, BankAssignment::Cluster(_));
+            let new_nodes = if to_shared {
+                state.w.insert_spill_to_shared(owner, edge_id)
+            } else {
+                state.w.insert_spill_to_memory(owner, edge_id)
+            };
+            self.grow_arrays(state);
+            state.budget += (self.params.budget_ratio as i64) * new_nodes.len() as i64;
+            let producer_cluster = state.placements[def.index()].map(|(_, c)| c).unwrap_or(0);
+            let consumer_cluster = state.placements[last_consumer.index()]
+                .map(|(_, c)| c)
+                .unwrap_or(producer_cluster);
+            for node in new_nodes {
+                let kind = state.w.ddg.node(node).kind;
+                let target = match kind {
+                    OpKind::StoreR | OpKind::Store => producer_cluster,
+                    _ => consumer_cluster,
+                };
+                if !self.schedule_node(state, node, target, lat) {
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Keep the per-node arrays in sync with a growing graph.
+    fn grow_arrays(&self, state: &mut AttemptState) {
+        let n = state.w.ddg.num_nodes();
+        state.placements.resize(n, None);
+        state.prev_cycle.resize(n, None);
+    }
+
+    /// Schedule one node on a cluster, forcing a slot and ejecting
+    /// conflicting operations when necessary. Returns `false` only when
+    /// backtracking is disabled and no free slot exists.
+    fn schedule_node(
+        &self,
+        state: &mut AttemptState,
+        u: NodeId,
+        cluster: u32,
+        lat: &OpLatencies,
+    ) -> bool {
+        let ii = state.ii as i64;
+        let kind = state.w.ddg.node(u).kind;
+        let bp = self.params.binding_prefetch;
+
+        // Early start from placed predecessors, late start from placed
+        // successors (through active edges).
+        let mut estart: Option<i64> = None;
+        for (_, e) in state.w.active_pred_edges(u) {
+            if let Some((pc, _)) = state.placements[e.src.index()] {
+                let d = state.w.edge_delay(e, lat, bp);
+                let bound = pc + d - ii * e.distance as i64;
+                estart = Some(estart.map_or(bound, |b: i64| b.max(bound)));
+            }
+        }
+        let mut lstart: Option<i64> = None;
+        for (_, e) in state.w.active_succ_edges(u) {
+            if let Some((sc, _)) = state.placements[e.dst.index()] {
+                let d = state.w.edge_delay(e, lat, bp);
+                let bound = sc - d + ii * e.distance as i64;
+                lstart = Some(lstart.map_or(bound, |b: i64| b.min(bound)));
+            }
+        }
+
+        // Scan range and direction.
+        let (scan_start, scan_end, upward) = match (estart, lstart) {
+            (None, None) => (0, ii - 1, true),
+            (Some(e), None) => (e, e + ii - 1, true),
+            (None, Some(l)) => (l - ii + 1, l, false),
+            (Some(e), Some(l)) => (e, l.min(e + ii - 1), true),
+        };
+
+        let mut found = None;
+        if scan_start <= scan_end {
+            if upward {
+                let mut t = scan_start;
+                while t <= scan_end {
+                    if state.mrt.can_place(kind, t, cluster, lat) {
+                        found = Some(t);
+                        break;
+                    }
+                    t += 1;
+                }
+            } else {
+                let mut t = scan_end;
+                while t >= scan_start {
+                    if state.mrt.can_place(kind, t, cluster, lat) {
+                        found = Some(t);
+                        break;
+                    }
+                    t -= 1;
+                }
+            }
+        }
+
+        if let Some(t) = found {
+            self.place(state, u, t, cluster, lat);
+            return true;
+        }
+        if !self.params.backtracking {
+            return false;
+        }
+
+        // Force a slot (Rau's trick: never force at or before the previous
+        // placement of the same node so the process makes progress).
+        let mut force_at = if upward {
+            estart.unwrap_or(0)
+        } else {
+            lstart.unwrap_or(0)
+        };
+        if let Some(prev) = state.prev_cycle[u.index()] {
+            if force_at <= prev {
+                force_at = prev + 1;
+            }
+        }
+
+        // Eject operations holding the resources we need.
+        let mut guard = 0u32;
+        while !state.mrt.can_place(kind, force_at, cluster, lat) {
+            guard += 1;
+            if guard > 4096 {
+                return false;
+            }
+            let Some(victim) = self.pick_victim(state, u, kind, force_at, cluster) else {
+                // Nothing ejectable frees the resource (e.g. a divide longer
+                // than the II); abandon the attempt.
+                return false;
+            };
+            self.eject(state, victim, lat);
+        }
+        self.place(state, u, force_at, cluster, lat);
+
+        // Eject placed neighbours whose dependence constraints the forced
+        // placement violates.
+        let mut violators = Vec::new();
+        for (_, e) in state.w.active_pred_edges(u) {
+            if let Some((pc, _)) = state.placements[e.src.index()] {
+                let d = state.w.edge_delay(e, lat, bp);
+                if pc + d - ii * e.distance as i64 > force_at {
+                    violators.push(e.src);
+                }
+            }
+        }
+        for (_, e) in state.w.active_succ_edges(u) {
+            if let Some((sc, _)) = state.placements[e.dst.index()] {
+                let d = state.w.edge_delay(e, lat, bp);
+                if force_at + d - ii * e.distance as i64 > sc {
+                    violators.push(e.dst);
+                }
+            }
+        }
+        violators.sort_unstable_by_key(|n| n.index());
+        violators.dedup();
+        for v in violators {
+            if v != u {
+                self.eject(state, v, lat);
+            }
+        }
+        true
+    }
+
+    /// Choose an ejection victim that frees the resource `kind` needs at
+    /// `cycle` on `cluster`: a placed node of the same resource class and
+    /// cluster whose reservation overlaps the conflicting row. Original
+    /// nodes with the lowest priority are preferred; inserted nodes are a
+    /// last resort (removing them drags their owner out too).
+    fn pick_victim(
+        &self,
+        state: &AttemptState,
+        u: NodeId,
+        kind: OpKind,
+        cycle: i64,
+        cluster: u32,
+    ) -> Option<NodeId> {
+        let ii = state.ii;
+        let class = kind.resource_class();
+        let row = cycle.rem_euclid(ii as i64) as u32;
+        let lat = &self.machine.latencies;
+        let caps = state.mrt.caps();
+        let mut best: Option<(bool, usize, NodeId)> = None; // (is_original, rank desc key)
+        for v in state.w.active_nodes() {
+            if v == u {
+                continue;
+            }
+            let Some((vc, vcl)) = state.placements[v.index()] else {
+                continue;
+            };
+            let vkind = state.w.ddg.node(v).kind;
+            if vkind.resource_class() != class {
+                continue;
+            }
+            // Cluster-local resources must match clusters; global resources
+            // (shared memory ports, buses) conflict regardless of cluster.
+            let global = matches!(
+                class,
+                hcrf_ir::ResourceClass::Bus
+            ) || (class == hcrf_ir::ResourceClass::MemPort && caps.memory_is_shared());
+            if !global && vcl != cluster {
+                continue;
+            }
+            // Does v's reservation touch the conflicting row?
+            let occ = lat.occupancy(vkind).min(ii);
+            let vrow = vc.rem_euclid(ii as i64) as u32;
+            let touches = (0..occ).any(|k| (vrow + k) % ii == row);
+            if !touches {
+                continue;
+            }
+            let is_original = !state.w.is_inserted(v);
+            let rank = state.order.rank_of(v);
+            // Prefer original nodes (true > false), then the lowest priority
+            // (largest rank).
+            let key = (is_original, rank, v);
+            match &best {
+                None => best = Some(key),
+                Some((bo, br, _)) => {
+                    if (is_original, rank) > (*bo, *br) {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, v)| v)
+    }
+
+    /// Eject a node: release its resources, forget its placement, push it
+    /// back on the worklist and remove the communication/spill chains that
+    /// depended on it.
+    fn eject(&self, state: &mut AttemptState, v: NodeId, lat: &OpLatencies) {
+        state.stats.ejections += 1;
+        if let Some((cycle, cluster)) = state.placements[v.index()].take() {
+            let kind = state.w.ddg.node(v).kind;
+            state.mrt.remove(kind, cycle, cluster, lat);
+        }
+        if state.w.is_inserted(v) {
+            if let Some(chain) = state.w.chain_containing(v) {
+                // Memory-interface operations are a permanent part of the
+                // graph for hierarchical targets: ejecting one just requeues
+                // it (like an original node), it never removes the chain.
+                if state.w.chain_kind(chain) == crate::workgraph::ChainKind::MemInterface {
+                    state
+                        .worklist
+                        .push(Reverse((state.order.rank_of(v), v.0)));
+                    return;
+                }
+                // Removing any other inserted node removes its whole chain
+                // and requeues the owner.
+                let owner = state.w.chain_owner(chain);
+                let removed = state.w.remove_chain(chain);
+                for r in removed {
+                    if let Some((cycle, cluster)) = state.placements[r.index()].take() {
+                        let kind = state.w.ddg.node(r).kind;
+                        state.mrt.remove(kind, cycle, cluster, lat);
+                    }
+                }
+                if owner != v && state.w.is_active(owner) {
+                    if state.placements[owner.index()].is_some() {
+                        self.eject(state, owner, lat);
+                    } else {
+                        state
+                            .worklist
+                            .push(Reverse((state.order.rank_of(owner), owner.0)));
+                    }
+                }
+            }
+            return;
+        }
+        // Remove chains attached to this node and unplace their members.
+        let chain_ids = state.w.chains_to_remove_for(v);
+        for chain in chain_ids {
+            let removed = state.w.remove_chain(chain);
+            for r in removed {
+                if let Some((cycle, cluster)) = state.placements[r.index()].take() {
+                    let kind = state.w.ddg.node(r).kind;
+                    state.mrt.remove(kind, cycle, cluster, lat);
+                }
+            }
+        }
+        state
+            .worklist
+            .push(Reverse((state.order.rank_of(v), v.0)));
+    }
+
+    fn place(&self, state: &mut AttemptState, u: NodeId, cycle: i64, cluster: u32, lat: &OpLatencies) {
+        let kind = state.w.ddg.node(u).kind;
+        state.mrt.place(kind, cycle, cluster, lat);
+        state.placements[u.index()] = Some((cycle, cluster));
+        state.prev_cycle[u.index()] = Some(cycle);
+    }
+
+    /// Build the public result from a successful attempt.
+    fn finalize(&self, original: &Ddg, state: AttemptState, mii: u32) -> ScheduleResult {
+        let ii = state.ii;
+        let lat = self.machine.latencies;
+        let clusters = self.machine.clusters();
+        // Normalise cycles so the earliest operation issues at cycle 0.
+        let min_cycle = state
+            .w
+            .active_nodes()
+            .filter_map(|n| state.placements[n.index()].map(|(c, _)| c))
+            .min()
+            .unwrap_or(0);
+        let mut placements_vec = vec![
+            Placement {
+                cycle: 0,
+                cluster: 0
+            };
+            state.w.ddg.num_nodes()
+        ];
+        let mut max_cycle = 0u32;
+        let mut shifted: Vec<Option<(i64, u32)>> = vec![None; state.w.ddg.num_nodes()];
+        for n in state.w.active_nodes() {
+            if let Some((c, cl)) = state.placements[n.index()] {
+                let cyc = (c - min_cycle) as u32;
+                placements_vec[n.index()] = Placement {
+                    cycle: cyc,
+                    cluster: cl,
+                };
+                shifted[n.index()] = Some((cyc as i64, cl));
+                max_cycle = max_cycle.max(cyc);
+            }
+        }
+        let sc = max_cycle / ii + 1;
+        let pr = pressure(
+            &state.w,
+            &shifted,
+            ii,
+            clusters,
+            &lat,
+            self.params.binding_prefetch,
+        );
+        let (loadr, storer, moves, spill_loads, spill_stores) = state.w.inserted_counts();
+        let memory_ops = state.w.active_memory_ops();
+        let total_ops = state.w.active_count() as u32;
+        let mut stats = state.stats;
+        stats.ii_restarts = 0; // filled by the caller
+        ScheduleResult {
+            loop_name: original.name.clone(),
+            config: self.machine.rf.to_string(),
+            ii,
+            mii,
+            sc,
+            achieved_mii: ii == mii,
+            failed: false,
+            max_live_cluster: pr.cluster.clone(),
+            max_live_shared: pr.shared,
+            loadr_ops: loadr,
+            storer_ops: storer,
+            move_ops: moves,
+            spill_loads,
+            spill_stores,
+            memory_ops,
+            original_memory_ops: state.w.original_mem_ops() as u32,
+            total_ops,
+            original_ops: state.w.original_nodes() as u32,
+            stats,
+            final_graph: if self.params.keep_schedule {
+                Some(active_subgraph(&state.w, &placements_vec).0)
+            } else {
+                None
+            },
+            placements: if self.params.keep_schedule {
+                Some(active_subgraph(&state.w, &placements_vec).1)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Extract the active subgraph of a working graph together with the matching
+/// placements (compacting node ids).
+fn active_subgraph(w: &WorkGraph, placements: &[Placement]) -> (Ddg, Vec<Placement>) {
+    let mut g = Ddg::new(w.ddg.name.clone());
+    let mut mapping = vec![None; w.ddg.num_nodes()];
+    let mut out_place = Vec::new();
+    for n in w.active_nodes() {
+        let new_id = g.add_node(w.ddg.node(n).clone());
+        mapping[n.index()] = Some(new_id);
+        out_place.push(placements[n.index()]);
+    }
+    for (id, e) in w.ddg.edges() {
+        if !w.edge_is_active(id) {
+            continue;
+        }
+        if let (Some(src), Some(dst)) = (mapping[e.src.index()], mapping[e.dst.index()]) {
+            g.add_edge(hcrf_ir::Edge {
+                src,
+                dst,
+                kind: e.kind,
+                distance: e.distance,
+            });
+        }
+    }
+    (g, out_place)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_schedule;
+    use hcrf_ir::DdgBuilder;
+    use hcrf_machine::RfOrganization;
+
+    fn machine(cfg: &str) -> MachineConfig {
+        MachineConfig::paper_baseline(RfOrganization::parse(cfg).unwrap())
+    }
+
+    fn daxpy() -> Ddg {
+        let mut b = DdgBuilder::new("daxpy");
+        let lx = b.load(0, 8);
+        let ly = b.load(1, 8);
+        let m = b.op_invariant(OpKind::FMul);
+        let a = b.op(OpKind::FAdd);
+        let s = b.store(1, 8);
+        b.flow(lx, m, 0).flow(m, a, 0).flow(ly, a, 0).flow(a, s, 0);
+        b.build()
+    }
+
+    fn recurrence_loop() -> Ddg {
+        // s = s + a[i] * b[i]
+        let mut b = DdgBuilder::new("dotp");
+        let la = b.load(0, 8);
+        let lb = b.load(1, 8);
+        let m = b.op(OpKind::FMul);
+        let acc = b.op(OpKind::FAdd);
+        b.flow(la, m, 0).flow(lb, m, 0).flow(m, acc, 0).flow(acc, acc, 1);
+        b.build()
+    }
+
+    #[test]
+    fn monolithic_achieves_mii_on_simple_loop() {
+        let g = daxpy();
+        let m = machine("S128");
+        let r = schedule_loop(&g, &m, &SchedulerParams::default());
+        assert!(!r.failed);
+        assert_eq!(r.mii, 1);
+        assert_eq!(r.ii, 1);
+        assert!(r.achieved_mii);
+        validate_schedule(&g, &m, &r).unwrap();
+    }
+
+    #[test]
+    fn recurrence_bound_loop_gets_recmii() {
+        let g = recurrence_loop();
+        let m = machine("S128");
+        let r = schedule_loop(&g, &m, &SchedulerParams::default());
+        assert!(!r.failed);
+        assert_eq!(r.mii, 4); // add latency 4, distance 1
+        assert!(r.ii >= 4);
+        validate_schedule(&g, &m, &r).unwrap();
+    }
+
+    #[test]
+    fn clustered_machine_schedules_and_validates() {
+        let g = daxpy();
+        let m = machine("4C32");
+        let r = schedule_loop(&g, &m, &SchedulerParams::default());
+        assert!(!r.failed, "clustered scheduling failed");
+        validate_schedule(&g, &m, &r).unwrap();
+    }
+
+    #[test]
+    fn hierarchical_machine_inserts_interface_ops() {
+        let g = daxpy();
+        let m = machine("4C16S64");
+        let r = schedule_loop(&g, &m, &SchedulerParams::default());
+        assert!(!r.failed);
+        // Two loads feeding FUs and one store fed by a FU -> at least 2 LoadR
+        // and 1 StoreR.
+        assert!(r.loadr_ops >= 2, "LoadR ops {}", r.loadr_ops);
+        assert!(r.storer_ops >= 1, "StoreR ops {}", r.storer_ops);
+        validate_schedule(&g, &m, &r).unwrap();
+    }
+
+    #[test]
+    fn hierarchical_ii_not_smaller_than_monolithic() {
+        let g = recurrence_loop();
+        let mono = schedule_loop(&g, &machine("S128"), &SchedulerParams::default());
+        let hier = schedule_loop(&g, &machine("8C16S16"), &SchedulerParams::default());
+        assert!(!mono.failed && !hier.failed);
+        assert!(hier.ii >= mono.ii);
+    }
+
+    #[test]
+    fn tiny_register_file_forces_spill_code() {
+        // A wide fan of long-lived values on a tiny monolithic RF.
+        let mut b = DdgBuilder::new("pressure");
+        let mut defs = Vec::new();
+        for i in 0..12 {
+            let l = b.load(i, 8);
+            defs.push(l);
+        }
+        // A chain of adds consuming the loads late, creating long lifetimes.
+        let mut prev = b.op(OpKind::FAdd);
+        b.flow(defs[0], prev, 0);
+        for d in defs.iter().skip(1) {
+            let a = b.op(OpKind::FAdd);
+            b.flow(prev, a, 0);
+            b.flow(*d, a, 0);
+            prev = a;
+        }
+        let s = b.store(30, 8);
+        b.flow(prev, s, 0);
+        let g = b.build();
+        let small = machine("S16");
+        let r = schedule_loop(&g, &small, &SchedulerParams::default());
+        // Either spill code was inserted or the II grew well beyond MII.
+        assert!(!r.failed);
+        assert!(
+            r.spill_loads + r.spill_stores > 0 || r.ii > r.mii,
+            "expected spilling or II growth on a tiny RF (ii={}, mii={})",
+            r.ii,
+            r.mii
+        );
+        validate_schedule(&g, &small, &r).unwrap();
+    }
+
+    #[test]
+    fn baseline36_never_beats_mirs_hc() {
+        let g = recurrence_loop();
+        let m = machine("1C64S64");
+        let mirs = schedule_loop(&g, &m, &SchedulerParams::default());
+        let base = schedule_loop_baseline36(&g, &m);
+        assert!(!mirs.failed);
+        assert!(!base.failed);
+        assert!(mirs.ii <= base.ii);
+    }
+
+    #[test]
+    fn eight_cluster_hierarchy_works() {
+        let g = daxpy();
+        let m = machine("8C16S16");
+        let r = schedule_loop(&g, &m, &SchedulerParams::default());
+        assert!(!r.failed);
+        validate_schedule(&g, &m, &r).unwrap();
+    }
+
+    #[test]
+    fn unbounded_registers_never_spill() {
+        let g = daxpy();
+        let m = machine("4CinfSinf");
+        let r = schedule_loop(&g, &m, &SchedulerParams::default());
+        assert!(!r.failed);
+        assert_eq!(r.spill_loads + r.spill_stores, 0);
+    }
+
+    #[test]
+    fn failed_result_reported_when_ii_cap_too_small() {
+        let g = recurrence_loop();
+        let m = machine("S128");
+        let params = SchedulerParams {
+            max_ii: 2, // below RecMII = 4
+            ..Default::default()
+        };
+        let r = schedule_loop(&g, &m, &params);
+        assert!(r.failed);
+    }
+}

@@ -1,0 +1,225 @@
+//! Public parameter and result types of the schedulers.
+
+use hcrf_ir::Ddg;
+use serde::{Deserialize, Serialize};
+
+/// Which register bank a value lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankAssignment {
+    /// A first-level cluster bank (or the single monolithic bank).
+    Cluster(u32),
+    /// The shared second-level bank of a hierarchical organization.
+    Shared,
+}
+
+/// Placement of one operation in the final modulo schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Issue cycle within the flat (non-modulo) schedule, normalised so the
+    /// earliest operation issues at cycle 0.
+    pub cycle: u32,
+    /// Cluster executing the operation (0 for monolithic machines and for
+    /// memory operations of hierarchical machines, which use no cluster FU).
+    pub cluster: u32,
+}
+
+impl Placement {
+    /// Row of the modulo reservation table this placement occupies.
+    pub fn row(&self, ii: u32) -> u32 {
+        self.cycle % ii.max(1)
+    }
+
+    /// Stage (iteration offset) of the placement.
+    pub fn stage(&self, ii: u32) -> u32 {
+        self.cycle / ii.max(1)
+    }
+}
+
+/// Tuning knobs of the iterative scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerParams {
+    /// Attempts allowed per node at a given II before giving up
+    /// (the paper's *Budget Ratio*; it uses values around 5-6).
+    pub budget_ratio: u32,
+    /// Hard upper bound on the II explored before declaring failure.
+    pub max_ii: u32,
+    /// Enable backtracking (`Force_and_Eject`). Disabling it yields the
+    /// non-iterative baseline scheduler of Table 4.
+    pub backtracking: bool,
+    /// Schedule loads with the miss latency unless they sit on a recurrence
+    /// or are spill reloads (selective binding prefetching, Section 6.2).
+    pub binding_prefetch: bool,
+    /// Keep the final graph and per-node placements in the result (disable
+    /// to save memory in large sweeps).
+    pub keep_schedule: bool,
+}
+
+impl Default for SchedulerParams {
+    fn default() -> Self {
+        SchedulerParams {
+            budget_ratio: 6,
+            max_ii: 128,
+            backtracking: true,
+            binding_prefetch: false,
+            keep_schedule: true,
+        }
+    }
+}
+
+impl SchedulerParams {
+    /// Parameters of the non-iterative baseline scheduler ([36] in the
+    /// paper): same ordering and heuristics but no backtracking.
+    pub fn baseline36() -> Self {
+        SchedulerParams {
+            backtracking: false,
+            ..Default::default()
+        }
+    }
+
+    /// Enable selective binding prefetching (real-memory scenario).
+    pub fn with_binding_prefetch(mut self) -> Self {
+        self.binding_prefetch = true;
+        self
+    }
+
+    /// Do not keep per-node placements in the result.
+    pub fn without_schedule(mut self) -> Self {
+        self.keep_schedule = false;
+        self
+    }
+}
+
+/// Counters describing the work the scheduler performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Number of node scheduling attempts performed (across all IIs).
+    pub attempts: u64,
+    /// Number of nodes ejected by backtracking.
+    pub ejections: u64,
+    /// Number of II values tried.
+    pub ii_restarts: u32,
+}
+
+/// Result of scheduling one loop for one machine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleResult {
+    /// Loop name.
+    pub loop_name: String,
+    /// Register file configuration the loop was scheduled for.
+    pub config: String,
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Lower bound `max(ResMII, RecMII)` for this loop and machine.
+    pub mii: u32,
+    /// Stage count of the schedule (number of II-cycle stages of the kernel).
+    pub sc: u32,
+    /// Whether the loop achieved its MII.
+    pub achieved_mii: bool,
+    /// `true` when no valid schedule was found up to `max_ii`.
+    pub failed: bool,
+    /// Maximum number of live values in each cluster bank.
+    pub max_live_cluster: Vec<u32>,
+    /// Maximum number of live values in the shared bank (0 when the
+    /// organization has no second level).
+    pub max_live_shared: u32,
+    /// Number of `LoadR` operations in the final kernel (communication +
+    /// spill reloads from the shared bank).
+    pub loadr_ops: u32,
+    /// Number of `StoreR` operations in the final kernel.
+    pub storer_ops: u32,
+    /// Number of inter-cluster `Move` operations (clustered organization).
+    pub move_ops: u32,
+    /// Memory loads added by spilling to memory.
+    pub spill_loads: u32,
+    /// Memory stores added by spilling to memory.
+    pub spill_stores: u32,
+    /// Total memory operations in the final kernel (original + spill).
+    pub memory_ops: u32,
+    /// Memory operations of the original loop body.
+    pub original_memory_ops: u32,
+    /// Number of operations in the final kernel (original + inserted).
+    pub total_ops: u32,
+    /// Number of operations in the original loop body.
+    pub original_ops: u32,
+    /// Work counters.
+    pub stats: SchedulerStats,
+    /// The final dependence graph (original + inserted operations), kept only
+    /// when [`SchedulerParams::keep_schedule`] is set.
+    pub final_graph: Option<Ddg>,
+    /// Per-node placements aligned with `final_graph` (same condition).
+    pub placements: Option<Vec<Placement>>,
+}
+
+impl ScheduleResult {
+    /// Memory accesses executed per iteration of the scheduled kernel
+    /// (original references plus spill traffic) — the paper's `trf`.
+    pub fn memory_traffic_per_iteration(&self) -> u32 {
+        self.memory_ops
+    }
+
+    /// Number of communication operations inserted (Move + LoadR + StoreR).
+    pub fn communication_ops(&self) -> u32 {
+        self.loadr_ops + self.storer_ops + self.move_ops
+    }
+
+    /// Spill traffic added per iteration (memory accesses beyond the
+    /// original loop body).
+    pub fn spill_traffic(&self) -> u32 {
+        self.memory_ops.saturating_sub(self.original_memory_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_row_and_stage() {
+        let p = Placement {
+            cycle: 13,
+            cluster: 2,
+        };
+        assert_eq!(p.row(5), 3);
+        assert_eq!(p.stage(5), 2);
+        assert_eq!(p.row(1), 0);
+    }
+
+    #[test]
+    fn default_params_backtrack() {
+        let p = SchedulerParams::default();
+        assert!(p.backtracking);
+        assert!(!p.binding_prefetch);
+        let b = SchedulerParams::baseline36();
+        assert!(!b.backtracking);
+    }
+
+    #[test]
+    fn result_traffic_helpers() {
+        let r = ScheduleResult {
+            loop_name: "l".into(),
+            config: "S64".into(),
+            ii: 4,
+            mii: 4,
+            sc: 3,
+            achieved_mii: true,
+            failed: false,
+            max_live_cluster: vec![10],
+            max_live_shared: 0,
+            loadr_ops: 2,
+            storer_ops: 1,
+            move_ops: 0,
+            spill_loads: 2,
+            spill_stores: 1,
+            memory_ops: 9,
+            original_memory_ops: 6,
+            total_ops: 20,
+            original_ops: 14,
+            stats: SchedulerStats::default(),
+            final_graph: None,
+            placements: None,
+        };
+        assert_eq!(r.communication_ops(), 3);
+        assert_eq!(r.spill_traffic(), 3);
+        assert_eq!(r.memory_traffic_per_iteration(), 9);
+    }
+}

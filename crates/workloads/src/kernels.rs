@@ -1,0 +1,586 @@
+//! Hand-written dependence graphs of classic numerical loop kernels.
+//!
+//! Each kernel mirrors the innermost loop of a well-known numerical code
+//! (BLAS level-1 operations, Livermore kernels, stencils, simple recurrences)
+//! expressed directly as the dependence graph the ICTINEO front-end would
+//! hand to the scheduler. Trip counts are chosen to be representative of the
+//! array sizes such codes run on.
+
+use hcrf_ir::{DdgBuilder, Loop, MemAccess, NodeId, OpKind};
+
+/// Helper: build a `Loop` with a graph, trip count and invocation count.
+fn finish(b: DdgBuilder, iterations: u64, invocations: u64) -> Loop {
+    Loop::new(b.build(), iterations, invocations)
+}
+
+/// `y[i] = a * x[i] + y[i]` — the DAXPY kernel (BLAS level 1).
+pub fn daxpy() -> Loop {
+    let mut b = DdgBuilder::new("daxpy");
+    let lx = b.load(0, 8);
+    let ly = b.load(1, 8);
+    let mul = b.op_invariant(OpKind::FMul);
+    let add = b.op(OpKind::FAdd);
+    let st = b.store(1, 8);
+    b.flow(lx, mul, 0).flow(mul, add, 0).flow(ly, add, 0).flow(add, st, 0);
+    finish(b, 4096, 16)
+}
+
+/// `s += x[i] * y[i]` — dot product with a sum recurrence.
+pub fn ddot() -> Loop {
+    let mut b = DdgBuilder::new("ddot");
+    let lx = b.load(0, 8);
+    let ly = b.load(1, 8);
+    let mul = b.op(OpKind::FMul);
+    let acc = b.op(OpKind::FAdd);
+    b.flow(lx, mul, 0).flow(ly, mul, 0).flow(mul, acc, 0).flow(acc, acc, 1);
+    finish(b, 4096, 16)
+}
+
+/// `y[i] = a * x[i]` — vector scale.
+pub fn dscal() -> Loop {
+    let mut b = DdgBuilder::new("dscal");
+    let lx = b.load(0, 8);
+    let mul = b.op_invariant(OpKind::FMul);
+    let st = b.store(1, 8);
+    b.flow(lx, mul, 0).flow(mul, st, 0);
+    finish(b, 8192, 8)
+}
+
+/// `x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])` — Livermore kernel 1
+/// (hydro fragment).
+pub fn livermore1_hydro() -> Loop {
+    let mut b = DdgBuilder::new("lk1_hydro");
+    let ly = b.load(0, 8);
+    let lz10 = b.load_at(MemAccess { base: 1, offset: 80, stride: 8, size: 8 });
+    let lz11 = b.load_at(MemAccess { base: 1, offset: 88, stride: 8, size: 8 });
+    let m_r = b.op_invariant(OpKind::FMul);
+    let m_t = b.op_invariant(OpKind::FMul);
+    let add_inner = b.op(OpKind::FAdd);
+    let m_y = b.op(OpKind::FMul);
+    let add_q = b.op_invariant(OpKind::FAdd);
+    let st = b.store(2, 8);
+    b.flow(lz10, m_r, 0)
+        .flow(lz11, m_t, 0)
+        .flow(m_r, add_inner, 0)
+        .flow(m_t, add_inner, 0)
+        .flow(ly, m_y, 0)
+        .flow(add_inner, m_y, 0)
+        .flow(m_y, add_q, 0)
+        .flow(add_q, st, 0);
+    finish(b, 990, 200)
+}
+
+/// `x[i] = z[i]*(y[i] - x[i-1])` — Livermore kernel 5 (tridiagonal
+/// elimination), a first-order recurrence through memory.
+pub fn livermore5_tridiag() -> Loop {
+    let mut b = DdgBuilder::new("lk5_tridiag");
+    let ly = b.load(0, 8);
+    let lz = b.load(1, 8);
+    let sub = b.op(OpKind::FAdd);
+    let mul = b.op(OpKind::FMul);
+    let st = b.store(2, 8);
+    b.flow(ly, sub, 0)
+        .flow(lz, mul, 0)
+        .flow(sub, mul, 0)
+        .flow(mul, st, 0)
+        // x[i-1] feeds the subtraction of the next iteration.
+        .flow(mul, sub, 1);
+    finish(b, 997, 300)
+}
+
+/// Livermore kernel 7 — equation of state fragment (wide, compute heavy).
+pub fn livermore7_eos() -> Loop {
+    let mut b = DdgBuilder::new("lk7_eos");
+    let lu = b.load(0, 8);
+    let lz = b.load(1, 8);
+    let ly = b.load(2, 8);
+    let lu3 = b.load_at(MemAccess { base: 0, offset: 24, stride: 8, size: 8 });
+    let lu2 = b.load_at(MemAccess { base: 0, offset: 16, stride: 8, size: 8 });
+    let lu1 = b.load_at(MemAccess { base: 0, offset: 8, stride: 8, size: 8 });
+    let m1 = b.op_invariant(OpKind::FMul); // r*z[k]
+    let m2 = b.op_invariant(OpKind::FMul); // t*u[k+3]
+    let a1 = b.op(OpKind::FAdd); // u[k+2] + m2
+    let m3 = b.op_invariant(OpKind::FMul); // t^2 ...
+    let a2 = b.op(OpKind::FAdd);
+    let m4 = b.op_invariant(OpKind::FMul);
+    let a3 = b.op(OpKind::FAdd);
+    let m5 = b.op(OpKind::FMul);
+    let a4 = b.op(OpKind::FAdd);
+    let a5 = b.op(OpKind::FAdd);
+    let st = b.store(3, 8);
+    b.flow(lz, m1, 0)
+        .flow(lu3, m2, 0)
+        .flow(lu2, a1, 0)
+        .flow(m2, a1, 0)
+        .flow(a1, m3, 0)
+        .flow(lu1, a2, 0)
+        .flow(m3, a2, 0)
+        .flow(a2, m4, 0)
+        .flow(lu, a3, 0)
+        .flow(m4, a3, 0)
+        .flow(m1, m5, 0)
+        .flow(a3, m5, 0)
+        .flow(ly, a4, 0)
+        .flow(m5, a4, 0)
+        .flow(a4, a5, 0)
+        .flow(a5, st, 0);
+    finish(b, 120, 600)
+}
+
+/// Livermore kernel 11 — first sum (prefix-sum recurrence).
+pub fn livermore11_firstsum() -> Loop {
+    let mut b = DdgBuilder::new("lk11_firstsum");
+    let lx = b.load(0, 8);
+    let acc = b.op(OpKind::FAdd);
+    let st = b.store(1, 8);
+    b.flow(lx, acc, 0).flow(acc, acc, 1).flow(acc, st, 0);
+    finish(b, 1000, 400)
+}
+
+/// Livermore kernel 12 — first difference.
+pub fn livermore12_firstdiff() -> Loop {
+    let mut b = DdgBuilder::new("lk12_firstdiff");
+    let ly1 = b.load_at(MemAccess { base: 0, offset: 8, stride: 8, size: 8 });
+    let ly = b.load(0, 8);
+    let sub = b.op(OpKind::FAdd);
+    let st = b.store(1, 8);
+    b.flow(ly1, sub, 0).flow(ly, sub, 0).flow(sub, st, 0);
+    finish(b, 1000, 400)
+}
+
+/// Inner loop of a dense matrix-vector product row (`y[i] += A[i][j]*x[j]`).
+pub fn matvec_row() -> Loop {
+    let mut b = DdgBuilder::new("matvec_row");
+    let la = b.load(0, 8);
+    let lx = b.load(1, 8);
+    let mul = b.op(OpKind::FMul);
+    let acc = b.op(OpKind::FAdd);
+    b.flow(la, mul, 0).flow(lx, mul, 0).flow(mul, acc, 0).flow(acc, acc, 1);
+    finish(b, 512, 512)
+}
+
+/// Inner loop of a blocked matrix multiply with four independent
+/// accumulators (unrolled by 4 to expose ILP).
+pub fn matmul_unrolled4() -> Loop {
+    let mut b = DdgBuilder::new("matmul_u4");
+    let mut all: Vec<NodeId> = Vec::new();
+    for k in 0..4u32 {
+        let la = b.load_at(MemAccess { base: 0, offset: (k as i64) * 8, stride: 32, size: 8 });
+        let lb = b.load_at(MemAccess { base: 1, offset: (k as i64) * 8, stride: 32, size: 8 });
+        let mul = b.op(OpKind::FMul);
+        let acc = b.op(OpKind::FAdd);
+        b.flow(la, mul, 0).flow(lb, mul, 0).flow(mul, acc, 0).flow(acc, acc, 1);
+        all.push(acc);
+    }
+    finish(b, 256, 2048)
+}
+
+/// 1-D three-point Jacobi stencil: `b[i] = c0*(a[i-1] + a[i] + a[i+1])`.
+pub fn jacobi3() -> Loop {
+    let mut b = DdgBuilder::new("jacobi3");
+    let lm = b.load_at(MemAccess { base: 0, offset: -8, stride: 8, size: 8 });
+    let lc = b.load(0, 8);
+    let lp = b.load_at(MemAccess { base: 0, offset: 8, stride: 8, size: 8 });
+    let a1 = b.op(OpKind::FAdd);
+    let a2 = b.op(OpKind::FAdd);
+    let m = b.op_invariant(OpKind::FMul);
+    let st = b.store(1, 8);
+    b.flow(lm, a1, 0).flow(lc, a1, 0).flow(a1, a2, 0).flow(lp, a2, 0).flow(a2, m, 0).flow(m, st, 0);
+    finish(b, 2046, 100)
+}
+
+/// 1-D five-point stencil with coefficients.
+pub fn stencil5() -> Loop {
+    let mut b = DdgBuilder::new("stencil5");
+    let mut sums = Vec::new();
+    for (k, off) in [-16i64, -8, 0, 8, 16].iter().enumerate() {
+        let l = b.load_at(MemAccess { base: 0, offset: *off, stride: 8, size: 8 });
+        let m = b.op_invariant(OpKind::FMul);
+        b.flow(l, m, 0);
+        let _ = k;
+        sums.push(m);
+    }
+    let a1 = b.op(OpKind::FAdd);
+    b.flow(sums[0], a1, 0);
+    b.flow(sums[1], a1, 0);
+    let a2 = b.op(OpKind::FAdd);
+    b.flow(a1, a2, 0);
+    b.flow(sums[2], a2, 0);
+    let a3 = b.op(OpKind::FAdd);
+    b.flow(a2, a3, 0);
+    b.flow(sums[3], a3, 0);
+    let a4 = b.op(OpKind::FAdd);
+    b.flow(a3, a4, 0);
+    b.flow(sums[4], a4, 0);
+    let st = b.store(1, 8);
+    b.flow(a4, st, 0);
+    finish(b, 4092, 50)
+}
+
+/// Complex multiply-accumulate (radix-2 FFT butterfly body, no twiddle
+/// recomputation).
+pub fn fft_butterfly() -> Loop {
+    let mut b = DdgBuilder::new("fft_butterfly");
+    let lar = b.load(0, 16);
+    let lai = b.load_at(MemAccess { base: 0, offset: 8, stride: 16, size: 8 });
+    let lbr = b.load(1, 16);
+    let lbi = b.load_at(MemAccess { base: 1, offset: 8, stride: 16, size: 8 });
+    // t = w * b (complex multiply with invariant twiddle)
+    let m1 = b.op_invariant(OpKind::FMul);
+    let m2 = b.op_invariant(OpKind::FMul);
+    let m3 = b.op_invariant(OpKind::FMul);
+    let m4 = b.op_invariant(OpKind::FMul);
+    let tr = b.op(OpKind::FAdd);
+    let ti = b.op(OpKind::FAdd);
+    // outputs a' = a + t, b' = a - t
+    let or1 = b.op(OpKind::FAdd);
+    let oi1 = b.op(OpKind::FAdd);
+    let or2 = b.op(OpKind::FAdd);
+    let oi2 = b.op(OpKind::FAdd);
+    let s1 = b.store(2, 16);
+    let s2 = b.store_at(MemAccess { base: 2, offset: 8, stride: 16, size: 8 });
+    let s3 = b.store(3, 16);
+    let s4 = b.store_at(MemAccess { base: 3, offset: 8, stride: 16, size: 8 });
+    b.flow(lbr, m1, 0).flow(lbi, m2, 0).flow(lbr, m3, 0).flow(lbi, m4, 0);
+    b.flow(m1, tr, 0).flow(m2, tr, 0).flow(m3, ti, 0).flow(m4, ti, 0);
+    b.flow(lar, or1, 0).flow(tr, or1, 0);
+    b.flow(lai, oi1, 0).flow(ti, oi1, 0);
+    b.flow(lar, or2, 0).flow(tr, or2, 0);
+    b.flow(lai, oi2, 0).flow(ti, oi2, 0);
+    b.flow(or1, s1, 0).flow(oi1, s2, 0).flow(or2, s3, 0).flow(oi2, s4, 0);
+    finish(b, 512, 1024)
+}
+
+/// Horner evaluation of a degree-6 polynomial (long multiply-add chain,
+/// recurrence free but latency bound).
+pub fn horner6() -> Loop {
+    let mut b = DdgBuilder::new("horner6");
+    let lx = b.load(0, 8);
+    let mut acc = b.op_invariant(OpKind::FMul);
+    b.flow(lx, acc, 0);
+    for _ in 0..5 {
+        let add = b.op_invariant(OpKind::FAdd);
+        b.flow(acc, add, 0);
+        let mul = b.op(OpKind::FMul);
+        b.flow(add, mul, 0);
+        b.flow(lx, mul, 0);
+        acc = mul;
+    }
+    let add = b.op_invariant(OpKind::FAdd);
+    b.flow(acc, add, 0);
+    let st = b.store(1, 8);
+    b.flow(add, st, 0);
+    finish(b, 2048, 64)
+}
+
+/// Vector normalisation step with a divide: `y[i] = x[i] / norm[i]`.
+pub fn vector_divide() -> Loop {
+    let mut b = DdgBuilder::new("vdiv");
+    let lx = b.load(0, 8);
+    let ln = b.load(1, 8);
+    let div = b.op(OpKind::FDiv);
+    let st = b.store(2, 8);
+    b.flow(lx, div, 0).flow(ln, div, 0).flow(div, st, 0);
+    finish(b, 1024, 32)
+}
+
+/// Distance computation with a square root: `d[i] = sqrt(x[i]^2 + y[i]^2)`.
+pub fn euclidean_distance() -> Loop {
+    let mut b = DdgBuilder::new("dist_sqrt");
+    let lx = b.load(0, 8);
+    let ly = b.load(1, 8);
+    let mx = b.op(OpKind::FMul);
+    let my = b.op(OpKind::FMul);
+    let add = b.op(OpKind::FAdd);
+    let sq = b.op(OpKind::FSqrt);
+    let st = b.store(2, 8);
+    b.flow(lx, mx, 0).flow(lx, mx, 0);
+    b.flow(ly, my, 0);
+    b.flow(mx, add, 0).flow(my, add, 0).flow(add, sq, 0).flow(sq, st, 0);
+    finish(b, 512, 64)
+}
+
+/// Newton-Raphson reciprocal refinement (divide-free but recurrence through
+/// a multiply chain).
+pub fn newton_reciprocal() -> Loop {
+    let mut b = DdgBuilder::new("newton_recip");
+    let la = b.load(0, 8);
+    let m1 = b.op(OpKind::FMul);
+    let sub = b.op_invariant(OpKind::FAdd);
+    let m2 = b.op(OpKind::FMul);
+    let st = b.store(1, 8);
+    b.flow(la, m1, 0)
+        .flow(m2, m1, 1) // previous estimate
+        .flow(m1, sub, 0)
+        .flow(sub, m2, 0)
+        .flow(m2, st, 0);
+    finish(b, 256, 128)
+}
+
+/// Array maximum via compare-free arithmetic trick (running sum of absolute
+/// differences — models IF-converted max reduction).
+pub fn abs_max_reduction() -> Loop {
+    let mut b = DdgBuilder::new("absmax");
+    let lx = b.load(0, 8);
+    let diff = b.op(OpKind::FAdd);
+    let scale = b.op(OpKind::FMul);
+    let acc = b.op(OpKind::FAdd);
+    b.flow(lx, diff, 0)
+        .flow(acc, diff, 1)
+        .flow(diff, scale, 0)
+        .flow(scale, acc, 0)
+        .flow(acc, acc, 1);
+    finish(b, 2048, 32)
+}
+
+/// Gather-style indirection: `y[i] = x[idx[i]] * w[i]` (the gather load uses
+/// a large pseudo-random stride to defeat spatial locality).
+pub fn gather_scale() -> Loop {
+    let mut b = DdgBuilder::new("gather_scale");
+    let lidx = b.load(0, 4);
+    let lx = b.load_at(MemAccess { base: 1, offset: 0, stride: 4096, size: 8 });
+    let lw = b.load(2, 8);
+    let mul = b.op(OpKind::FMul);
+    let st = b.store(3, 8);
+    b.flow(lidx, lx, 0) // address computation dependence
+        .flow(lx, mul, 0)
+        .flow(lw, mul, 0)
+        .flow(mul, st, 0);
+    finish(b, 1024, 64)
+}
+
+/// Triad with two invariants (STREAM triad): `a[i] = b[i] + q*c[i]`.
+pub fn stream_triad() -> Loop {
+    let mut b = DdgBuilder::new("stream_triad");
+    let lb = b.load(0, 8);
+    let lc = b.load(1, 8);
+    let mul = b.op_invariant(OpKind::FMul);
+    let add = b.op(OpKind::FAdd);
+    let st = b.store(2, 8);
+    b.flow(lc, mul, 0).flow(lb, add, 0).flow(mul, add, 0).flow(add, st, 0);
+    finish(b, 8192, 20)
+}
+
+/// Second-order linear recurrence: `x[i] = a*x[i-1] + b*x[i-2] + f[i]`.
+pub fn second_order_recurrence() -> Loop {
+    let mut b = DdgBuilder::new("rec2");
+    let lf = b.load(0, 8);
+    let m1 = b.op_invariant(OpKind::FMul);
+    let m2 = b.op_invariant(OpKind::FMul);
+    let a1 = b.op(OpKind::FAdd);
+    let a2 = b.op(OpKind::FAdd);
+    let st = b.store(1, 8);
+    b.flow(a2, m1, 1)
+        .flow(a2, m2, 2)
+        .flow(m1, a1, 0)
+        .flow(m2, a1, 0)
+        .flow(lf, a2, 0)
+        .flow(a1, a2, 0)
+        .flow(a2, st, 0);
+    finish(b, 1000, 100)
+}
+
+/// Lattice filter section (digital signal processing inner loop).
+pub fn lattice_filter() -> Loop {
+    let mut b = DdgBuilder::new("lattice");
+    let lin = b.load(0, 8);
+    let k1 = b.op_invariant(OpKind::FMul);
+    let a1 = b.op(OpKind::FAdd);
+    let k2 = b.op_invariant(OpKind::FMul);
+    let a2 = b.op(OpKind::FAdd);
+    let st = b.store(1, 8);
+    b.flow(lin, a1, 0)
+        .flow(a2, k1, 1)
+        .flow(k1, a1, 0)
+        .flow(a1, k2, 0)
+        .flow(k2, a2, 0)
+        .flow(a2, st, 0);
+    finish(b, 4096, 16)
+}
+
+/// Sparse-style accumulation with two independent chains (models an
+/// IF-converted conditional accumulation).
+pub fn predicated_accumulate() -> Loop {
+    let mut b = DdgBuilder::new("pred_acc");
+    let lx = b.load(0, 8);
+    let lp = b.load(1, 8);
+    let m = b.op(OpKind::FMul);
+    let acc1 = b.op(OpKind::FAdd);
+    let acc2 = b.op(OpKind::FAdd);
+    b.flow(lx, m, 0)
+        .flow(lp, m, 0)
+        .flow(m, acc1, 0)
+        .flow(acc1, acc1, 1)
+        .flow(m, acc2, 0)
+        .flow(acc2, acc2, 1);
+    finish(b, 2048, 40)
+}
+
+/// Interpolation kernel mixing loads at two strides.
+pub fn linear_interpolation() -> Loop {
+    let mut b = DdgBuilder::new("lerp");
+    let l0 = b.load(0, 8);
+    let l1 = b.load_at(MemAccess { base: 0, offset: 8, stride: 8, size: 8 });
+    let lt = b.load(1, 8);
+    let sub = b.op(OpKind::FAdd);
+    let mul = b.op(OpKind::FMul);
+    let add = b.op(OpKind::FAdd);
+    let st = b.store(2, 8);
+    b.flow(l0, sub, 0)
+        .flow(l1, sub, 0)
+        .flow(sub, mul, 0)
+        .flow(lt, mul, 0)
+        .flow(l0, add, 0)
+        .flow(mul, add, 0)
+        .flow(add, st, 0);
+    finish(b, 2048, 64)
+}
+
+/// Norm accumulation with divide inside the loop (mixed latency pressure).
+pub fn normalized_accumulate() -> Loop {
+    let mut b = DdgBuilder::new("norm_acc");
+    let lx = b.load(0, 8);
+    let lw = b.load(1, 8);
+    let div = b.op(OpKind::FDiv);
+    let acc = b.op(OpKind::FAdd);
+    b.flow(lx, div, 0).flow(lw, div, 0).flow(div, acc, 0).flow(acc, acc, 1);
+    finish(b, 512, 32)
+}
+
+/// Wide independent expression tree (high ILP, register hungry).
+pub fn wide_expression() -> Loop {
+    let mut b = DdgBuilder::new("wide_expr");
+    let mut partials = Vec::new();
+    for k in 0..8u32 {
+        let l1 = b.load(k, 8);
+        let l2 = b.load(k + 8, 8);
+        let m = b.op(OpKind::FMul);
+        b.flow(l1, m, 0).flow(l2, m, 0);
+        partials.push(m);
+    }
+    // Reduce the eight products with a balanced tree.
+    let mut level = partials;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let a = b.op(OpKind::FAdd);
+                b.flow(pair[0], a, 0).flow(pair[1], a, 0);
+                next.push(a);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let st = b.store(31, 8);
+    b.flow(level[0], st, 0);
+    finish(b, 512, 256)
+}
+
+/// All hand-written kernels, in a deterministic order.
+pub fn all_kernels() -> Vec<Loop> {
+    vec![
+        daxpy(),
+        ddot(),
+        dscal(),
+        livermore1_hydro(),
+        livermore5_tridiag(),
+        livermore7_eos(),
+        livermore11_firstsum(),
+        livermore12_firstdiff(),
+        matvec_row(),
+        matmul_unrolled4(),
+        jacobi3(),
+        stencil5(),
+        fft_butterfly(),
+        horner6(),
+        vector_divide(),
+        euclidean_distance(),
+        newton_reciprocal(),
+        abs_max_reduction(),
+        gather_scale(),
+        stream_triad(),
+        second_order_recurrence(),
+        lattice_filter(),
+        predicated_accumulate(),
+        linear_interpolation(),
+        normalized_accumulate(),
+        wide_expression(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcrf_ir::{res_mii, OpLatencies, ResourceCounts};
+
+    #[test]
+    fn all_kernels_are_valid_graphs() {
+        let kernels = all_kernels();
+        assert!(kernels.len() >= 25);
+        for k in &kernels {
+            k.ddg.validate().expect(&k.ddg.name);
+            assert!(k.iterations > 0);
+            assert!(k.invocations > 0);
+            assert!(k.ddg.num_nodes() > 0);
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        use std::collections::HashSet;
+        let kernels = all_kernels();
+        let names: HashSet<_> = kernels.iter().map(|k| k.ddg.name.clone()).collect();
+        assert_eq!(names.len(), kernels.len());
+    }
+
+    #[test]
+    fn recurrence_kernels_have_positive_recmii() {
+        let lat = OpLatencies::paper_baseline();
+        assert!(ddot().ddg.rec_mii(&lat) >= 4);
+        assert!(livermore5_tridiag().ddg.rec_mii(&lat) >= 4);
+        assert!(second_order_recurrence().ddg.rec_mii(&lat) >= 4);
+        assert_eq!(daxpy().ddg.rec_mii(&lat), 1);
+    }
+
+    #[test]
+    fn wide_kernels_are_resource_bound() {
+        let lat = OpLatencies::paper_baseline();
+        let res = ResourceCounts::paper_baseline();
+        let w = wide_expression();
+        assert!(res_mii(&w.ddg, &lat, res) >= 4, "16 loads on 4 ports");
+    }
+
+    #[test]
+    fn memory_descriptors_present_on_all_memory_ops() {
+        for k in all_kernels() {
+            for (_, n) in k.ddg.nodes() {
+                if n.kind.is_memory() {
+                    assert!(n.mem.is_some(), "{}", k.ddg.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_bound_population() {
+        // The kernel set alone should contain compute-, memory- and
+        // recurrence-bound loops for the baseline machine.
+        let lat = OpLatencies::paper_baseline();
+        let res = ResourceCounts::paper_baseline();
+        let mut rec_bound = 0;
+        let mut res_bound = 0;
+        for k in all_kernels() {
+            let rec = k.ddg.rec_mii(&lat);
+            let rsm = res_mii(&k.ddg, &lat, res);
+            if rec > rsm {
+                rec_bound += 1;
+            } else {
+                res_bound += 1;
+            }
+        }
+        assert!(rec_bound >= 5, "recurrence bound kernels: {rec_bound}");
+        assert!(res_bound >= 5, "resource bound kernels: {res_bound}");
+    }
+}

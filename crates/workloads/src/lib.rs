@@ -1,0 +1,35 @@
+//! Loop workload suite.
+//!
+//! The paper evaluates its register-file organizations on the 1258
+//! software-pipelineable innermost loops of the Perfect Club benchmarks,
+//! compiled with the ICTINEO front-end. Neither is available, so this crate
+//! provides a substitute with the same interface to the schedulers — a set of
+//! dependence graphs with memory-access descriptors and trip counts:
+//!
+//! * [`kernels`] — ~25 hand-written dependence graphs of classic numerical
+//!   loops (Livermore-style kernels, BLAS level-1 loops, stencils,
+//!   recurrences, ...), each annotated with realistic trip counts;
+//! * [`synthetic`] — a deterministic, seeded generator that produces a
+//!   configurable population of loops whose size, memory/compute balance and
+//!   recurrence structure follow documented distributions, calibrated so the
+//!   aggregate behaviour on the baseline machine resembles the paper's
+//!   workbench (≈20 % FU-bound, ≈50 % memory-bound, ≈30 % recurrence-bound
+//!   loops on the S128 configuration — Table 1);
+//! * [`suite`] — the standard evaluation suite used by all benches:
+//!   the hand-written kernels plus a synthetic population, 1258 loops total.
+//!
+//! ```
+//! let suite = hcrf_workloads::standard_suite();
+//! assert_eq!(suite.len(), 1258);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kernels;
+pub mod suite;
+pub mod synthetic;
+
+pub use kernels::all_kernels;
+pub use suite::{standard_suite, small_suite, SuiteParams};
+pub use synthetic::{SyntheticParams, SyntheticWorkload};

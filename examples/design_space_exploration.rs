@@ -1,0 +1,38 @@
+//! Design-space exploration: sweep the paper's 15 register-file
+//! configurations over a reduced loop suite and print the
+//! cycles / time / area trade-off (a small-scale Table 6).
+//!
+//! Run with `cargo run --release --example design_space_exploration`.
+
+use hcrf::experiments::{table6, TABLE5_CONFIGS};
+use hcrf::RunOptions;
+use hcrf_workloads::small_suite;
+
+fn main() {
+    // The hand-written kernels plus a few synthetic loops keep the example
+    // fast; the full sweep lives in the `table6_ideal_memory` bench binary.
+    let suite = small_suite(24);
+    println!(
+        "Design space exploration over {} loops (ideal memory)\n",
+        suite.len()
+    );
+    let rows = table6::run_configs(&suite, &RunOptions::default(), &TABLE5_CONFIGS);
+    print!("{}", table6::format(&rows));
+
+    // Identify the interesting corners of the space.
+    let fastest = rows
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .expect("rows");
+    let smallest = rows
+        .iter()
+        .min_by(|a, b| a.area.total_cmp(&b.area))
+        .expect("rows");
+    let fewest_cycles = rows
+        .iter()
+        .min_by_key(|r| r.execution_cycles)
+        .expect("rows");
+    println!("\nfastest configuration        : {} ({:.2}x over S64)", fastest.config, fastest.speedup);
+    println!("smallest register file       : {} ({:.2} Mλ²)", smallest.config, smallest.area);
+    println!("fewest execution cycles      : {} (the monolithic RF always wins this one)", fewest_cycles.config);
+}

@@ -1,0 +1,40 @@
+//! Memory-hierarchy study: compare the ideal-memory and real-memory
+//! behaviour of a monolithic and a hierarchical-clustered register file on a
+//! streaming kernel, with and without binding prefetching (the Section 6.2
+//! experiment in miniature).
+//!
+//! Run with `cargo run --release --example memory_hierarchy_study`.
+
+use hcrf::driver::{run_suite, ConfiguredMachine, RunOptions};
+use hcrf_workloads::small_suite;
+
+fn main() {
+    let suite = small_suite(8);
+    println!("memory hierarchy study over {} loops\n", suite.len());
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>12}",
+        "config", "useful cycles", "stall cycles", "time (ms)", "miss impact"
+    );
+    for name in ["S64", "4C32", "4C32S16", "8C16S16"] {
+        let cfg = ConfiguredMachine::from_name(name).expect("valid configuration");
+        let ideal = run_suite(&cfg, &suite, &RunOptions::default());
+        let real = run_suite(&cfg, &suite, &RunOptions::default().with_real_memory());
+        let time_ms = real.aggregate.execution_time_ns() / 1.0e6;
+        let stall_fraction =
+            real.aggregate.stall_cycles as f64 / real.aggregate.total_cycles().max(1) as f64;
+        println!(
+            "{:<10} {:>14} {:>14} {:>14.2} {:>11.1}%",
+            name,
+            ideal.aggregate.useful_cycles,
+            real.aggregate.stall_cycles,
+            time_ms,
+            100.0 * stall_fraction
+        );
+    }
+    println!(
+        "\nBinding prefetching hides most misses by scheduling streaming loads with the\n\
+         miss latency; the shared second-level bank absorbs the extra register pressure,\n\
+         which is why hierarchical organizations tolerate memory latency better than\n\
+         purely clustered ones (Figure 6 of the paper)."
+    );
+}

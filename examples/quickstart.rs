@@ -1,0 +1,49 @@
+//! Quickstart: build a loop, schedule it for a monolithic and for a
+//! hierarchical-clustered register file, and compare the outcome.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use hcrf::prelude::*;
+
+fn main() {
+    // y[i] = a * x[i] + y[i]  (DAXPY) expressed as a dependence graph.
+    let mut b = DdgBuilder::new("daxpy");
+    let load_x = b.load(0, 8);
+    let load_y = b.load(1, 8);
+    let mul = b.op_invariant(OpKind::FMul); // a * x[i], `a` is loop invariant
+    let add = b.op(OpKind::FAdd);
+    let store = b.store(1, 8);
+    b.flow(load_x, mul, 0)
+        .flow(mul, add, 0)
+        .flow(load_y, add, 0)
+        .flow(add, store, 0);
+    let ddg = b.build();
+
+    println!("DAXPY loop: {} operations, {} dependences\n", ddg.num_nodes(), ddg.num_edges());
+
+    for name in ["S128", "4C32", "4C16S64", "8C16S16"] {
+        let config = ConfiguredMachine::from_name(name).expect("valid configuration");
+        let result = schedule_loop(&ddg, &config.machine, &SchedulerParams::default());
+        println!(
+            "{:<9}  II={} (MII={})  stages={}  clock={:.3} ns  \
+             LoadR={} StoreR={} Move={}  max-live cluster={:?} shared={}",
+            name,
+            result.ii,
+            result.mii,
+            result.sc,
+            config.hardware.clock_ns,
+            result.loadr_ops,
+            result.storer_ops,
+            result.move_ops,
+            result.max_live_cluster,
+            result.max_live_shared,
+        );
+        let time_per_iteration = result.ii as f64 * config.hardware.clock_ns;
+        println!("           steady-state time per iteration: {time_per_iteration:.2} ns\n");
+    }
+
+    println!(
+        "Note how the partitioned organizations may need a larger II (extra LoadR/StoreR\n\
+         operations) but pay far less per cycle — exactly the trade-off the paper studies."
+    );
+}

@@ -1,0 +1,57 @@
+//! Schedule inspector: print the full modulo schedule (kernel table) the
+//! MIRS_HC scheduler produces for one kernel on a hierarchical-clustered
+//! machine, showing where the LoadR/StoreR communication operations land.
+//!
+//! Run with `cargo run --example schedule_inspector [kernel-name]`.
+
+use hcrf::prelude::*;
+use hcrf_workloads::all_kernels;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "lk1_hydro".to_string());
+    let kernels = all_kernels();
+    let Some(kernel) = kernels.iter().find(|k| k.ddg.name == which) else {
+        eprintln!("unknown kernel '{which}'. Available kernels:");
+        for k in &kernels {
+            eprintln!("  {}", k.ddg.name);
+        }
+        std::process::exit(1);
+    };
+
+    let config = ConfiguredMachine::from_name("4C16S64").expect("valid configuration");
+    let result = schedule_loop(&kernel.ddg, &config.machine, &SchedulerParams::default());
+    println!(
+        "kernel '{}' on 4C16S64: II={} (MII={}), {} stages, {} ops ({} original)\n",
+        which, result.ii, result.mii, result.sc, result.total_ops, result.original_ops
+    );
+
+    let (Some(graph), Some(placements)) = (&result.final_graph, &result.placements) else {
+        println!("schedule not kept");
+        return;
+    };
+    // Group operations by kernel row.
+    let mut rows: Vec<Vec<String>> = vec![Vec::new(); result.ii as usize];
+    for (id, node) in graph.nodes() {
+        let p = &placements[id.index()];
+        let row = (p.cycle % result.ii) as usize;
+        let stage = p.cycle / result.ii;
+        rows[row].push(format!(
+            "{}[c{} s{}]",
+            node.kind.mnemonic(),
+            p.cluster,
+            stage
+        ));
+    }
+    println!("modulo reservation table (one line per kernel cycle):");
+    for (row, ops) in rows.iter().enumerate() {
+        println!("  cycle {row:>2}: {}", ops.join("  "));
+    }
+    println!(
+        "\nregister requirements: cluster banks {:?}, shared bank {}",
+        result.max_live_cluster, result.max_live_shared
+    );
+    println!(
+        "communication inserted: {} LoadR, {} StoreR (spill: {} loads, {} stores)",
+        result.loadr_ops, result.storer_ops, result.spill_loads, result.spill_stores
+    );
+}

@@ -1,0 +1,11 @@
+//! Top-level reproduction package.
+//!
+//! This crate exists to host the workspace-wide integration tests
+//! (`tests/`) and the runnable examples (`examples/`); the actual library
+//! code lives in the `crates/` workspace members. It simply re-exports the
+//! public facade so examples can `use hcrf_repro::prelude::*`.
+
+#![forbid(unsafe_code)]
+
+pub use hcrf::prelude;
+pub use hcrf::{driver, experiments};

@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) over randomly generated loops: scheduler
+//! invariants, MII bounds, register-file model monotonicity and notation
+//! round-trips.
+
+use hcrf_ir::{mii, res_mii, DdgBuilder, Ddg, OpKind, OpLatencies, ResourceCounts};
+use hcrf_machine::{MachineConfig, RfOrganization};
+use hcrf_rfmodel::AnalyticRfModel;
+use hcrf_sched::{schedule_loop, validate_schedule, SchedulerParams};
+use proptest::prelude::*;
+
+/// Strategy: a random but well-formed loop body.
+///
+/// Nodes are generated in topological order for the intra-iteration edges
+/// (an edge only points from a lower to a higher index), and a recurrence
+/// back-edge with distance ≥ 1 is added with some probability, which keeps
+/// every generated graph a legal dependence graph.
+fn arb_loop(max_nodes: usize) -> impl Strategy<Value = Ddg> {
+    let node_kinds = prop::collection::vec(0u8..100, 2..max_nodes);
+    (node_kinds, any::<u64>()).prop_map(|(kinds, seed)| {
+        let mut b = DdgBuilder::new(format!("prop{seed:x}"));
+        let mut ids = Vec::new();
+        let mut array = 0u32;
+        for k in &kinds {
+            let id = match k % 10 {
+                0 | 1 | 2 => {
+                    array += 1;
+                    b.load(array, 8)
+                }
+                3 => {
+                    array += 1;
+                    b.store(array, 8)
+                }
+                4 | 5 | 6 => b.op(OpKind::FAdd),
+                7 | 8 => b.op(OpKind::FMul),
+                _ => b.op(OpKind::FDiv),
+            };
+            ids.push(id);
+        }
+        // Forward edges: connect each node to an earlier producer
+        // (stores define no value, so they are skipped as producers).
+        let is_store = |i: usize| kinds[i] % 10 == 3;
+        for i in 1..ids.len() {
+            let mut j = (kinds[i] as usize * 7 + i) % i;
+            let mut hops = 0;
+            while is_store(j) && hops <= i {
+                j = (j + 1) % i;
+                hops += 1;
+            }
+            if !is_store(j) {
+                b.flow(ids[j], ids[i], 0);
+            }
+        }
+        // Optional recurrence: close a cycle with a loop-carried edge.
+        if kinds.len() > 3 && kinds[0] % 3 == 0 && !is_store(kinds.len() - 1) {
+            let from = ids[ids.len() - 1];
+            let to = ids[1];
+            b.flow(from, to, 1 + (kinds[1] % 3) as u32);
+        }
+        b.build()
+    })
+}
+
+fn machines() -> Vec<MachineConfig> {
+    ["S64", "S32", "4C32", "2C64", "1C64S64", "4C16S64", "8C16S16"]
+        .iter()
+        .map(|s| MachineConfig::paper_baseline(RfOrganization::parse(s).unwrap()))
+        .collect()
+}
+
+/// Scheduler parameters for the property tests: generated loops can contain
+/// long recurrences through divides, so allow large IIs.
+fn prop_params() -> SchedulerParams {
+    SchedulerParams {
+        max_ii: 1024,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every schedule the iterative scheduler produces passes the full
+    /// validator: dependences, resources, register capacity and bank
+    /// consistency.
+    #[test]
+    fn schedules_are_always_valid(ddg in arb_loop(14), which in 0usize..7) {
+        let machine = &machines()[which];
+        let result = schedule_loop(&ddg, machine, &prop_params());
+        prop_assert!(!result.failed, "loop failed to schedule on {}", machine.rf);
+        if let Err(e) = validate_schedule(&ddg, machine, &result) {
+            return Err(TestCaseError::fail(format!("{}: {e}", machine.rf)));
+        }
+    }
+
+    /// The achieved II never beats the MII lower bound, and the MII never
+    /// beats the resource bound computed directly.
+    #[test]
+    fn ii_respects_lower_bounds(ddg in arb_loop(14)) {
+        let lat = OpLatencies::paper_baseline();
+        let res = ResourceCounts::paper_baseline();
+        let machine = MachineConfig::paper_baseline(RfOrganization::monolithic(128));
+        let result = schedule_loop(&ddg, &machine, &prop_params());
+        prop_assert!(!result.failed);
+        let bound = mii::mii(&ddg, &lat, res);
+        prop_assert!(result.ii >= bound);
+        prop_assert!(bound >= res_mii(&ddg, &lat, res));
+    }
+
+    /// Scheduling for a partitioned register file never reduces the II below
+    /// the monolithic one (communication can only add constraints), and the
+    /// schedulers never lose memory operations.
+    #[test]
+    fn partitioned_never_beats_monolithic_ii(ddg in arb_loop(12)) {
+        let params = prop_params();
+        let mono = schedule_loop(&ddg, &machines()[0], &params); // S64
+        let hier = schedule_loop(&ddg, &machines()[6], &params); // 8C16S16
+        prop_assert!(!mono.failed && !hier.failed);
+        prop_assert!(hier.ii >= mono.mii);
+        prop_assert!(hier.memory_ops as usize >= ddg.memory_ops());
+        prop_assert!(mono.memory_ops as usize >= ddg.memory_ops());
+    }
+
+    /// The RF timing/area model is monotone in both capacity and port count.
+    #[test]
+    fn rf_model_is_monotone(regs in 8u32..512, ports in 2u32..40) {
+        let m = AnalyticRfModel::at_100nm();
+        let t = m.access_ns(regs, ports, ports / 2);
+        let t_more_regs = m.access_ns(regs * 2, ports, ports / 2);
+        let t_more_ports = m.access_ns(regs, ports + 4, ports / 2 + 2);
+        prop_assert!(t_more_regs > t);
+        prop_assert!(t_more_ports > t);
+        let a = m.area_mlambda2(regs, ports, ports / 2);
+        let a_more_regs = m.area_mlambda2(regs * 2, ports, ports / 2);
+        let a_more_ports = m.area_mlambda2(regs, ports + 4, ports / 2 + 2);
+        prop_assert!(a_more_regs > a);
+        prop_assert!(a_more_ports > a);
+    }
+
+    /// The `xCy-Sz` notation round-trips through parse/display.
+    #[test]
+    fn rf_notation_round_trips(clusters in 1u32..16, cregs in 1u32..512, sregs in 1u32..512, form in 0u8..3) {
+        let rf = match form {
+            0 => RfOrganization::monolithic(sregs),
+            1 => RfOrganization::clustered(clusters, cregs),
+            _ => RfOrganization::hierarchical(clusters, cregs, sregs),
+        };
+        let text = rf.to_string();
+        let parsed = RfOrganization::parse(&text).unwrap();
+        prop_assert_eq!(parsed, rf);
+    }
+
+    /// Cache simulation invariants: misses never exceed accesses, stalls are
+    /// zero when every access is covered by the assumed latency.
+    #[test]
+    fn cache_sim_invariants(streams in 1usize..12, iterations in 1u64..200) {
+        use hcrf_ir::MemAccess;
+        use hcrf_memsim::{simulate_kernel, CacheConfig, ScheduledAccess};
+        let cfg = CacheConfig::paper_baseline();
+        let accesses: Vec<ScheduledAccess> = (0..streams)
+            .map(|k| ScheduledAccess {
+                issue_cycle: (k % 4) as u32,
+                is_load: true,
+                access: MemAccess::unit(k as u32),
+                assumed_latency: cfg.miss_latency,
+            })
+            .collect();
+        let r = simulate_kernel(&accesses, 4, iterations, cfg, 256);
+        prop_assert!(r.misses <= r.accesses);
+        prop_assert_eq!(r.stall_cycles, 0, "fully prefetched accesses cannot stall");
+    }
+}
