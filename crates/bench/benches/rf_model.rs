@@ -26,12 +26,7 @@ fn rf_model(c: &mut Criterion) {
     .map(|s| MachineConfig::paper_baseline(RfOrganization::parse(s).unwrap()))
     .collect();
     c.bench_function("hardware_evaluation_table5", |b| {
-        b.iter(|| {
-            configs
-                .iter()
-                .map(|m| evaluate(m).clock_ns)
-                .sum::<f64>()
-        })
+        b.iter(|| configs.iter().map(|m| evaluate(m).clock_ns).sum::<f64>())
     });
 }
 

@@ -11,7 +11,7 @@
 //! 3. **Backtracking on/off** — the value of Force_and_Eject itself, i.e.
 //!    MIRS_HC against the non-iterative baseline on the same machine.
 
-use hcrf::driver::{run_suite, ConfiguredMachine, RunOptions};
+use hcrf::driver::{run_suite, ConfiguredMachine};
 use hcrf_bench::{header, HarnessArgs};
 use hcrf_sched::SchedulerParams;
 
@@ -27,7 +27,10 @@ fn main() {
     } else {
         args.suite()
     };
-    header("Ablations — inter-level ports, budget ratio, backtracking", suite.len());
+    header(
+        "Ablations — inter-level ports, budget ratio, backtracking",
+        suite.len(),
+    );
 
     // 1. lp/sp port sizing on 4C16S64.
     println!("\n(1) inter-level port sizing, 4C16S64 (paper design point: lp=2, sp=1)");
@@ -68,7 +71,10 @@ fn main() {
 
     // 3. Backtracking on/off on 1C32S64.
     println!("\n(3) backtracking (Force_and_Eject) on the hierarchical 1C32S64 target");
-    for (label, backtracking) in [("MIRS_HC (backtracking)", true), ("non-iterative baseline", false)] {
+    for (label, backtracking) in [
+        ("MIRS_HC (backtracking)", true),
+        ("non-iterative baseline", false),
+    ] {
         let cfg = ConfiguredMachine::from_name("1C32S64").unwrap();
         let mut opts = args.options();
         opts.scheduler = SchedulerParams {

@@ -8,7 +8,10 @@ use hcrf_bench::{header, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let suite = args.suite();
-    header("Figure 1 — IPC vs. machine resources (monolithic RF, unbounded registers)", suite.len());
+    header(
+        "Figure 1 — IPC vs. machine resources (monolithic RF, unbounded registers)",
+        suite.len(),
+    );
     let points = fig1::run(&suite, &args.options());
     print!("{}", fig1::format(&points));
     println!("\npaper reference: the 8+4 point reaches an IPC of 6.2 (efficiency > 0.5).");

@@ -8,9 +8,14 @@ use hcrf_bench::{header, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let suite = args.suite();
-    header("Figure 4 — LoadR / StoreR port requirements per distributed bank", suite.len());
+    header(
+        "Figure 4 — LoadR / StoreR port requirements per distributed bank",
+        suite.len(),
+    );
     let series = fig4::run(&suite);
     print!("{}", fig4::format(&series));
-    println!("\npaper design rule (>= 95% of loops satisfied): lp=4,sp=2 (1 cluster); lp=3,sp=1 (2);");
+    println!(
+        "\npaper design rule (>= 95% of loops satisfied): lp=4,sp=2 (1 cluster); lp=3,sp=1 (2);"
+    );
     println!("lp=2,sp=1 (4); lp=1,sp=1 (8).");
 }

@@ -8,7 +8,10 @@ use hcrf_bench::{header, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let suite = args.suite();
-    header("Figure 6 — real memory evaluation (binding prefetching)", suite.len());
+    header(
+        "Figure 6 — real memory evaluation (binding prefetching)",
+        suite.len(),
+    );
     let bars = fig6::run(&suite, &args.options());
     print!("{}", fig6::format(&bars));
     println!("\npaper reference (shape): the monolithic RF has the fewest cycles, but once the");

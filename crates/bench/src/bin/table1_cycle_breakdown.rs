@@ -7,7 +7,10 @@ use hcrf_bench::{header, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let suite = args.suite();
-    header("Table 1 — cycle breakdown by loop bound class (128-register organizations)", suite.len());
+    header(
+        "Table 1 — cycle breakdown by loop bound class (128-register organizations)",
+        suite.len(),
+    );
     let columns = table1::run(&suite, &args.options());
     print!("{}", table1::format(&columns));
     if let (Some(mono), Some(clus)) = (

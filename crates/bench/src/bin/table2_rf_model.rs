@@ -6,7 +6,10 @@ use hcrf::experiments::hardware;
 use hcrf_bench::header;
 
 fn main() {
-    header("Table 2 — access time and area of 128-register organizations", 0);
+    header(
+        "Table 2 — access time and area of 128-register organizations",
+        0,
+    );
     let rows = hardware::table2();
     print!("{}", hardware::format(&rows));
     println!("\npaper reference: 4C32 is 2.4x faster and 3.5x smaller than S128;");

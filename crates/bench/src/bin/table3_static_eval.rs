@@ -7,9 +7,14 @@ use hcrf_bench::{header, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let suite = args.suite();
-    header("Table 3 — static evaluation (unbounded registers)", suite.len());
+    header(
+        "Table 3 — static evaluation (unbounded registers)",
+        suite.len(),
+    );
     let rows = table3::run(&suite, &args.options());
     print!("{}", table3::format(&rows));
-    println!("\npaper reference: IPC degradation from S∞ to 8C∞S∞ is close to 10% (ΣII 5261 -> 5764),");
+    println!(
+        "\npaper reference: IPC degradation from S∞ to 8C∞S∞ is close to 10% (ΣII 5261 -> 5764),"
+    );
     println!("and the scheduling time grows by about an order of magnitude.");
 }

@@ -7,7 +7,10 @@ use hcrf_bench::{header, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let suite = args.suite();
-    header("Table 4 — MIRS_HC vs. non-iterative hierarchical scheduler", suite.len());
+    header(
+        "Table 4 — MIRS_HC vs. non-iterative hierarchical scheduler",
+        suite.len(),
+    );
     let summary = table4::run(&suite);
     print!("{}", table4::format(&summary));
     println!(

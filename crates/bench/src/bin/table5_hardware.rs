@@ -6,11 +6,13 @@ use hcrf::experiments::hardware;
 use hcrf_bench::header;
 
 fn main() {
-    header("Table 5 — hardware evaluation of the register-file design space", 0);
+    header(
+        "Table 5 — hardware evaluation of the register-file design space",
+        0,
+    );
     let rows = hardware::table5();
     print!("{}", hardware::format(&rows));
-    let avg_clock_err: f64 =
-        rows.iter().map(|r| r.clock_error()).sum::<f64>() / rows.len() as f64;
+    let avg_clock_err: f64 = rows.iter().map(|r| r.clock_error()).sum::<f64>() / rows.len() as f64;
     let avg_area_err: f64 = rows.iter().map(|r| r.area_error()).sum::<f64>() / rows.len() as f64;
     println!(
         "\nanalytic model vs paper CACTI values: mean clock error {:.1}%, mean area error {:.1}%",

@@ -8,10 +8,15 @@ use hcrf_bench::{header, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let suite = args.suite();
-    header("Table 6 — performance evaluation (ideal memory)", suite.len());
+    header(
+        "Table 6 — performance evaluation (ideal memory)",
+        suite.len(),
+    );
     let rows = table6::run(&suite, &args.options());
     print!("{}", table6::format(&rows));
     println!("\npaper reference (shape): every clustered / hierarchical-clustered configuration");
     println!("executes more cycles than S128 but less time than S64; 8C16S16 is the fastest");
-    println!("(1.96x over S64), hierarchical variants keep memory traffic at the no-spill minimum.");
+    println!(
+        "(1.96x over S64), hierarchical variants keep memory traffic at the no-spill minimum."
+    );
 }

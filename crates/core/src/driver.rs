@@ -1,13 +1,14 @@
 //! Parallel scheduling of a loop suite for one machine configuration.
 
 use hcrf_ir::Loop;
+use hcrf_machine::stable::StableHasher;
 use hcrf_machine::{MachineConfig, RfOrganization};
 use hcrf_memsim::CacheConfig;
 use hcrf_perf::{LoopPerformance, SuiteAggregate};
 use hcrf_rfmodel::{evaluate, HardwareEval};
 use hcrf_sched::{IterativeScheduler, ScheduleResult, SchedulerParams};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// A machine configuration together with its hardware evaluation
 /// (clock cycle, per-configuration latencies, area).
@@ -53,7 +54,10 @@ impl ConfiguredMachine {
     /// Cache configuration for the real-memory scenario: geometry from the
     /// paper, latencies from this configuration's clock.
     pub fn cache_config(&self) -> CacheConfig {
-        CacheConfig::with_latencies(self.machine.latencies.load, self.machine.latencies.load_miss)
+        CacheConfig::with_latencies(
+            self.machine.latencies.load,
+            self.machine.latencies.load_miss,
+        )
     }
 }
 
@@ -146,60 +150,35 @@ pub fn run_suite(config: &ConfiguredMachine, suite: &[Loop], options: &RunOption
     } else {
         options.threads
     };
-    let results: Mutex<Vec<Option<LoopRun>>> = Mutex::new(vec![None; suite.len()]);
-    let next = AtomicUsize::new(0);
-
-    let worker = |_: usize| {
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= suite.len() {
-                break;
-            }
-            let l = &suite[i];
-            let schedule = scheduler.schedule(&l.ddg);
-            let stall = if options.real_memory && !schedule.failed {
-                let accesses = crate::memory::kernel_accesses(
-                    &schedule,
-                    &config.machine,
-                    options.scheduler.binding_prefetch,
-                );
-                let sim = hcrf_memsim::simulate_kernel(
-                    &accesses,
-                    schedule.ii,
-                    l.iterations,
-                    config.cache_config(),
-                    options.max_simulated_iterations,
-                );
-                sim.scaled_stalls(l.iterations)
-            } else {
-                0
-            };
-            let performance = LoopPerformance::from_schedule(&schedule, l, stall);
-            let run = LoopRun {
-                index: i,
-                schedule,
-                performance,
-            };
-            results.lock()[i] = Some(run);
+    let process = |i: usize| -> LoopRun {
+        let l = &suite[i];
+        let schedule = scheduler.schedule(&l.ddg);
+        let stall = if options.real_memory && !schedule.failed {
+            let accesses = crate::memory::kernel_accesses(
+                &schedule,
+                &config.machine,
+                options.scheduler.binding_prefetch,
+            );
+            let sim = hcrf_memsim::simulate_kernel(
+                &accesses,
+                schedule.ii,
+                l.iterations,
+                config.cache_config(),
+                options.max_simulated_iterations,
+            );
+            sim.scaled_stalls(l.iterations)
+        } else {
+            0
+        };
+        let performance = LoopPerformance::from_schedule(&schedule, l, stall);
+        LoopRun {
+            index: i,
+            schedule,
+            performance,
         }
     };
 
-    if threads <= 1 {
-        worker(0);
-    } else {
-        crossbeam::thread::scope(|s| {
-            for t in 0..threads {
-                s.spawn(move |_| worker(t));
-            }
-        })
-        .expect("scheduling worker panicked");
-    }
-
-    let loops: Vec<LoopRun> = results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every loop must have been scheduled"))
-        .collect();
+    let loops = parallel_map_indexed(suite.len(), threads, process);
     let mut aggregate = SuiteAggregate::new(config.name(), config.hardware.clock_ns);
     for run in &loops {
         aggregate.add(&run.performance);
@@ -210,6 +189,119 @@ pub fn run_suite(config: &ConfiguredMachine, suite: &[Loop], options: &RunOption
         aggregate,
         scheduling_seconds: started.elapsed().as_secs_f64(),
     }
+}
+
+/// Run `f` over `0..count` across `threads` workers and return the results
+/// in index order.
+///
+/// Workers claim indices from a shared atomic counter and send
+/// `(index, result)` over a channel into per-index slots, so no lock is ever
+/// contended and the output order is deterministic. A worker panic
+/// propagates when the thread scope joins. With `threads <= 1` the map runs
+/// inline on the caller's thread.
+pub fn parallel_map_indexed<T: Send>(
+    count: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    parallel_map_indexed_each(count, threads, f, |_, _| {})
+}
+
+/// [`parallel_map_indexed`] with a hook invoked on the caller's thread as
+/// each result lands (in completion order, not index order) — used to stream
+/// results to disk while the sweep is still running.
+pub fn parallel_map_indexed_each<T: Send>(
+    count: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+    mut on_result: impl FnMut(usize, &T),
+) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    if threads <= 1 || count <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let value = f(i);
+            on_result(i, &value);
+            *slot = Some(value);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(count) {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let value = f(i);
+                    if tx.send((i, value)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, value) in rx {
+                on_result(i, &value);
+                slots[i] = Some(value);
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("every index must have been processed"))
+        .collect()
+}
+
+/// Stable, content-addressed fingerprint of a loop suite.
+///
+/// Two suites fingerprint identically exactly when every loop has the same
+/// name, execution counts and dependence graph (nodes, memory descriptors and
+/// edges, in order). The exploration result cache keys on this value, so it
+/// must not depend on pointer identity, hash-map iteration order or the
+/// platform — it walks the graph vectors in their construction order and
+/// hashes primitive fields through [`StableHasher`].
+pub fn suite_fingerprint(suite: &[Loop]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_usize(suite.len());
+    for l in suite {
+        h.write_str(&l.ddg.name);
+        h.write_u64(l.iterations);
+        h.write_u64(l.invocations);
+        h.write_f64(l.weight);
+        h.write_usize(l.ddg.num_nodes());
+        h.write_usize(l.ddg.num_edges());
+        for (_, n) in l.ddg.nodes() {
+            h.write_str(n.kind.mnemonic());
+            h.write_bool(n.reads_invariant);
+            match n.mem {
+                None => h.write_u8(0),
+                Some(m) => {
+                    h.write_u8(1);
+                    h.write_u32(m.base);
+                    h.write_i64(m.offset);
+                    h.write_i64(m.stride);
+                    h.write_u32(m.size);
+                }
+            }
+        }
+        for (_, e) in l.ddg.edges() {
+            h.write_u32(e.src.0);
+            h.write_u32(e.dst.0);
+            // Explicit discriminants: the encoding must not move with enum
+            // refactors (a Debug-string encoding would).
+            h.write_u8(match e.kind {
+                hcrf_ir::DepKind::Flow => 0,
+                hcrf_ir::DepKind::Anti => 1,
+                hcrf_ir::DepKind::Output => 2,
+                hcrf_ir::DepKind::Mem => 3,
+            });
+            h.write_u32(e.distance);
+        }
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -253,8 +345,26 @@ mod tests {
             },
         );
         assert_eq!(serial.aggregate.sum_ii, parallel.aggregate.sum_ii);
-        assert_eq!(serial.aggregate.useful_cycles, parallel.aggregate.useful_cycles);
-        assert_eq!(serial.aggregate.memory_traffic, parallel.aggregate.memory_traffic);
+        assert_eq!(
+            serial.aggregate.useful_cycles,
+            parallel.aggregate.useful_cycles
+        );
+        assert_eq!(
+            serial.aggregate.memory_traffic,
+            parallel.aggregate.memory_traffic
+        );
+    }
+
+    #[test]
+    fn suite_fingerprint_is_stable_and_content_sensitive() {
+        let a = small_suite(8);
+        let b = small_suite(8);
+        assert_eq!(suite_fingerprint(&a), suite_fingerprint(&b));
+        let shorter = small_suite(7);
+        assert_ne!(suite_fingerprint(&a), suite_fingerprint(&shorter));
+        let mut retimed = small_suite(8);
+        retimed[0].iterations += 1;
+        assert_ne!(suite_fingerprint(&a), suite_fingerprint(&retimed));
     }
 
     #[test]

@@ -89,14 +89,12 @@ mod tests {
 
     #[test]
     fn formatting_contains_every_point() {
-        let pts = vec![
-            Fig1Point {
-                fus: 8,
-                mem_ports: 4,
-                ipc: 6.2,
-                efficiency: 0.52,
-            },
-        ];
+        let pts = vec![Fig1Point {
+            fus: 8,
+            mem_ports: 4,
+            ipc: 6.2,
+            efficiency: 0.52,
+        }];
         let s = format(&pts);
         assert!(s.contains(" 8+4"));
         assert!(s.contains("6.2"));

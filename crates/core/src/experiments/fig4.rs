@@ -27,10 +27,7 @@ pub struct Fig4Series {
 
 /// Run the Figure 4 experiment for every clustering degree.
 pub fn run(suite: &[Loop]) -> Vec<Fig4Series> {
-    CLUSTER_DEGREES
-        .iter()
-        .map(|&c| series(suite, c))
-        .collect()
+    CLUSTER_DEGREES.iter().map(|&c| series(suite, c)).collect()
 }
 
 /// Measure one clustering degree.
@@ -45,8 +42,14 @@ pub fn series(suite: &[Loop], clusters: u32) -> Fig4Series {
     let max_ports = 6;
     let lp_cdf = cumulative_distribution(&lp_req, max_ports);
     let sp_cdf = cumulative_distribution(&sp_req, max_ports);
-    let lp_95 = lp_cdf.iter().position(|&p| p >= 95.0).unwrap_or(max_ports as usize) as u32;
-    let sp_95 = sp_cdf.iter().position(|&p| p >= 95.0).unwrap_or(max_ports as usize) as u32;
+    let lp_95 = lp_cdf
+        .iter()
+        .position(|&p| p >= 95.0)
+        .unwrap_or(max_ports as usize) as u32;
+    let sp_95 = sp_cdf
+        .iter()
+        .position(|&p| p >= 95.0)
+        .unwrap_or(max_ports as usize) as u32;
     Fig4Series {
         clusters,
         lp_cdf,

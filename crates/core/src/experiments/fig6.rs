@@ -50,8 +50,7 @@ pub fn run_configs(suite: &[Loop], options: &RunOptions, configs: &[&str]) -> Ve
         .expect("baseline present");
     let base_useful_cycles = base_run.aggregate.useful_cycles.max(1) as f64;
     let base_useful_time = base_useful_cycles * base_cfg.hardware.clock_ns;
-    let base_total_time =
-        (base_run.aggregate.total_cycles() as f64) * base_cfg.hardware.clock_ns;
+    let base_total_time = (base_run.aggregate.total_cycles() as f64) * base_cfg.hardware.clock_ns;
     let mut bars: Vec<Fig6Bar> = runs
         .iter()
         .filter(|(c, _)| configs.contains(&c.name().as_str()))
@@ -69,7 +68,12 @@ pub fn run_configs(suite: &[Loop], options: &RunOptions, configs: &[&str]) -> Ve
             }
         })
         .collect();
-    bars.sort_by_key(|b| configs.iter().position(|c| *c == b.config).unwrap_or(usize::MAX));
+    bars.sort_by_key(|b| {
+        configs
+            .iter()
+            .position(|c| *c == b.config)
+            .unwrap_or(usize::MAX)
+    });
     bars
 }
 

@@ -76,10 +76,7 @@ pub fn format(rows: &[HardwareRow]) -> String {
         "Config    lp-sp  AccC(ns) AccS(ns)  Area(Mλ²)  FO4  Clk(ns)  Mem/FU lat   [model Clk / Area, err]\n",
     );
     for r in rows {
-        let acc_c = r
-            .reference
-            .cluster_bank
-            .access_ns;
+        let acc_c = r.reference.cluster_bank.access_ns;
         let acc_s = r
             .reference
             .shared_bank

@@ -74,12 +74,7 @@ pub fn run(suite: &[Loop], options: &RunOptions) -> Vec<Table3Row> {
 }
 
 /// Evaluate one configuration (both bandwidth scenarios).
-pub fn row(
-    suite: &[Loop],
-    options: &RunOptions,
-    label: String,
-    rf: RfOrganization,
-) -> Table3Row {
+pub fn row(suite: &[Loop], options: &RunOptions, label: String, rf: RfOrganization) -> Table3Row {
     // Unlimited bandwidth: baseline latencies, infinite lp/sp/buses.
     let unlimited_cfg = {
         let mut c = ConfiguredMachine::with_baseline_latencies(rf);
@@ -107,9 +102,8 @@ pub fn row(
 
 /// Format rows like the paper's table.
 pub fn format(rows: &[Table3Row]) -> String {
-    let mut out = String::from(
-        "Config     | %MII    ΣII    time(s) | lp-sp  %MII    ΣII    time(s)\n",
-    );
+    let mut out =
+        String::from("Config     | %MII    ΣII    time(s) | lp-sp  %MII    ΣII    time(s)\n");
     for r in rows {
         out.push_str(&format!(
             "{:<10} | {:5.1} {:>7} {:8.2} | {}-{}   {:5.1} {:>7} {:8.2}\n",
@@ -143,7 +137,11 @@ mod tests {
                 regs: Capacity::Unbounded,
             },
         );
-        assert!(r.unlimited_percent_mii > 80.0, "{}", r.unlimited_percent_mii);
+        assert!(
+            r.unlimited_percent_mii > 80.0,
+            "{}",
+            r.unlimited_percent_mii
+        );
         // With a monolithic RF the bandwidth limit is irrelevant.
         assert_eq!(r.unlimited_sum_ii, r.limited_sum_ii);
     }

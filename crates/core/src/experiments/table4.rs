@@ -98,10 +98,7 @@ mod tests {
     fn mirs_hc_total_not_worse_than_baseline() {
         let suite = small_suite(0);
         let s = run(&suite);
-        assert_eq!(
-            s.baseline_better + s.equal + s.baseline_worse,
-            suite.len()
-        );
+        assert_eq!(s.baseline_better + s.equal + s.baseline_worse, suite.len());
         // The paper's headline: MIRS_HC reduces the total ΣII.
         assert!(
             s.total_mirs_hc <= s.total_baseline,

@@ -71,7 +71,12 @@ pub fn run_configs(suite: &[Loop], options: &RunOptions, configs: &[&str]) -> Ve
         })
         .collect();
     // Keep the caller's ordering.
-    rows.sort_by_key(|r| configs.iter().position(|c| *c == r.config).unwrap_or(usize::MAX));
+    rows.sort_by_key(|r| {
+        configs
+            .iter()
+            .position(|c| *c == r.config)
+            .unwrap_or(usize::MAX)
+    });
     rows
 }
 

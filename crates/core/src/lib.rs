@@ -34,11 +34,13 @@ pub mod driver;
 pub mod experiments;
 pub mod memory;
 
-pub use driver::{run_suite, ConfiguredMachine, LoopRun, RunOptions, SuiteRun};
+pub use driver::{run_suite, suite_fingerprint, ConfiguredMachine, LoopRun, RunOptions, SuiteRun};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
-    pub use crate::driver::{run_suite, ConfiguredMachine, LoopRun, RunOptions, SuiteRun};
+    pub use crate::driver::{
+        run_suite, suite_fingerprint, ConfiguredMachine, LoopRun, RunOptions, SuiteRun,
+    };
     pub use hcrf_ir::{Ddg, DdgBuilder, Loop, OpKind, OpLatencies};
     pub use hcrf_machine::{Capacity, MachineConfig, RfOrganization};
     pub use hcrf_memsim::{CacheConfig, PrefetchPolicy};

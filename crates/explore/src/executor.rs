@@ -1,0 +1,330 @@
+//! Parallel, cache-aware evaluation of a set of design points.
+//!
+//! The executor turns a list of register-file organizations into evaluated
+//! points: it fingerprints the suite once, probes the [`ResultCache`] for
+//! every point, then shards only the uncached points across worker threads
+//! (each reusing [`hcrf::run_suite`] single-threaded, so point-level
+//! parallelism does not oversubscribe the machine) and streams progress as
+//! results land. Fresh results are persisted back to the cache before the
+//! outcome is returned.
+
+use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache, Scenario};
+use hcrf::driver::{parallel_map_indexed_each, suite_fingerprint, ConfiguredMachine, RunOptions};
+use hcrf::run_suite;
+use hcrf_ir::Loop;
+use hcrf_machine::RfOrganization;
+use hcrf_sched::SchedulerParams;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Options of one exploration run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Memory scenario to evaluate under.
+    pub scenario: Scenario,
+    /// Scheduler parameters (prefetching and schedule retention are adjusted
+    /// to the scenario automatically, mirroring [`RunOptions`]).
+    pub scheduler: SchedulerParams,
+    /// Worker threads across design points (0 = one per available CPU).
+    pub threads: usize,
+    /// Iteration cap of the cache simulation in the real-memory scenario.
+    pub max_simulated_iterations: u64,
+    /// Stream per-point progress lines to stderr.
+    pub progress: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            scenario: Scenario::Ideal,
+            scheduler: SchedulerParams::default().without_schedule(),
+            threads: 0,
+            max_simulated_iterations: 64,
+            progress: false,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// The `RunOptions` actually fed to the driver for one point.
+    ///
+    /// Points are parallelized across workers, so each individual suite run
+    /// stays single-threaded.
+    pub fn run_options(&self) -> RunOptions {
+        let mut options = RunOptions {
+            scheduler: self.scheduler,
+            real_memory: false,
+            max_simulated_iterations: self.max_simulated_iterations,
+            threads: 1,
+        };
+        if matches!(self.scenario, Scenario::Real) {
+            options.real_memory = true;
+            options.scheduler.binding_prefetch = true;
+            options.scheduler.keep_schedule = true; // the simulator replays it
+        }
+        options
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The organization evaluated.
+    pub rf: RfOrganization,
+    /// Its `xCy-Sz` name.
+    pub name: String,
+    /// Aggregated suite metrics.
+    pub aggregate: hcrf_perf::SuiteAggregate,
+    /// Clock period (ns).
+    pub clock_ns: f64,
+    /// Total register-file area (Mλ²).
+    pub total_area: f64,
+    /// Seconds the scheduling run took (0-cost when served from cache).
+    pub scheduling_seconds: f64,
+    /// Whether this point was served from the result cache.
+    pub from_cache: bool,
+}
+
+/// The outcome of an exploration sweep.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Evaluated points, in the input organization order.
+    pub points: Vec<PointResult>,
+    /// Cache counters of this run (hits + misses = points).
+    pub cache: CacheStats,
+    /// Fingerprint of the suite the points were evaluated on.
+    pub suite_fingerprint: u64,
+    /// Number of loops in that suite.
+    pub suite_loops: usize,
+    /// Wall-clock seconds of the whole sweep.
+    pub wall_seconds: f64,
+}
+
+/// Evaluate `orgs` over `suite`, serving repeat points from `cache`.
+pub fn explore(
+    orgs: &[RfOrganization],
+    suite: &[Loop],
+    options: &ExploreOptions,
+    cache: &mut ResultCache,
+) -> ExploreOutcome {
+    let started = std::time::Instant::now();
+    let stats_at_entry = cache.stats();
+    let fingerprint = suite_fingerprint(suite);
+    let run_options = options.run_options();
+    let total = orgs.len();
+
+    // Probe the cache for every point first. One shared counter numbers the
+    // progress lines of hits and evaluations alike, so the `[n/total]`
+    // sequence stays monotonic on a partially warm cache.
+    let mut completed = 0usize;
+    let mut points: Vec<Option<PointResult>> = Vec::with_capacity(total);
+    let mut pending: Vec<(usize, ConfiguredMachine, CacheKey)> = Vec::new();
+    for (index, rf) in orgs.iter().enumerate() {
+        let configured = ConfiguredMachine::from_rf(*rf);
+        let key = CacheKey::for_run(
+            &configured.machine,
+            fingerprint,
+            &run_options.scheduler,
+            options.scenario,
+            options.max_simulated_iterations,
+        );
+        match cache.lookup(&key) {
+            Some(cached) => {
+                completed += 1;
+                if options.progress {
+                    eprintln!("[{completed:>3}/{total}] {:<10} cache hit", cached.config);
+                }
+                points.push(Some(PointResult {
+                    rf: *rf,
+                    name: cached.config.clone(),
+                    aggregate: cached.aggregate,
+                    clock_ns: cached.clock_ns,
+                    total_area: cached.total_area,
+                    scheduling_seconds: cached.scheduling_seconds,
+                    from_cache: true,
+                }));
+            }
+            None => {
+                points.push(None);
+                pending.push((index, configured, key));
+            }
+        }
+    }
+
+    // Evaluate the misses in parallel, one point per worker at a time,
+    // persisting each result as it lands so an interrupted sweep keeps its
+    // partial progress.
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16)
+    } else {
+        options.threads
+    };
+    let progress = AtomicUsize::new(completed);
+    let evaluate = |slot: usize| -> PointResult {
+        let (_, configured, _) = &pending[slot];
+        let run = run_suite(configured, suite, &run_options);
+        let result = PointResult {
+            rf: configured.machine.rf,
+            name: configured.name(),
+            aggregate: run.aggregate,
+            clock_ns: configured.hardware.clock_ns,
+            total_area: configured.hardware.total_area,
+            scheduling_seconds: run.scheduling_seconds,
+            from_cache: false,
+        };
+        let finished = progress.fetch_add(1, Ordering::Relaxed) + 1;
+        if options.progress {
+            eprintln!(
+                "[{finished:>3}/{total}] {:<10} evaluated in {:.2}s (ΣII {}, {} loops)",
+                result.name,
+                result.scheduling_seconds,
+                result.aggregate.sum_ii,
+                result.aggregate.loops,
+            );
+        }
+        result
+    };
+    let evaluated = parallel_map_indexed_each(pending.len(), threads, evaluate, |slot, result| {
+        let cached = CachedResult {
+            config: result.name.clone(),
+            aggregate: result.aggregate.clone(),
+            clock_ns: result.clock_ns,
+            total_area: result.total_area,
+            scheduling_seconds: result.scheduling_seconds,
+        };
+        if let Err(e) = cache.store(&pending[slot].2, &cached) {
+            eprintln!("warning: failed to cache {}: {e}", result.name);
+        }
+    });
+    for ((index, _, _), result) in pending.iter().zip(evaluated) {
+        points[*index] = Some(result);
+    }
+
+    ExploreOutcome {
+        points: points
+            .into_iter()
+            .map(|p| p.expect("every design point must have been evaluated"))
+            .collect(),
+        cache: cache.stats().since(&stats_at_entry),
+        suite_fingerprint: fingerprint,
+        suite_loops: suite.len(),
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignSpace;
+    use hcrf_workloads::small_suite;
+
+    fn tiny_space() -> Vec<RfOrganization> {
+        ["S64", "4C32", "4C32S16"]
+            .iter()
+            .map(|n| RfOrganization::parse(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn explores_without_a_cache_directory() {
+        let suite = small_suite(0);
+        let orgs = tiny_space();
+        let mut cache = ResultCache::disabled();
+        let outcome = explore(&orgs, &suite, &ExploreOptions::default(), &mut cache);
+        assert_eq!(outcome.points.len(), 3);
+        assert_eq!(outcome.cache.hits, 0);
+        assert_eq!(outcome.cache.misses, 3);
+        for p in &outcome.points {
+            assert!(!p.from_cache);
+            assert!(p.aggregate.sum_ii > 0);
+            assert!(p.clock_ns > 0.0);
+            assert_eq!(p.aggregate.failed_loops, 0, "{}", p.name);
+        }
+        // Results come back in input order.
+        let names: Vec<&str> = outcome.points.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["S64", "4C32", "4C32S16"]);
+    }
+
+    #[test]
+    fn second_run_is_served_from_cache_and_agrees() {
+        let dir =
+            std::env::temp_dir().join(format!("hcrf-explore-exec-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let suite = small_suite(0);
+        let orgs = tiny_space();
+        let options = ExploreOptions::default();
+
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let first = explore(&orgs, &suite, &options, &mut cache);
+        assert_eq!(first.cache.misses, 3);
+
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let second = explore(&orgs, &suite, &options, &mut cache);
+        assert_eq!(second.cache.hits, 3);
+        assert_eq!(second.cache.misses, 0);
+        assert!((second.cache.hit_rate() - 1.0).abs() < 1e-12);
+        for (a, b) in first.points.iter().zip(second.points.iter()) {
+            assert!(b.from_cache);
+            assert_eq!(a.aggregate, b.aggregate, "{} changed across runs", a.name);
+            assert_eq!(a.total_area, b.total_area);
+        }
+        // A further sweep on the SAME cache session reports per-run counters
+        // (hits + misses = points), not cumulative session totals.
+        let third = explore(&orgs, &suite, &options, &mut cache);
+        assert_eq!(third.cache.hits, 3);
+        assert_eq!(third.cache.misses, 0);
+        assert!((third.cache.hit_rate() - 1.0).abs() < 1e-12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_and_suite_changes_invalidate_entries() {
+        let dir = std::env::temp_dir().join(format!(
+            "hcrf-explore-invalidate-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let orgs: Vec<RfOrganization> = vec![RfOrganization::parse("S64").unwrap()];
+        let suite = small_suite(0);
+        let ideal = ExploreOptions::default();
+        let mut cache = ResultCache::open(&dir).unwrap();
+        explore(&orgs, &suite, &ideal, &mut cache);
+
+        // Same everything but the real-memory scenario: a miss.
+        let real = ExploreOptions {
+            scenario: Scenario::Real,
+            ..ideal
+        };
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let outcome = explore(&orgs, &suite, &real, &mut cache);
+        assert_eq!(outcome.cache.misses, 1);
+        assert!(outcome.points[0].aggregate.stall_cycles > 0);
+
+        // A different suite: also a miss.
+        let bigger = small_suite(4);
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let outcome = explore(&orgs, &bigger, &ideal, &mut cache);
+        assert_eq!(outcome.cache.misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generator_space_runs_end_to_end() {
+        // A thin slice of the generated space (few loops, single thread) to
+        // keep the test fast while exercising generator → executor wiring.
+        let space = DesignSpace {
+            bank_sizes: vec![32, 64],
+            max_total_regs: 128,
+            ..Default::default()
+        };
+        let orgs = space.enumerate();
+        assert!(orgs.len() >= 6);
+        let suite = small_suite(0);
+        let mut cache = ResultCache::disabled();
+        let outcome = explore(&orgs[..4], &suite, &ExploreOptions::default(), &mut cache);
+        assert_eq!(outcome.points.len(), 4);
+        assert_eq!(outcome.suite_loops, suite.len());
+    }
+}

@@ -1,0 +1,280 @@
+//! Pareto analysis and report emission for exploration outcomes.
+//!
+//! Ranks every evaluated point by Pareto optimality over (execution time,
+//! area, clock, memory traffic) — frontier points first, both groups ordered
+//! by execution time — and renders the ranking as a terminal table, a CSV
+//! (one row per point) or a JSON document with an explicit `frontier` array.
+
+use crate::executor::ExploreOutcome;
+use crate::json::Json;
+use hcrf_perf::{pareto_frontier, MetricBundle};
+
+/// One point of the ranked report.
+#[derive(Debug, Clone)]
+pub struct RankedPoint {
+    /// Configuration name (`"4C32S16"`).
+    pub name: String,
+    /// Rank in the report (1 = best execution time on the frontier).
+    pub rank: usize,
+    /// Whether the point is Pareto-optimal.
+    pub on_frontier: bool,
+    /// The four minimized objectives.
+    pub metrics: MetricBundle,
+    /// Total registers of the organization (`None` if unbounded).
+    pub total_regs: Option<u32>,
+    /// Cluster count.
+    pub clusters: u32,
+    /// ΣII across the suite.
+    pub sum_ii: u64,
+    /// Loops that failed to schedule.
+    pub failed_loops: usize,
+    /// Whether the point came from the result cache.
+    pub from_cache: bool,
+}
+
+/// The ranked outcome of a sweep.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All points: frontier first, each group sorted by execution time.
+    pub points: Vec<RankedPoint>,
+    /// Names of the frontier points, fastest first.
+    pub frontier: Vec<String>,
+    /// Number of loops the points were evaluated on.
+    pub suite_loops: usize,
+    /// Suite fingerprint (content address of the workload).
+    pub suite_fingerprint: u64,
+}
+
+/// Rank an exploration outcome.
+pub fn build_report(outcome: &ExploreOutcome) -> Report {
+    let bundles: Vec<MetricBundle> = outcome
+        .points
+        .iter()
+        .map(|p| MetricBundle::from_aggregate(&p.aggregate, p.total_area))
+        .collect();
+    let mask = pareto_frontier(&bundles);
+    let mut points: Vec<RankedPoint> = outcome
+        .points
+        .iter()
+        .zip(bundles.iter().zip(mask.iter()))
+        .map(|(p, (metrics, &on_frontier))| RankedPoint {
+            name: p.name.clone(),
+            rank: 0,
+            on_frontier,
+            metrics: *metrics,
+            total_regs: p.rf.total_registers(),
+            clusters: p.rf.clusters(),
+            sum_ii: p.aggregate.sum_ii,
+            failed_loops: p.aggregate.failed_loops,
+            from_cache: p.from_cache,
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        b.on_frontier
+            .cmp(&a.on_frontier)
+            .then(a.metrics.exec_time_ns.total_cmp(&b.metrics.exec_time_ns))
+            .then(a.name.cmp(&b.name))
+    });
+    for (i, p) in points.iter_mut().enumerate() {
+        p.rank = i + 1;
+    }
+    let frontier = points
+        .iter()
+        .filter(|p| p.on_frontier)
+        .map(|p| p.name.clone())
+        .collect();
+    Report {
+        points,
+        frontier,
+        suite_loops: outcome.suite_loops,
+        suite_fingerprint: outcome.suite_fingerprint,
+    }
+}
+
+impl Report {
+    /// Terminal table of the `top` best-ranked points.
+    pub fn format_table(&self, top: usize) -> String {
+        let mut out = String::from(
+            "rank  config      frontier  time(ms)     area(Mλ²)  clk(ns)  traffic      ΣII      regs  cached\n",
+        );
+        for p in self.points.iter().take(top) {
+            out.push_str(&format!(
+                "{:>4}  {:<10}  {:<8}  {:>11.3}  {:>9.2}  {:>7.3}  {:>9}  {:>7}  {:>6}  {}\n",
+                p.rank,
+                p.name,
+                if p.on_frontier { "yes" } else { "-" },
+                p.metrics.exec_time_ns / 1e6,
+                p.metrics.total_area,
+                p.metrics.clock_ns,
+                p.metrics.memory_traffic,
+                p.sum_ii,
+                p.total_regs
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "inf".into()),
+                if p.from_cache { "hit" } else { "miss" },
+            ));
+        }
+        out
+    }
+
+    /// CSV document: one row per point, ranked.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "rank,config,on_frontier,exec_time_ns,total_area_mlambda2,clock_ns,memory_traffic,sum_ii,total_regs,clusters,failed_loops,from_cache\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                p.rank,
+                p.name,
+                p.on_frontier,
+                p.metrics.exec_time_ns,
+                p.metrics.total_area,
+                p.metrics.clock_ns,
+                p.metrics.memory_traffic,
+                p.sum_ii,
+                p.total_regs
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "inf".into()),
+                p.clusters,
+                p.failed_loops,
+                p.from_cache,
+            ));
+        }
+        out
+    }
+
+    /// JSON document with the ranked points and the frontier names.
+    pub fn to_json(&self) -> Json {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("rank", Json::usize(p.rank)),
+                    ("config", Json::str(&p.name)),
+                    ("on_frontier", Json::Bool(p.on_frontier)),
+                    ("exec_time_ns", Json::Num(p.metrics.exec_time_ns)),
+                    ("total_area_mlambda2", Json::Num(p.metrics.total_area)),
+                    ("clock_ns", Json::Num(p.metrics.clock_ns)),
+                    ("memory_traffic", Json::u64(p.metrics.memory_traffic)),
+                    ("sum_ii", Json::u64(p.sum_ii)),
+                    (
+                        "total_regs",
+                        p.total_regs
+                            .map(|r| Json::u64(r as u64))
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("clusters", Json::u64(p.clusters as u64)),
+                    ("failed_loops", Json::usize(p.failed_loops)),
+                    ("from_cache", Json::Bool(p.from_cache)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("suite_loops", Json::usize(self.suite_loops)),
+            (
+                "suite_fingerprint",
+                Json::str(format!("{:016x}", self.suite_fingerprint)),
+            ),
+            (
+                "frontier",
+                Json::Arr(self.frontier.iter().map(Json::str).collect()),
+            ),
+            ("points", Json::Arr(points)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::PointResult;
+    use hcrf_machine::RfOrganization;
+    use hcrf_perf::SuiteAggregate;
+
+    fn point(name: &str, cycles: u64, clock: f64, area: f64, traffic: u64) -> PointResult {
+        let mut aggregate = SuiteAggregate::new(name, clock);
+        aggregate.useful_cycles = cycles;
+        aggregate.memory_traffic = traffic;
+        aggregate.sum_ii = cycles / 100;
+        aggregate.loops = 10;
+        PointResult {
+            rf: RfOrganization::parse(name).unwrap(),
+            name: name.to_string(),
+            aggregate,
+            clock_ns: clock,
+            total_area: area,
+            scheduling_seconds: 0.0,
+            from_cache: false,
+        }
+    }
+
+    fn outcome(points: Vec<PointResult>) -> ExploreOutcome {
+        ExploreOutcome {
+            points,
+            cache: Default::default(),
+            suite_fingerprint: 0xabcd,
+            suite_loops: 10,
+            wall_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn frontier_points_rank_first_by_exec_time() {
+        // S128: slow clock, big, few cycles. 4C32S16: fast clock, small.
+        // S32: dominated by 4C32S16 on every objective.
+        let o = outcome(vec![
+            point("S128", 1000, 1.181, 14.9, 500),
+            point("S32", 1400, 0.8, 6.0, 900),
+            point("4C32S16", 1300, 0.472, 4.8, 500),
+        ]);
+        let report = build_report(&o);
+        assert_eq!(report.points[0].name, "4C32S16");
+        assert!(report.points[0].on_frontier);
+        assert_eq!(report.points[0].rank, 1);
+        assert!(report.frontier.contains(&"4C32S16".to_string()));
+        assert!(!report.frontier.contains(&"S32".to_string()));
+        // The dominated point sorts after every frontier point.
+        let s32 = report.points.iter().find(|p| p.name == "S32").unwrap();
+        assert!(!s32.on_frontier);
+        assert!(s32.rank > report.frontier.len());
+    }
+
+    #[test]
+    fn emitters_cover_every_point() {
+        let o = outcome(vec![
+            point("S64", 1000, 0.98, 7.2, 600),
+            point("8C16S16", 1800, 0.389, 4.8, 600),
+        ]);
+        let report = build_report(&o);
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("8C16S16"));
+        let json = report.to_json();
+        assert_eq!(json.get("points").and_then(Json::as_arr).unwrap().len(), 2);
+        assert_eq!(json.get("suite_loops").and_then(Json::as_u64), Some(10));
+        let table = report.format_table(10);
+        assert!(table.contains("S64") && table.contains("8C16S16"));
+        // JSON survives its own parser.
+        assert_eq!(Json::parse(&json.to_pretty()).unwrap(), json);
+    }
+
+    #[test]
+    fn ranks_are_dense_and_ordered() {
+        let o = outcome(vec![
+            point("S128", 1000, 1.181, 14.9, 500),
+            point("S64", 1100, 0.98, 7.2, 700),
+            point("4C32", 1250, 0.553, 4.3, 700),
+            point("8C16S16", 1900, 0.389, 4.8, 650),
+        ]);
+        let report = build_report(&o);
+        let ranks: Vec<usize> = report.points.iter().map(|p| p.rank).collect();
+        assert_eq!(ranks, vec![1, 2, 3, 4]);
+        for pair in report.points.windows(2) {
+            if pair[0].on_frontier == pair[1].on_frontier {
+                assert!(pair[0].metrics.exec_time_ns <= pair[1].metrics.exec_time_ns);
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Constraint-driven enumeration of the `xCy-Sz` design space.
+//!
+//! The paper hand-picks 15 configurations (Table 5). This module generates
+//! candidate register-file organizations from declarative constraints
+//! instead: cluster counts, candidate bank sizes, a register budget and an
+//! optional per-bank port budget. Every produced organization is realizable
+//! on the paper's baseline core (FUs distribute evenly; a purely clustered
+//! organization keeps a memory port per cluster), so the whole output can be
+//! fed straight to the executor.
+
+use hcrf_machine::{MachineConfig, RfOrganization};
+
+/// Declarative description of a design space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpace {
+    /// Candidate first-level cluster counts (`x`).
+    pub cluster_counts: Vec<u32>,
+    /// Candidate bank sizes, used for both cluster banks (`y`) and the
+    /// shared bank (`z`).
+    pub bank_sizes: Vec<u32>,
+    /// Minimum total register count (all banks summed).
+    pub min_total_regs: u32,
+    /// Register budget: maximum total register count.
+    pub max_total_regs: u32,
+    /// Port budget: maximum read+write ports on any single bank, if capped.
+    /// Port-hungry banks are what kill the cycle time (Table 2), so this
+    /// prunes configurations the hardware model would reject anyway.
+    pub max_bank_ports: Option<u32>,
+    /// Include monolithic (`Sz`) organizations.
+    pub monolithic: bool,
+    /// Include purely clustered (`xCy`) organizations.
+    pub clustered: bool,
+    /// Include hierarchical (`xCySz`) organizations.
+    pub hierarchical: bool,
+}
+
+impl Default for DesignSpace {
+    /// The default space spans the paper's Table 5 axes — clusters 1–8 and
+    /// power-of-two banks of 16–128 registers — under a 160-register budget
+    /// (every Table 5 configuration fits it).
+    fn default() -> Self {
+        DesignSpace {
+            cluster_counts: vec![1, 2, 4, 8],
+            bank_sizes: vec![16, 32, 64, 128],
+            min_total_regs: 0,
+            max_total_regs: 160,
+            max_bank_ports: None,
+            monolithic: true,
+            clustered: true,
+            hierarchical: true,
+        }
+    }
+}
+
+impl DesignSpace {
+    /// Whether an organization satisfies every constraint (budget,
+    /// realizability on the baseline core, port cap).
+    pub fn admits(&self, rf: &RfOrganization) -> bool {
+        let total = match rf.total_registers() {
+            Some(t) => t,
+            None => return false, // unbounded banks are not buildable hardware
+        };
+        if total < self.min_total_regs || total > self.max_total_regs {
+            return false;
+        }
+        let machine = MachineConfig::paper_baseline(*rf);
+        if !machine.is_realizable() {
+            return false;
+        }
+        if let Some(cap) = self.max_bank_ports {
+            let ports = machine.port_counts();
+            let mut worst = ports.cluster.total_ports();
+            if let Some(shared) = ports.shared {
+                worst = worst.max(shared.total_ports());
+            }
+            if worst > cap {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Enumerate every admissible organization, deduplicated and in a
+    /// deterministic order (monolithic, then clustered, then hierarchical;
+    /// each sorted by total capacity, then shape).
+    pub fn enumerate(&self) -> Vec<RfOrganization> {
+        let mut out: Vec<RfOrganization> = Vec::new();
+        if self.monolithic {
+            for &z in &self.bank_sizes {
+                out.push(RfOrganization::monolithic(z));
+            }
+        }
+        for &x in &self.cluster_counts {
+            for &y in &self.bank_sizes {
+                // `1Cy` is the monolithic `Sy` under another name; skip it so
+                // the same hardware is never evaluated twice.
+                if self.clustered && x > 1 {
+                    out.push(RfOrganization::clustered(x, y));
+                }
+                if self.hierarchical {
+                    for &z in &self.bank_sizes {
+                        out.push(RfOrganization::hierarchical(x, y, z));
+                    }
+                }
+            }
+        }
+        out.retain(|rf| self.admits(rf));
+        out.sort_by_key(|rf| {
+            (
+                form_rank(rf),
+                rf.total_registers().unwrap_or(u32::MAX),
+                rf.clusters(),
+                rf.cluster_capacity().limit(),
+            )
+        });
+        out.dedup();
+        out
+    }
+}
+
+fn form_rank(rf: &RfOrganization) -> u32 {
+    match rf {
+        RfOrganization::Monolithic { .. } => 0,
+        RfOrganization::Clustered { .. } => 1,
+        RfOrganization::Hierarchical { .. } => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_is_large_and_within_budget() {
+        let space = DesignSpace::default();
+        let orgs = space.enumerate();
+        assert!(orgs.len() >= 30, "only {} organizations", orgs.len());
+        for rf in &orgs {
+            let total = rf.total_registers().unwrap();
+            assert!(total <= 160, "{rf} exceeds the budget");
+            assert!(MachineConfig::paper_baseline(*rf).is_realizable(), "{rf}");
+        }
+    }
+
+    #[test]
+    fn contains_the_papers_winning_configs() {
+        let names: Vec<String> = DesignSpace::default()
+            .enumerate()
+            .iter()
+            .map(|rf| rf.to_string())
+            .collect();
+        for expected in ["S128", "4C32", "4C32S16", "4C16S16", "8C16S16", "1C64S64"] {
+            assert!(names.contains(&expected.to_string()), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn budget_prunes_configurations() {
+        let tight = DesignSpace {
+            max_total_regs: 64,
+            ..Default::default()
+        };
+        for rf in tight.enumerate() {
+            assert!(rf.total_registers().unwrap() <= 64);
+        }
+        let wide = DesignSpace::default().enumerate().len();
+        assert!(tight.enumerate().len() < wide);
+    }
+
+    #[test]
+    fn unrealizable_cluster_counts_are_rejected() {
+        // 8 clusters with 4 memory ports cannot be purely clustered.
+        let space = DesignSpace::default();
+        let orgs = space.enumerate();
+        assert!(!orgs.contains(&RfOrganization::clustered(8, 16)));
+        // But the hierarchy makes 8 clusters viable.
+        assert!(orgs.contains(&RfOrganization::hierarchical(8, 16, 16)));
+        // 3 clusters never divide 8 FUs evenly.
+        let odd = DesignSpace {
+            cluster_counts: vec![3],
+            monolithic: false,
+            ..Default::default()
+        };
+        assert!(odd.enumerate().is_empty());
+    }
+
+    #[test]
+    fn port_budget_caps_bank_fanout() {
+        let capped = DesignSpace {
+            max_bank_ports: Some(24),
+            ..Default::default()
+        };
+        // S128 on the baseline core needs 20 read + 12 write = 32 ports and
+        // must be pruned; the 8-cluster hierarchies peak at 24 (shared bank)
+        // and survive.
+        let names: Vec<String> = capped.enumerate().iter().map(|r| r.to_string()).collect();
+        assert!(!names.contains(&"S128".to_string()));
+        assert!(names.iter().any(|n| n.starts_with("8C")));
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_deduplicated() {
+        let a = DesignSpace::default().enumerate();
+        let b = DesignSpace::default().enumerate();
+        assert_eq!(a, b);
+        let mut names: Vec<String> = a.iter().map(|r| r.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), a.len());
+    }
+
+    #[test]
+    fn forms_can_be_toggled() {
+        let only_hier = DesignSpace {
+            monolithic: false,
+            clustered: false,
+            ..Default::default()
+        };
+        assert!(only_hier.enumerate().iter().all(|r| r.is_hierarchical()));
+    }
+}

@@ -51,10 +51,8 @@ pub fn strongly_connected_components(g: &Ddg) -> SccResult {
                     frames.push(Frame::Continue(v, 0));
                 }
                 Frame::Continue(v, succ_pos) => {
-                    let succs: Vec<usize> = g
-                        .successors(NodeId(v as u32))
-                        .map(|s| s.index())
-                        .collect();
+                    let succs: Vec<usize> =
+                        g.successors(NodeId(v as u32)).map(|s| s.index()).collect();
                     if succ_pos < succs.len() {
                         let w = succs[succ_pos];
                         frames.push(Frame::Continue(v, succ_pos + 1));

@@ -72,7 +72,7 @@ fn div_ceil(a: u64, b: u64) -> u64 {
     if a == 0 {
         0
     } else {
-        (a + b - 1) / b
+        a.div_ceil(b)
     }
 }
 

@@ -268,8 +268,14 @@ mod tests {
         assert_eq!(OpKind::Load.resource_class(), ResourceClass::MemPort);
         assert_eq!(OpKind::Store.resource_class(), ResourceClass::MemPort);
         assert_eq!(OpKind::Move.resource_class(), ResourceClass::Bus);
-        assert_eq!(OpKind::LoadR.resource_class(), ResourceClass::SharedReadPort);
-        assert_eq!(OpKind::StoreR.resource_class(), ResourceClass::SharedWritePort);
+        assert_eq!(
+            OpKind::LoadR.resource_class(),
+            ResourceClass::SharedReadPort
+        );
+        assert_eq!(
+            OpKind::StoreR.resource_class(),
+            ResourceClass::SharedWritePort
+        );
     }
 
     #[test]

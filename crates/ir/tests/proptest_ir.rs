@@ -1,14 +1,21 @@
 //! Property tests of the IR layer: SCC computation against a brute-force
 //! reachability oracle, MII bounds, and ASAP/ALAP consistency.
 
-use hcrf_ir::{analysis, mii, DdgBuilder, Ddg, NodeId, OpKind, OpLatencies, ResourceCounts};
+// The oracle comparisons index two matrices in lockstep; iterator zipping
+// would only obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use hcrf_ir::{analysis, mii, Ddg, DdgBuilder, NodeId, OpKind, OpLatencies, ResourceCounts};
 use proptest::prelude::*;
 
 /// Random graph: `n` nodes, arbitrary edges (cycles allowed) with small
 /// distances on back edges so the graph remains a legal dependence graph.
 fn arb_graph() -> impl Strategy<Value = Ddg> {
-    (2usize..12, prop::collection::vec((0usize..12, 0usize..12, 0u32..3), 0..30)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..12,
+        prop::collection::vec((0usize..12, 0usize..12, 0u32..3), 0..30),
+    )
+        .prop_map(|(n, edges)| {
             let mut b = DdgBuilder::new("prop");
             let ids: Vec<NodeId> = (0..n)
                 .map(|i| {
@@ -29,8 +36,7 @@ fn arb_graph() -> impl Strategy<Value = Ddg> {
                 b.flow(src, dst, distance);
             }
             b.build()
-        },
-    )
+        })
 }
 
 /// Brute-force SCC oracle: mutual reachability via Floyd–Warshall.

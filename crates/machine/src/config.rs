@@ -122,7 +122,7 @@ impl MachineConfig {
     pub fn fus_per_cluster(&self) -> u32 {
         let c = self.clusters();
         assert!(
-            self.fu_count % c == 0,
+            self.fu_count.is_multiple_of(c),
             "{} FUs cannot be evenly distributed among {} clusters",
             self.fu_count,
             c
@@ -140,7 +140,7 @@ impl MachineConfig {
         } else {
             let c = self.clusters();
             assert!(
-                self.mem_ports % c == 0,
+                self.mem_ports.is_multiple_of(c),
                 "{} memory ports cannot be evenly distributed among {} clusters",
                 self.mem_ports,
                 c
@@ -155,11 +155,13 @@ impl MachineConfig {
     /// distribute evenly.
     pub fn is_realizable(&self) -> bool {
         let c = self.clusters();
-        if self.fu_count % c != 0 {
+        if !self.fu_count.is_multiple_of(c) {
             return false;
         }
         match self.rf {
-            RfOrganization::Clustered { .. } => self.mem_ports >= c && self.mem_ports % c == 0,
+            RfOrganization::Clustered { .. } => {
+                self.mem_ports >= c && self.mem_ports.is_multiple_of(c)
+            }
             _ => true,
         }
     }

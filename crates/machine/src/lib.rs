@@ -31,9 +31,11 @@
 pub mod config;
 pub mod ports;
 pub mod rf;
+pub mod stable;
 
 pub use config::{ClusterId, MachineConfig};
 pub use ports::{BankPorts, PortCounts};
 pub use rf::{Capacity, RfOrganization};
+pub use stable::{StableHash, StableHasher};
 
 pub use hcrf_ir::OpLatencies;

@@ -142,7 +142,7 @@ mod tests {
         assert_eq!(p.cluster.write_ports, 2 + 2);
         let s = p.shared.unwrap();
         assert_eq!(s.read_ports, 4 + 2 * 4);
-        assert_eq!(s.write_ports, 4 + 1 * 4);
+        assert_eq!(s.write_ports, 4 + 4);
         assert_eq!(s.registers, 64);
     }
 

@@ -186,13 +186,7 @@ impl RfOrganization {
     /// and the shared bank (Section 4): 1 cluster → 2, otherwise 1.
     pub fn default_sp(&self) -> u32 {
         match self {
-            RfOrganization::Hierarchical { clusters, .. } => {
-                if *clusters <= 1 {
-                    2
-                } else {
-                    1
-                }
-            }
+            RfOrganization::Hierarchical { clusters, .. } if *clusters <= 1 => 2,
             _ => 1,
         }
     }
@@ -215,7 +209,11 @@ pub struct RfParseError {
 
 impl fmt::Display for RfParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid RF configuration '{}': {}", self.input, self.reason)
+        write!(
+            f,
+            "invalid RF configuration '{}': {}",
+            self.input, self.reason
+        )
     }
 }
 
@@ -261,7 +259,9 @@ impl FromStr for RfOrganization {
         let c_pos = trimmed
             .find(['C', 'c'])
             .ok_or_else(|| err("expected 'S<z>' or '<x>C<y>[S<z>]'"))?;
-        let clusters: u32 = trimmed[..c_pos].parse().map_err(|_| err("invalid cluster count"))?;
+        let clusters: u32 = trimmed[..c_pos]
+            .parse()
+            .map_err(|_| err("invalid cluster count"))?;
         if clusters == 0 {
             return Err(err("cluster count must be at least 1"));
         }
@@ -378,7 +378,9 @@ mod tests {
 
     #[test]
     fn display_round_trip() {
-        for s in ["S128", "S64", "4C32", "2C64", "1C64S64", "8C16S16", "4C16S64"] {
+        for s in [
+            "S128", "S64", "4C32", "2C64", "1C64S64", "8C16S16", "4C16S64",
+        ] {
             let parsed = RfOrganization::parse(s).unwrap();
             assert_eq!(parsed.to_string(), s);
             assert_eq!(RfOrganization::parse(&parsed.to_string()).unwrap(), parsed);

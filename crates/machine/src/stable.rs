@@ -1,0 +1,265 @@
+//! Stable, platform-independent hashing of machine configurations.
+//!
+//! `std::hash::Hash` makes no cross-run guarantees (and `HashMap`'s default
+//! hasher is randomly keyed), so the exploration result cache cannot use it
+//! for content addressing. This module provides a deliberately boring FNV-1a
+//! 64-bit hasher with explicit primitive encodings, plus [`StableHash`]
+//! implementations for every type that participates in a cache key. The
+//! encoding is part of the cache format: changing it invalidates previously
+//! cached results, which is exactly the safe failure mode (a re-run, never a
+//! stale hit).
+
+use crate::config::MachineConfig;
+use crate::rf::{Capacity, RfOrganization};
+use hcrf_ir::OpLatencies;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hasher with explicit, length-prefixed encodings.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// Hash one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.state ^= v as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Hash a byte slice (length-prefixed, so concatenations cannot collide
+    /// with shifted splits).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Hash a string (length-prefixed UTF-8 bytes).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Hash a `u32` (little-endian bytes).
+    pub fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Hash a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Hash an `i64` (two's-complement bytes).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hash a `usize` (widened to 64 bits so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hash a boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Hash an `f64` through its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+}
+
+/// Types with a stable (cross-run, cross-platform) content hash.
+pub trait StableHash {
+    /// Feed this value's canonical encoding into `hasher`.
+    fn stable_hash_into(&self, hasher: &mut StableHasher);
+
+    /// Convenience digest of this value alone.
+    fn stable_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.stable_hash_into(&mut h);
+        h.finish()
+    }
+}
+
+impl StableHash for Capacity {
+    fn stable_hash_into(&self, h: &mut StableHasher) {
+        match *self {
+            Capacity::Bounded(n) => {
+                h.write_u8(0);
+                h.write_u32(n);
+            }
+            Capacity::Unbounded => h.write_u8(1),
+        }
+    }
+}
+
+impl StableHash for RfOrganization {
+    fn stable_hash_into(&self, h: &mut StableHasher) {
+        match *self {
+            RfOrganization::Monolithic { regs } => {
+                h.write_u8(0);
+                regs.stable_hash_into(h);
+            }
+            RfOrganization::Clustered {
+                clusters,
+                regs_per_cluster,
+            } => {
+                h.write_u8(1);
+                h.write_u32(clusters);
+                regs_per_cluster.stable_hash_into(h);
+            }
+            RfOrganization::Hierarchical {
+                clusters,
+                cluster_regs,
+                shared_regs,
+            } => {
+                h.write_u8(2);
+                h.write_u32(clusters);
+                cluster_regs.stable_hash_into(h);
+                shared_regs.stable_hash_into(h);
+            }
+        }
+    }
+}
+
+impl StableHash for OpLatencies {
+    fn stable_hash_into(&self, h: &mut StableHasher) {
+        for v in [
+            self.fadd,
+            self.fmul,
+            self.fdiv,
+            self.fsqrt,
+            self.load,
+            self.store,
+            self.mov,
+            self.loadr,
+            self.storer,
+            self.copy,
+            self.load_miss,
+        ] {
+            h.write_u32(v);
+        }
+    }
+}
+
+impl StableHash for MachineConfig {
+    fn stable_hash_into(&self, h: &mut StableHasher) {
+        h.write_u32(self.fu_count);
+        h.write_u32(self.mem_ports);
+        self.latencies.stable_hash_into(h);
+        self.rf.stable_hash_into(h);
+        h.write_u32(self.lp);
+        h.write_u32(self.sp);
+        h.write_u32(self.buses);
+        h.write_u32(self.budget_ratio);
+    }
+}
+
+impl MachineConfig {
+    /// Stable content hash of the complete configuration (resources,
+    /// latencies, RF organization and port counts) — the machine component
+    /// of an exploration cache key.
+    pub fn stable_hash(&self) -> u64 {
+        StableHash::stable_hash(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(name: &str) -> MachineConfig {
+        MachineConfig::paper_baseline(RfOrganization::parse(name).unwrap())
+    }
+
+    #[test]
+    fn identical_configs_hash_identically() {
+        assert_eq!(
+            machine("4C32S16").stable_hash(),
+            machine("4C32S16").stable_hash()
+        );
+        assert_eq!(machine("S128").stable_hash(), machine("S128").stable_hash());
+    }
+
+    #[test]
+    fn every_table5_shape_hashes_distinctly() {
+        let names = [
+            "S128", "S64", "S32", "1C64S32", "1C32S64", "2C64", "2C32", "2C64S32", "2C32S32",
+            "4C64", "4C32", "4C32S16", "4C16S16", "8C32S16", "8C16S16",
+        ];
+        let mut hashes: Vec<u64> = names.iter().map(|n| machine(n).stable_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(
+            hashes.len(),
+            names.len(),
+            "hash collision among Table 5 configs"
+        );
+    }
+
+    #[test]
+    fn non_rf_fields_change_the_hash() {
+        let base = machine("4C16S64");
+        let mut wider = base.clone();
+        wider.fu_count = 16;
+        assert_ne!(base.stable_hash(), wider.stable_hash());
+        let retimed = base
+            .clone()
+            .with_latencies(hcrf_ir::OpLatencies::paper_baseline());
+        let reported = base.clone().with_ports(base.lp + 1, base.sp);
+        assert_ne!(base.stable_hash(), reported.stable_hash());
+        // `paper_baseline` already uses baseline latencies, so this one matches.
+        assert_eq!(base.stable_hash(), retimed.stable_hash());
+    }
+
+    #[test]
+    fn capacity_encoding_distinguishes_bounded_from_unbounded() {
+        let bounded = RfOrganization::Monolithic {
+            regs: Capacity::Bounded(1),
+        };
+        let unbounded = RfOrganization::Monolithic {
+            regs: Capacity::Unbounded,
+        };
+        assert_ne!(
+            StableHash::stable_hash(&bounded),
+            StableHash::stable_hash(&unbounded)
+        );
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -257,10 +257,7 @@ mod tests {
                 assumed_latency: 2,
             });
         }
-        let small_mshr = CacheConfig {
-            mshrs: 2,
-            ..cfg()
-        };
+        let small_mshr = CacheConfig { mshrs: 2, ..cfg() };
         let r_small = simulate_kernel(&accesses, 4, 64, small_mshr, 64);
         let r_big = simulate_kernel(&accesses, 4, 64, cfg(), 64);
         assert!(

@@ -96,7 +96,7 @@ fn div_ceil(a: u64, b: u64) -> u64 {
     if a == 0 {
         1
     } else {
-        (a + b - 1) / b
+        a.div_ceil(b)
     }
 }
 
@@ -172,7 +172,11 @@ mod tests {
         let l = b.load(0, 8);
         let mut values = vec![l];
         for i in 0..16 {
-            let a = b.op(if i % 2 == 0 { OpKind::FMul } else { OpKind::FAdd });
+            let a = b.op(if i % 2 == 0 {
+                OpKind::FMul
+            } else {
+                OpKind::FAdd
+            });
             b.flow(values[i / 2], a, 0);
             b.flow(values[i.saturating_sub(1)], a, 0);
             values.push(a);

@@ -16,8 +16,10 @@
 
 pub mod classify;
 pub mod metrics;
+pub mod pareto;
 
 pub use classify::{classify_loop, BoundClass};
 pub use metrics::{
     execution_cycles, execution_time_ns, ipc, memory_traffic, LoopPerformance, SuiteAggregate,
 };
+pub use pareto::{pareto_frontier, MetricBundle};

@@ -256,8 +256,7 @@ mod tests {
             &ClockModel::at_100nm(),
             false,
         );
-        let expect = hw.cluster_bank.area_mlambda2 * 4.0
-            + hw.shared_bank.unwrap().area_mlambda2;
+        let expect = hw.cluster_bank.area_mlambda2 * 4.0 + hw.shared_bank.unwrap().area_mlambda2;
         assert!((hw.total_area - expect).abs() < 1e-9);
     }
 }

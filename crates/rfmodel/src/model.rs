@@ -87,7 +87,8 @@ impl AnalyticRfModel {
         let ports = (read_ports + write_ports) as f64;
         let cell = self.a_cell * (self.a_base_tracks + ports).powi(2);
         let array = regs * self.bits_per_register * cell / 1.0e6;
-        let periphery = self.a_port_periphery * ports * (regs * self.bits_per_register).sqrt() / 100.0;
+        let periphery =
+            self.a_port_periphery * ports * (regs * self.bits_per_register).sqrt() / 100.0;
         array + periphery
     }
 

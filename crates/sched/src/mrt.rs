@@ -40,7 +40,11 @@ impl ResourceCaps {
         let hierarchical = m.rf.is_hierarchical();
         ResourceCaps {
             fus_per_cluster: m.fu_count / clusters,
-            mem_ports_per_cluster: if hierarchical { 0 } else { m.mem_ports / clusters },
+            mem_ports_per_cluster: if hierarchical {
+                0
+            } else {
+                m.mem_ports / clusters
+            },
             shared_mem_ports: if hierarchical || clusters == 1 {
                 m.mem_ports
             } else {
@@ -159,16 +163,13 @@ impl Mrt {
                 }
             }
             ResourceClass::Bus => {
-                self.caps.buses == u32::MAX
-                    || self.bus[self.row_of(cycle)] < self.caps.buses as u16
+                self.caps.buses == u32::MAX || self.bus[self.row_of(cycle)] < self.caps.buses as u16
             }
             ResourceClass::SharedReadPort => {
-                self.caps.lp == u32::MAX
-                    || self.lp[self.idx(cycle, cluster)] < self.caps.lp as u16
+                self.caps.lp == u32::MAX || self.lp[self.idx(cycle, cluster)] < self.caps.lp as u16
             }
             ResourceClass::SharedWritePort => {
-                self.caps.sp == u32::MAX
-                    || self.sp[self.idx(cycle, cluster)] < self.caps.sp as u16
+                self.caps.sp == u32::MAX || self.sp[self.idx(cycle, cluster)] < self.caps.sp as u16
             }
         }
     }

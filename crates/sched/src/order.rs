@@ -159,12 +159,16 @@ mod tests {
         let m = b.op(OpKind::FMul);
         let a = b.op(OpKind::FAdd);
         let s = b.store(2, 8);
-        b.flow(l1, m, 0).flow(l2, m, 0).flow(m, a, 0).flow(a, a, 1).flow(a, s, 0);
+        b.flow(l1, m, 0)
+            .flow(l2, m, 0)
+            .flow(m, a, 0)
+            .flow(a, a, 1)
+            .flow(a, s, 0);
         let g = b.build();
         let w = WorkGraph::new(&g, &machine());
         let order = priority_order(&w, &OpLatencies::paper_baseline(), 4);
         assert_eq!(order.order.len(), 5);
-        let mut seen = vec![false; 5];
+        let mut seen = [false; 5];
         for n in &order.order {
             assert!(!seen[n.index()], "node {n} ordered twice");
             seen[n.index()] = true;

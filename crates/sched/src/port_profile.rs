@@ -48,7 +48,7 @@ pub fn measure_ports(result: &ScheduleResult, clusters: u32) -> PortRequirement 
             _ => {}
         }
     }
-    let per_port = |count: u32| (count + ii - 1) / ii;
+    let per_port = |count: u32| count.div_ceil(ii);
     let lp = loadr.iter().map(|&k| per_port(k)).max().unwrap_or(0);
     let sp = storer.iter().map(|&k| per_port(k)).max().unwrap_or(0);
     PortRequirement { lp, sp }

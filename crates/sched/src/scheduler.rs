@@ -16,9 +16,7 @@ use crate::cluster::select_cluster;
 use crate::mrt::{Mrt, ResourceCaps};
 use crate::order::{priority_order, PriorityOrder};
 use crate::pressure::{pick_spill_candidate, pressure, Pressure};
-use crate::types::{
-    BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats,
-};
+use crate::types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats};
 use crate::workgraph::WorkGraph;
 use hcrf_ir::{mii as mii_mod, Ddg, DepKind, NodeId, OpKind, OpLatencies};
 use hcrf_machine::MachineConfig;
@@ -27,7 +25,11 @@ use std::collections::BinaryHeap;
 
 /// Schedule one loop for one machine configuration with the iterative
 /// MIRS / MIRS_HC scheduler (backtracking enabled by default).
-pub fn schedule_loop(ddg: &Ddg, machine: &MachineConfig, params: &SchedulerParams) -> ScheduleResult {
+pub fn schedule_loop(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    params: &SchedulerParams,
+) -> ScheduleResult {
     IterativeScheduler::new(machine.clone(), *params).schedule(ddg)
 }
 
@@ -80,11 +82,7 @@ impl IterativeScheduler {
 
     /// Compute the MII of a loop for this machine.
     pub fn mii(&self, ddg: &Ddg) -> u32 {
-        mii_mod::mii(
-            ddg,
-            &self.machine.latencies,
-            self.machine.resource_counts(),
-        )
+        mii_mod::mii(ddg, &self.machine.latencies, self.machine.resource_counts())
     }
 
     /// Schedule one loop.
@@ -148,7 +146,8 @@ impl IterativeScheduler {
         // when spill or communication operations are inserted (the paper adds
         // Budget_Ratio per inserted node), but a pathological eject/re-insert
         // ping-pong must not keep the attempt alive forever.
-        let attempt_cap = 64 * (w.active_count() as u64 + 8) * (self.params.budget_ratio as u64).max(1);
+        let attempt_cap =
+            64 * (w.active_count() as u64 + 8) * (self.params.budget_ratio as u64).max(1);
         let mut state = AttemptState {
             w,
             mrt,
@@ -185,10 +184,10 @@ impl IterativeScheduler {
                 return Attempt::Exhausted;
             }
             // 4. Register pressure / spill.
-            if self.has_bounded_banks() {
-                if !self.check_and_spill(&mut state, u, lat, &mut spill_rounds, spill_round_limit) {
-                    return Attempt::Exhausted;
-                }
+            if self.has_bounded_banks()
+                && !self.check_and_spill(&mut state, u, lat, &mut spill_rounds, spill_round_limit)
+            {
+                return Attempt::Exhausted;
             }
             state.budget -= 1;
             if state.budget <= 0 {
@@ -205,7 +204,14 @@ impl IterativeScheduler {
             return Attempt::Exhausted;
         }
         if self.has_bounded_banks() {
-            let pr = pressure(&state.w, &state.placements, ii, clusters, lat, self.params.binding_prefetch);
+            let pr = pressure(
+                &state.w,
+                &state.placements,
+                ii,
+                clusters,
+                lat,
+                self.params.binding_prefetch,
+            );
             if self.over_capacity_bank(&pr).is_some() {
                 return Attempt::Exhausted;
             }
@@ -546,10 +552,8 @@ impl IterativeScheduler {
             }
             // Cluster-local resources must match clusters; global resources
             // (shared memory ports, buses) conflict regardless of cluster.
-            let global = matches!(
-                class,
-                hcrf_ir::ResourceClass::Bus
-            ) || (class == hcrf_ir::ResourceClass::MemPort && caps.memory_is_shared());
+            let global = matches!(class, hcrf_ir::ResourceClass::Bus)
+                || (class == hcrf_ir::ResourceClass::MemPort && caps.memory_is_shared());
             if !global && vcl != cluster {
                 continue;
             }
@@ -592,9 +596,7 @@ impl IterativeScheduler {
                 // graph for hierarchical targets: ejecting one just requeues
                 // it (like an original node), it never removes the chain.
                 if state.w.chain_kind(chain) == crate::workgraph::ChainKind::MemInterface {
-                    state
-                        .worklist
-                        .push(Reverse((state.order.rank_of(v), v.0)));
+                    state.worklist.push(Reverse((state.order.rank_of(v), v.0)));
                     return;
                 }
                 // Removing any other inserted node removes its whole chain
@@ -630,12 +632,17 @@ impl IterativeScheduler {
                 }
             }
         }
-        state
-            .worklist
-            .push(Reverse((state.order.rank_of(v), v.0)));
+        state.worklist.push(Reverse((state.order.rank_of(v), v.0)));
     }
 
-    fn place(&self, state: &mut AttemptState, u: NodeId, cycle: i64, cluster: u32, lat: &OpLatencies) {
+    fn place(
+        &self,
+        state: &mut AttemptState,
+        u: NodeId,
+        cycle: i64,
+        cluster: u32,
+        lat: &OpLatencies,
+    ) {
         let kind = state.w.ddg.node(u).kind;
         state.mrt.place(kind, cycle, cluster, lat);
         state.placements[u.index()] = Some((cycle, cluster));
@@ -778,7 +785,10 @@ mod tests {
         let lb = b.load(1, 8);
         let m = b.op(OpKind::FMul);
         let acc = b.op(OpKind::FAdd);
-        b.flow(la, m, 0).flow(lb, m, 0).flow(m, acc, 0).flow(acc, acc, 1);
+        b.flow(la, m, 0)
+            .flow(lb, m, 0)
+            .flow(m, acc, 0)
+            .flow(acc, acc, 1);
         b.build()
     }
 

@@ -120,16 +120,24 @@ pub fn validate_schedule(
                 ));
             }
             if machine.lp != u32::MAX && lp[row][c] > machine.lp {
-                return Err(format!("LoadR port over-subscription: row {row} cluster {c}"));
+                return Err(format!(
+                    "LoadR port over-subscription: row {row} cluster {c}"
+                ));
             }
             if machine.sp != u32::MAX && sp[row][c] > machine.sp {
-                return Err(format!("StoreR port over-subscription: row {row} cluster {c}"));
+                return Err(format!(
+                    "StoreR port over-subscription: row {row} cluster {c}"
+                ));
             }
         }
         if mem_shared[row] > machine.mem_ports {
             return Err(format!("memory port over-subscription: row {row}"));
         }
-        let buses = if machine.buses == 0 { machine.clusters() } else { machine.buses };
+        let buses = if machine.buses == 0 {
+            machine.clusters()
+        } else {
+            machine.buses
+        };
         if clustered_only && machine.buses != u32::MAX && bus[row] > buses {
             return Err(format!("bus over-subscription: row {row}"));
         }

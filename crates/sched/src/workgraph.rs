@@ -382,10 +382,8 @@ impl WorkGraph {
     ) -> Vec<NodeId> {
         let src_kind = self.ddg.node(edge.src).kind;
         let produced_in_shared = matches!(src_kind, OpKind::Load | OpKind::StoreR);
-        let consumed_from_shared = matches!(
-            self.ddg.node(edge.dst).kind,
-            OpKind::Store | OpKind::LoadR
-        );
+        let consumed_from_shared =
+            matches!(self.ddg.node(edge.dst).kind, OpKind::Store | OpKind::LoadR);
         self.deactivate_edge(edge_id);
         let mut new_nodes = Vec::new();
         let mut new_edges = Vec::new();

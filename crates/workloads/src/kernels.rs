@@ -21,7 +21,10 @@ pub fn daxpy() -> Loop {
     let mul = b.op_invariant(OpKind::FMul);
     let add = b.op(OpKind::FAdd);
     let st = b.store(1, 8);
-    b.flow(lx, mul, 0).flow(mul, add, 0).flow(ly, add, 0).flow(add, st, 0);
+    b.flow(lx, mul, 0)
+        .flow(mul, add, 0)
+        .flow(ly, add, 0)
+        .flow(add, st, 0);
     finish(b, 4096, 16)
 }
 
@@ -32,7 +35,10 @@ pub fn ddot() -> Loop {
     let ly = b.load(1, 8);
     let mul = b.op(OpKind::FMul);
     let acc = b.op(OpKind::FAdd);
-    b.flow(lx, mul, 0).flow(ly, mul, 0).flow(mul, acc, 0).flow(acc, acc, 1);
+    b.flow(lx, mul, 0)
+        .flow(ly, mul, 0)
+        .flow(mul, acc, 0)
+        .flow(acc, acc, 1);
     finish(b, 4096, 16)
 }
 
@@ -51,8 +57,18 @@ pub fn dscal() -> Loop {
 pub fn livermore1_hydro() -> Loop {
     let mut b = DdgBuilder::new("lk1_hydro");
     let ly = b.load(0, 8);
-    let lz10 = b.load_at(MemAccess { base: 1, offset: 80, stride: 8, size: 8 });
-    let lz11 = b.load_at(MemAccess { base: 1, offset: 88, stride: 8, size: 8 });
+    let lz10 = b.load_at(MemAccess {
+        base: 1,
+        offset: 80,
+        stride: 8,
+        size: 8,
+    });
+    let lz11 = b.load_at(MemAccess {
+        base: 1,
+        offset: 88,
+        stride: 8,
+        size: 8,
+    });
     let m_r = b.op_invariant(OpKind::FMul);
     let m_t = b.op_invariant(OpKind::FMul);
     let add_inner = b.op(OpKind::FAdd);
@@ -94,9 +110,24 @@ pub fn livermore7_eos() -> Loop {
     let lu = b.load(0, 8);
     let lz = b.load(1, 8);
     let ly = b.load(2, 8);
-    let lu3 = b.load_at(MemAccess { base: 0, offset: 24, stride: 8, size: 8 });
-    let lu2 = b.load_at(MemAccess { base: 0, offset: 16, stride: 8, size: 8 });
-    let lu1 = b.load_at(MemAccess { base: 0, offset: 8, stride: 8, size: 8 });
+    let lu3 = b.load_at(MemAccess {
+        base: 0,
+        offset: 24,
+        stride: 8,
+        size: 8,
+    });
+    let lu2 = b.load_at(MemAccess {
+        base: 0,
+        offset: 16,
+        stride: 8,
+        size: 8,
+    });
+    let lu1 = b.load_at(MemAccess {
+        base: 0,
+        offset: 8,
+        stride: 8,
+        size: 8,
+    });
     let m1 = b.op_invariant(OpKind::FMul); // r*z[k]
     let m2 = b.op_invariant(OpKind::FMul); // t*u[k+3]
     let a1 = b.op(OpKind::FAdd); // u[k+2] + m2
@@ -140,7 +171,12 @@ pub fn livermore11_firstsum() -> Loop {
 /// Livermore kernel 12 — first difference.
 pub fn livermore12_firstdiff() -> Loop {
     let mut b = DdgBuilder::new("lk12_firstdiff");
-    let ly1 = b.load_at(MemAccess { base: 0, offset: 8, stride: 8, size: 8 });
+    let ly1 = b.load_at(MemAccess {
+        base: 0,
+        offset: 8,
+        stride: 8,
+        size: 8,
+    });
     let ly = b.load(0, 8);
     let sub = b.op(OpKind::FAdd);
     let st = b.store(1, 8);
@@ -155,7 +191,10 @@ pub fn matvec_row() -> Loop {
     let lx = b.load(1, 8);
     let mul = b.op(OpKind::FMul);
     let acc = b.op(OpKind::FAdd);
-    b.flow(la, mul, 0).flow(lx, mul, 0).flow(mul, acc, 0).flow(acc, acc, 1);
+    b.flow(la, mul, 0)
+        .flow(lx, mul, 0)
+        .flow(mul, acc, 0)
+        .flow(acc, acc, 1);
     finish(b, 512, 512)
 }
 
@@ -165,11 +204,24 @@ pub fn matmul_unrolled4() -> Loop {
     let mut b = DdgBuilder::new("matmul_u4");
     let mut all: Vec<NodeId> = Vec::new();
     for k in 0..4u32 {
-        let la = b.load_at(MemAccess { base: 0, offset: (k as i64) * 8, stride: 32, size: 8 });
-        let lb = b.load_at(MemAccess { base: 1, offset: (k as i64) * 8, stride: 32, size: 8 });
+        let la = b.load_at(MemAccess {
+            base: 0,
+            offset: (k as i64) * 8,
+            stride: 32,
+            size: 8,
+        });
+        let lb = b.load_at(MemAccess {
+            base: 1,
+            offset: (k as i64) * 8,
+            stride: 32,
+            size: 8,
+        });
         let mul = b.op(OpKind::FMul);
         let acc = b.op(OpKind::FAdd);
-        b.flow(la, mul, 0).flow(lb, mul, 0).flow(mul, acc, 0).flow(acc, acc, 1);
+        b.flow(la, mul, 0)
+            .flow(lb, mul, 0)
+            .flow(mul, acc, 0)
+            .flow(acc, acc, 1);
         all.push(acc);
     }
     finish(b, 256, 2048)
@@ -178,14 +230,29 @@ pub fn matmul_unrolled4() -> Loop {
 /// 1-D three-point Jacobi stencil: `b[i] = c0*(a[i-1] + a[i] + a[i+1])`.
 pub fn jacobi3() -> Loop {
     let mut b = DdgBuilder::new("jacobi3");
-    let lm = b.load_at(MemAccess { base: 0, offset: -8, stride: 8, size: 8 });
+    let lm = b.load_at(MemAccess {
+        base: 0,
+        offset: -8,
+        stride: 8,
+        size: 8,
+    });
     let lc = b.load(0, 8);
-    let lp = b.load_at(MemAccess { base: 0, offset: 8, stride: 8, size: 8 });
+    let lp = b.load_at(MemAccess {
+        base: 0,
+        offset: 8,
+        stride: 8,
+        size: 8,
+    });
     let a1 = b.op(OpKind::FAdd);
     let a2 = b.op(OpKind::FAdd);
     let m = b.op_invariant(OpKind::FMul);
     let st = b.store(1, 8);
-    b.flow(lm, a1, 0).flow(lc, a1, 0).flow(a1, a2, 0).flow(lp, a2, 0).flow(a2, m, 0).flow(m, st, 0);
+    b.flow(lm, a1, 0)
+        .flow(lc, a1, 0)
+        .flow(a1, a2, 0)
+        .flow(lp, a2, 0)
+        .flow(a2, m, 0)
+        .flow(m, st, 0);
     finish(b, 2046, 100)
 }
 
@@ -194,7 +261,12 @@ pub fn stencil5() -> Loop {
     let mut b = DdgBuilder::new("stencil5");
     let mut sums = Vec::new();
     for (k, off) in [-16i64, -8, 0, 8, 16].iter().enumerate() {
-        let l = b.load_at(MemAccess { base: 0, offset: *off, stride: 8, size: 8 });
+        let l = b.load_at(MemAccess {
+            base: 0,
+            offset: *off,
+            stride: 8,
+            size: 8,
+        });
         let m = b.op_invariant(OpKind::FMul);
         b.flow(l, m, 0);
         let _ = k;
@@ -222,9 +294,19 @@ pub fn stencil5() -> Loop {
 pub fn fft_butterfly() -> Loop {
     let mut b = DdgBuilder::new("fft_butterfly");
     let lar = b.load(0, 16);
-    let lai = b.load_at(MemAccess { base: 0, offset: 8, stride: 16, size: 8 });
+    let lai = b.load_at(MemAccess {
+        base: 0,
+        offset: 8,
+        stride: 16,
+        size: 8,
+    });
     let lbr = b.load(1, 16);
-    let lbi = b.load_at(MemAccess { base: 1, offset: 8, stride: 16, size: 8 });
+    let lbi = b.load_at(MemAccess {
+        base: 1,
+        offset: 8,
+        stride: 16,
+        size: 8,
+    });
     // t = w * b (complex multiply with invariant twiddle)
     let m1 = b.op_invariant(OpKind::FMul);
     let m2 = b.op_invariant(OpKind::FMul);
@@ -238,16 +320,35 @@ pub fn fft_butterfly() -> Loop {
     let or2 = b.op(OpKind::FAdd);
     let oi2 = b.op(OpKind::FAdd);
     let s1 = b.store(2, 16);
-    let s2 = b.store_at(MemAccess { base: 2, offset: 8, stride: 16, size: 8 });
+    let s2 = b.store_at(MemAccess {
+        base: 2,
+        offset: 8,
+        stride: 16,
+        size: 8,
+    });
     let s3 = b.store(3, 16);
-    let s4 = b.store_at(MemAccess { base: 3, offset: 8, stride: 16, size: 8 });
-    b.flow(lbr, m1, 0).flow(lbi, m2, 0).flow(lbr, m3, 0).flow(lbi, m4, 0);
-    b.flow(m1, tr, 0).flow(m2, tr, 0).flow(m3, ti, 0).flow(m4, ti, 0);
+    let s4 = b.store_at(MemAccess {
+        base: 3,
+        offset: 8,
+        stride: 16,
+        size: 8,
+    });
+    b.flow(lbr, m1, 0)
+        .flow(lbi, m2, 0)
+        .flow(lbr, m3, 0)
+        .flow(lbi, m4, 0);
+    b.flow(m1, tr, 0)
+        .flow(m2, tr, 0)
+        .flow(m3, ti, 0)
+        .flow(m4, ti, 0);
     b.flow(lar, or1, 0).flow(tr, or1, 0);
     b.flow(lai, oi1, 0).flow(ti, oi1, 0);
     b.flow(lar, or2, 0).flow(tr, or2, 0);
     b.flow(lai, oi2, 0).flow(ti, oi2, 0);
-    b.flow(or1, s1, 0).flow(oi1, s2, 0).flow(or2, s3, 0).flow(oi2, s4, 0);
+    b.flow(or1, s1, 0)
+        .flow(oi1, s2, 0)
+        .flow(or2, s3, 0)
+        .flow(oi2, s4, 0);
     finish(b, 512, 1024)
 }
 
@@ -296,7 +397,10 @@ pub fn euclidean_distance() -> Loop {
     let st = b.store(2, 8);
     b.flow(lx, mx, 0).flow(lx, mx, 0);
     b.flow(ly, my, 0);
-    b.flow(mx, add, 0).flow(my, add, 0).flow(add, sq, 0).flow(sq, st, 0);
+    b.flow(mx, add, 0)
+        .flow(my, add, 0)
+        .flow(add, sq, 0)
+        .flow(sq, st, 0);
     finish(b, 512, 64)
 }
 
@@ -338,7 +442,12 @@ pub fn abs_max_reduction() -> Loop {
 pub fn gather_scale() -> Loop {
     let mut b = DdgBuilder::new("gather_scale");
     let lidx = b.load(0, 4);
-    let lx = b.load_at(MemAccess { base: 1, offset: 0, stride: 4096, size: 8 });
+    let lx = b.load_at(MemAccess {
+        base: 1,
+        offset: 0,
+        stride: 4096,
+        size: 8,
+    });
     let lw = b.load(2, 8);
     let mul = b.op(OpKind::FMul);
     let st = b.store(3, 8);
@@ -357,7 +466,10 @@ pub fn stream_triad() -> Loop {
     let mul = b.op_invariant(OpKind::FMul);
     let add = b.op(OpKind::FAdd);
     let st = b.store(2, 8);
-    b.flow(lc, mul, 0).flow(lb, add, 0).flow(mul, add, 0).flow(add, st, 0);
+    b.flow(lc, mul, 0)
+        .flow(lb, add, 0)
+        .flow(mul, add, 0)
+        .flow(add, st, 0);
     finish(b, 8192, 20)
 }
 
@@ -420,7 +532,12 @@ pub fn predicated_accumulate() -> Loop {
 pub fn linear_interpolation() -> Loop {
     let mut b = DdgBuilder::new("lerp");
     let l0 = b.load(0, 8);
-    let l1 = b.load_at(MemAccess { base: 0, offset: 8, stride: 8, size: 8 });
+    let l1 = b.load_at(MemAccess {
+        base: 0,
+        offset: 8,
+        stride: 8,
+        size: 8,
+    });
     let lt = b.load(1, 8);
     let sub = b.op(OpKind::FAdd);
     let mul = b.op(OpKind::FMul);
@@ -443,7 +560,10 @@ pub fn normalized_accumulate() -> Loop {
     let lw = b.load(1, 8);
     let div = b.op(OpKind::FDiv);
     let acc = b.op(OpKind::FAdd);
-    b.flow(lx, div, 0).flow(lw, div, 0).flow(div, acc, 0).flow(acc, acc, 1);
+    b.flow(lx, div, 0)
+        .flow(lw, div, 0)
+        .flow(div, acc, 0)
+        .flow(acc, acc, 1);
     finish(b, 512, 32)
 }
 

@@ -31,5 +31,5 @@ pub mod suite;
 pub mod synthetic;
 
 pub use kernels::all_kernels;
-pub use suite::{standard_suite, small_suite, SuiteParams};
+pub use suite::{small_suite, standard_suite, SuiteParams};
 pub use synthetic::{SyntheticParams, SyntheticWorkload};

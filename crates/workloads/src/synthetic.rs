@@ -120,7 +120,11 @@ fn build_memory_loop(b: &mut DdgBuilder, rng: &mut SmallRng) {
     let mut array = 0u32;
     for _ in 0..streams {
         let chain_len = rng.gen_range(0..=2usize);
-        let stride = if rng.gen_bool(0.8) { 8 } else { 8 * rng.gen_range(2..=16) as i64 };
+        let stride = if rng.gen_bool(0.8) {
+            8
+        } else {
+            8 * rng.gen_range(2..=16) as i64
+        };
         let l = b.load(array, stride);
         array += 1;
         let mut prev = l;
@@ -205,7 +209,11 @@ fn build_recurrence_loop(b: &mut DdgBuilder, rng: &mut SmallRng) {
     // Build the cycle: op_0 -> op_1 -> ... -> op_{k-1} -> op_0 (distance = order)
     let mut cycle_nodes = Vec::new();
     for i in 0..cycle_len {
-        let kind = if rng.gen_bool(0.7) { OpKind::FAdd } else { OpKind::FMul };
+        let kind = if rng.gen_bool(0.7) {
+            OpKind::FAdd
+        } else {
+            OpKind::FMul
+        };
         let op = b.op(kind);
         if i == 0 {
             b.flow(feed, op, 0);
@@ -233,7 +241,7 @@ fn build_recurrence_loop(b: &mut DdgBuilder, rng: &mut SmallRng) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcrf_ir::{res_mii, OpLatencies, ResourceCounts};
+    use hcrf_ir::{OpLatencies, ResourceCounts};
 
     #[test]
     fn generation_is_deterministic() {
@@ -306,8 +314,8 @@ mod tests {
         for l in &loops {
             let rec_mii = l.ddg.rec_mii(&lat);
             let (fu_ops, mem_ops) = hcrf_ir::mii::op_counts(&l.ddg);
-            let fu_bound = (fu_ops as f64 / 8.0).ceil() as u32;
-            let mem_bound = (mem_ops as f64 / 4.0).ceil() as u32;
+            let fu_bound = (fu_ops as f64 / res.fus as f64).ceil() as u32;
+            let mem_bound = (mem_ops as f64 / res.mem_ports as f64).ceil() as u32;
             if rec_mii >= fu_bound.max(mem_bound) && rec_mii > 1 {
                 rec += 1;
             } else if mem_bound >= fu_bound {

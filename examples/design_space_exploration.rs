@@ -32,7 +32,16 @@ fn main() {
         .iter()
         .min_by_key(|r| r.execution_cycles)
         .expect("rows");
-    println!("\nfastest configuration        : {} ({:.2}x over S64)", fastest.config, fastest.speedup);
-    println!("smallest register file       : {} ({:.2} Mλ²)", smallest.config, smallest.area);
-    println!("fewest execution cycles      : {} (the monolithic RF always wins this one)", fewest_cycles.config);
+    println!(
+        "\nfastest configuration        : {} ({:.2}x over S64)",
+        fastest.config, fastest.speedup
+    );
+    println!(
+        "smallest register file       : {} ({:.2} Mλ²)",
+        smallest.config, smallest.area
+    );
+    println!(
+        "fewest execution cycles      : {} (the monolithic RF always wins this one)",
+        fewest_cycles.config
+    );
 }

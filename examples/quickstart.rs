@@ -19,7 +19,11 @@ fn main() {
         .flow(add, store, 0);
     let ddg = b.build();
 
-    println!("DAXPY loop: {} operations, {} dependences\n", ddg.num_nodes(), ddg.num_edges());
+    println!(
+        "DAXPY loop: {} operations, {} dependences\n",
+        ddg.num_nodes(),
+        ddg.num_edges()
+    );
 
     for name in ["S128", "4C32", "4C16S64", "8C16S16"] {
         let config = ConfiguredMachine::from_name(name).expect("valid configuration");

@@ -8,7 +8,9 @@ use hcrf::prelude::*;
 use hcrf_workloads::all_kernels;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "lk1_hydro".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "lk1_hydro".to_string());
     let kernels = all_kernels();
     let Some(kernel) = kernels.iter().find(|k| k.ddg.name == which) else {
         eprintln!("unknown kernel '{which}'. Available kernels:");

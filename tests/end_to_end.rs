@@ -14,10 +14,15 @@ fn fast() -> RunOptions {
 #[test]
 fn every_kernel_schedules_and_validates_on_every_organization_family() {
     let loops = small_suite(0);
-    for name in ["S128", "S32", "2C64", "4C32", "1C64S64", "4C16S64", "8C16S16"] {
+    for name in [
+        "S128", "S32", "2C64", "4C32", "1C64S64", "4C16S64", "8C16S16",
+    ] {
         let cfg = ConfiguredMachine::from_name(name).unwrap();
         let run = run_suite(&cfg, &loops, &fast());
-        assert_eq!(run.aggregate.failed_loops, 0, "{name}: loops failed to schedule");
+        assert_eq!(
+            run.aggregate.failed_loops, 0,
+            "{name}: loops failed to schedule"
+        );
         for (l, r) in loops.iter().zip(run.loops.iter()) {
             validate_schedule(&l.ddg, &cfg.machine, &r.schedule)
                 .unwrap_or_else(|e| panic!("{name} / {}: {e}", l.ddg.name));
@@ -64,7 +69,10 @@ fn ipc_saturates_with_more_resources() {
     let points = fig1::run(&loops, &fast());
     assert_eq!(points.len(), 5);
     for w in points.windows(2) {
-        assert!(w[1].ipc + 1e-9 >= w[0].ipc, "IPC must not decrease with more resources");
+        assert!(
+            w[1].ipc + 1e-9 >= w[0].ipc,
+            "IPC must not decrease with more resources"
+        );
     }
     // The paper's Perfect Club workbench reaches efficiency > 0.5 at 8+4;
     // the reduced kernel suite is recurrence-heavier, so only a loose lower
@@ -135,7 +143,9 @@ fn real_memory_scenario_produces_stalls_and_prefetching_reduces_them() {
     let stalls_without = run_suite(&cfg, &loops, &no_prefetch).aggregate.stall_cycles;
     // With selective binding prefetching.
     let with_prefetch = RunOptions::fast().with_real_memory();
-    let stalls_with = run_suite(&cfg, &loops, &with_prefetch).aggregate.stall_cycles;
+    let stalls_with = run_suite(&cfg, &loops, &with_prefetch)
+        .aggregate
+        .stall_cycles;
     assert!(stalls_without > 0);
     assert!(
         stalls_with < stalls_without,

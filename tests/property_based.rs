@@ -2,7 +2,7 @@
 //! invariants, MII bounds, register-file model monotonicity and notation
 //! round-trips.
 
-use hcrf_ir::{mii, res_mii, DdgBuilder, Ddg, OpKind, OpLatencies, ResourceCounts};
+use hcrf_ir::{mii, res_mii, Ddg, DdgBuilder, OpKind, OpLatencies, ResourceCounts};
 use hcrf_machine::{MachineConfig, RfOrganization};
 use hcrf_rfmodel::AnalyticRfModel;
 use hcrf_sched::{schedule_loop, validate_schedule, SchedulerParams};
@@ -22,7 +22,7 @@ fn arb_loop(max_nodes: usize) -> impl Strategy<Value = Ddg> {
         let mut array = 0u32;
         for k in &kinds {
             let id = match k % 10 {
-                0 | 1 | 2 => {
+                0..=2 => {
                     array += 1;
                     b.load(array, 8)
                 }
@@ -30,7 +30,7 @@ fn arb_loop(max_nodes: usize) -> impl Strategy<Value = Ddg> {
                     array += 1;
                     b.store(array, 8)
                 }
-                4 | 5 | 6 => b.op(OpKind::FAdd),
+                4..=6 => b.op(OpKind::FAdd),
                 7 | 8 => b.op(OpKind::FMul),
                 _ => b.op(OpKind::FDiv),
             };
@@ -61,10 +61,12 @@ fn arb_loop(max_nodes: usize) -> impl Strategy<Value = Ddg> {
 }
 
 fn machines() -> Vec<MachineConfig> {
-    ["S64", "S32", "4C32", "2C64", "1C64S64", "4C16S64", "8C16S16"]
-        .iter()
-        .map(|s| MachineConfig::paper_baseline(RfOrganization::parse(s).unwrap()))
-        .collect()
+    [
+        "S64", "S32", "4C32", "2C64", "1C64S64", "4C16S64", "8C16S16",
+    ]
+    .iter()
+    .map(|s| MachineConfig::paper_baseline(RfOrganization::parse(s).unwrap()))
+    .collect()
 }
 
 /// Scheduler parameters for the property tests: generated loops can contain
@@ -149,8 +151,13 @@ proptest! {
         prop_assert_eq!(parsed, rf);
     }
 
-    /// Cache simulation invariants: misses never exceed accesses, stalls are
-    /// zero when every access is covered by the assumed latency.
+    /// Cache simulation invariants: misses never exceed accesses, and
+    /// binding prefetching hides the full miss latency, so a fully
+    /// prefetched kernel can only stall *structurally* — when more miss
+    /// streams are in flight than the lockup-free cache sustains. The
+    /// streams' 1 MiB-aligned bases conflict in the same set, so each stream
+    /// keeps up to two line generations outstanding; within the MSHR budget
+    /// there must be no stall at all.
     #[test]
     fn cache_sim_invariants(streams in 1usize..12, iterations in 1u64..200) {
         use hcrf_ir::MemAccess;
@@ -166,6 +173,12 @@ proptest! {
             .collect();
         let r = simulate_kernel(&accesses, 4, iterations, cfg, 256);
         prop_assert!(r.misses <= r.accesses);
-        prop_assert_eq!(r.stall_cycles, 0, "fully prefetched accesses cannot stall");
+        if streams as u32 * 2 <= cfg.mshrs {
+            prop_assert_eq!(
+                r.stall_cycles,
+                0,
+                "fully prefetched accesses cannot stall within the MSHR budget"
+            );
+        }
     }
 }

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` *names* (trait + derive macro in
+//! the same paths as upstream) so the workspace's annotations compile without
+//! registry access. The traits are deliberately empty markers: everything that
+//! actually persists data in this workspace uses the explicit JSON codecs in
+//! `hcrf-explore` (`crates/explore/src/json.rs`).
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

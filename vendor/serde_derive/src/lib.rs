@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real derive generates full (de)serialization code. This stand-in only
+//! keeps `#[derive(Serialize, Deserialize)]` annotations compiling in an
+//! environment without registry access: it parses the type name out of the
+//! item and emits an empty marker `impl` (or nothing when the type is
+//! generic). Actual persistence in this workspace goes through the explicit
+//! JSON codecs in `hcrf-explore`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the `struct` / `enum` the derive is attached to and
+/// whether it has generic parameters.
+fn item_name(input: &TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic =
+                        matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+                    return Some((name.to_string(), generic));
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match item_name(&input) {
+        Some((name, false)) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Marker derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Marker derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
