@@ -6,7 +6,7 @@
 //! clusters and (c) balance register pressure.
 
 use crate::mrt::Mrt;
-use crate::pressure::Pressure;
+use crate::pressure::PressureQuery;
 use crate::workgraph::WorkGraph;
 use hcrf_ir::{NodeId, OpKind, ResourceClass};
 
@@ -33,7 +33,7 @@ pub fn select_cluster(
     w: &WorkGraph,
     mrt: &Mrt,
     placements: &[Option<(i64, u32)>],
-    pressure: &Pressure,
+    pressure: &dyn PressureQuery,
 ) -> ClusterChoice {
     let clusters = mrt.caps().clusters;
     let kind = w.ddg.node(u).kind;
@@ -75,7 +75,7 @@ pub fn select_cluster(
     for c in 0..clusters {
         let comm = communication_cost(w, placements, u, c);
         let free_slots = mrt.free_fu_slots(c) as i64;
-        let press = pressure.cluster.get(c as usize).copied().unwrap_or(0) as i64;
+        let press = pressure.cluster_live(c) as i64;
         // Lower is better: communication dominates, then register pressure,
         // then (negated) free slots for load balance.
         let score = (comm as i64) * 1000 + press * 10 - free_slots;

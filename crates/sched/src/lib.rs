@@ -58,6 +58,7 @@ pub mod validate;
 pub mod workgraph;
 
 pub use port_profile::{port_requirements, PortRequirement};
+pub use pressure::{Pressure, PressureQuery, PressureTracker, ValueLifetime};
 pub use scheduler::{schedule_loop, schedule_loop_baseline36, IterativeScheduler};
 pub use types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats};
 pub use validate::validate_schedule;

@@ -12,6 +12,7 @@
 use crate::types::{BankAssignment, Placement};
 use crate::workgraph::WorkGraph;
 use hcrf_ir::{DepKind, NodeId, OpLatencies};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Lifetime of one value in one bank.
@@ -61,6 +62,34 @@ impl Pressure {
             BankAssignment::Cluster(c) => self.cluster.get(c as usize).copied().unwrap_or(0),
             BankAssignment::Shared => self.shared,
         }
+    }
+}
+
+/// Read-only view of the register pressure of a (partial) schedule.
+///
+/// Implemented both by the batch [`Pressure`] snapshot and by the
+/// incremental [`PressureTracker`], so cluster selection and spill checking
+/// can run against either without knowing which engine produced the numbers.
+pub trait PressureQuery {
+    /// MaxLive of cluster bank `c` (0 for out-of-range banks).
+    fn cluster_live(&self, c: u32) -> u32;
+    /// MaxLive of the shared bank (0 when the machine has none).
+    fn shared_live(&self) -> u32;
+    /// MaxLive of an arbitrary bank.
+    fn live(&self, bank: BankAssignment) -> u32 {
+        match bank {
+            BankAssignment::Cluster(c) => self.cluster_live(c),
+            BankAssignment::Shared => self.shared_live(),
+        }
+    }
+}
+
+impl PressureQuery for Pressure {
+    fn cluster_live(&self, c: u32) -> u32 {
+        self.cluster.get(c as usize).copied().unwrap_or(0)
+    }
+    fn shared_live(&self) -> u32 {
+        self.shared
     }
 }
 
@@ -185,6 +214,265 @@ pub fn pressure_final(
     pressure(w, &partial, ii, clusters, lat, false)
 }
 
+/// Incremental register-pressure engine.
+///
+/// Maintains exactly the state the batch [`pressure`] function derives from
+/// scratch — per-bank row-occupancy vectors, per-def [`ValueLifetime`]s and
+/// per-node invariant-register counts — but as deltas: placing or ejecting a
+/// node only perturbs the lifetime of that node's own def and of the defs
+/// feeding it through active flow edges, so [`PressureTracker::touch`]
+/// re-derives just those few lifetimes and applies the row difference.
+/// Bank queries then cost O(II) instead of O(nodes · edges · II).
+///
+/// The contract with the batch oracle: after every mutation is reported
+/// (placements via `touch`, graph rewirings via [`PressureTracker::refresh`]
+/// on the defs the [`WorkGraph`] marks dirty), every bank query and the
+/// stored lifetime set equal what `pressure()` would compute from the same
+/// placements. `tests/property_based.rs` asserts this after each step of
+/// randomized place/eject sequences.
+#[derive(Debug, Clone)]
+pub struct PressureTracker {
+    ii: u32,
+    clusters: u32,
+    rows_cluster: Vec<Vec<u32>>,
+    rows_shared: Vec<u32>,
+    invariant_cluster: Vec<u32>,
+    invariant_shared: u32,
+    /// Stored contribution of each def node (`None` = contributes nothing).
+    lifetimes: Vec<Option<ValueLifetime>>,
+    /// Bank in which each placed invariant-reading node pins one register.
+    invariant_of: Vec<Option<BankAssignment>>,
+    /// Lazily cached per-bank row maximum (`(max, valid)`): queries cost
+    /// O(1) for every bank untouched since the last query instead of O(II).
+    max_cluster: Vec<Cell<(u32, bool)>>,
+    max_shared: Cell<(u32, bool)>,
+    /// Reusable buffer for the flow predecessors visited by `touch`.
+    scratch: Vec<NodeId>,
+}
+
+impl PressureTracker {
+    /// Empty tracker for a schedule attempt at the given II.
+    pub fn new(ii: u32, clusters: u32, num_nodes: usize) -> Self {
+        let ii = ii.max(1);
+        PressureTracker {
+            ii,
+            clusters,
+            rows_cluster: vec![vec![0; ii as usize]; clusters as usize],
+            rows_shared: vec![0; ii as usize],
+            invariant_cluster: vec![0; clusters as usize],
+            invariant_shared: 0,
+            lifetimes: vec![None; num_nodes],
+            invariant_of: vec![None; num_nodes],
+            max_cluster: vec![Cell::new((0, true)); clusters as usize],
+            max_shared: Cell::new((0, true)),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// II the tracker was built for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Keep the per-node arrays in sync with a growing graph.
+    pub fn grow(&mut self, num_nodes: usize) {
+        if num_nodes > self.lifetimes.len() {
+            self.lifetimes.resize(num_nodes, None);
+            self.invariant_of.resize(num_nodes, None);
+        }
+    }
+
+    /// Report that `node` was placed or ejected: re-derives the lifetime of
+    /// `node` itself and of every def feeding it through an active flow edge
+    /// (the only lifetimes its placement can perturb).
+    pub fn touch(&mut self, w: &WorkGraph, placements: &[Option<(i64, u32)>], node: NodeId) {
+        self.refresh(w, placements, node);
+        let mut preds = std::mem::take(&mut self.scratch);
+        preds.clear();
+        preds.extend(
+            w.active_pred_edges(node)
+                .filter(|(_, e)| e.kind == DepKind::Flow && e.src != node)
+                .map(|(_, e)| e.src),
+        );
+        for &p in &preds {
+            self.refresh(w, placements, p);
+        }
+        self.scratch = preds;
+    }
+
+    /// Recompute the stored contribution of one def from the current graph
+    /// and placements (idempotent; clears the contribution when the node is
+    /// inactive or unplaced).
+    pub fn refresh(&mut self, w: &WorkGraph, placements: &[Option<(i64, u32)>], node: NodeId) {
+        let i = node.index();
+        self.grow(i + 1);
+        if let Some(old) = self.lifetimes[i].take() {
+            self.apply(&old, false);
+        }
+        if let Some(bank) = self.invariant_of[i].take() {
+            match bank {
+                BankAssignment::Shared => self.invariant_shared -= 1,
+                BankAssignment::Cluster(c) => self.invariant_cluster[c as usize] -= 1,
+            }
+        }
+        if !w.is_active(node) {
+            return;
+        }
+        let Some((def_cycle, def_cluster)) = placements[i] else {
+            return;
+        };
+        let n = w.ddg.node(node);
+        if n.reads_invariant {
+            let bank = match w.def_bank(node, def_cluster) {
+                Some(BankAssignment::Shared) => BankAssignment::Shared,
+                _ => BankAssignment::Cluster(def_cluster),
+            };
+            match bank {
+                BankAssignment::Shared => self.invariant_shared += 1,
+                BankAssignment::Cluster(c) => self.invariant_cluster[c as usize] += 1,
+            }
+            self.invariant_of[i] = Some(bank);
+        }
+        if !n.kind.defines_value() {
+            return;
+        }
+        let Some(bank) = w.def_bank(node, def_cluster) else {
+            return;
+        };
+        let start = def_cycle;
+        let mut end = start + 1;
+        let mut last_consumer = None;
+        for (_, e) in w.active_succ_edges(node) {
+            if e.kind != DepKind::Flow || !w.is_active(e.dst) {
+                continue;
+            }
+            let Some((use_cycle, _)) = placements[e.dst.index()] else {
+                continue;
+            };
+            let read = use_cycle + (self.ii as i64) * e.distance as i64;
+            if read + 1 > end {
+                end = read + 1;
+                last_consumer = Some(e.dst);
+            }
+        }
+        let lt = ValueLifetime {
+            def: node,
+            bank,
+            start,
+            end,
+            last_consumer,
+        };
+        self.apply(&lt, true);
+        self.lifetimes[i] = Some(lt);
+    }
+
+    /// Add or remove one lifetime's per-row register occupancy.
+    fn apply(&mut self, lt: &ValueLifetime, add: bool) {
+        let ii = self.ii;
+        let length = lt.length();
+        let full = (length / ii as i64) as u32;
+        let rem = (length % ii as i64) as u32;
+        let rows = match lt.bank {
+            BankAssignment::Cluster(c) => {
+                self.max_cluster[c as usize].set((0, false));
+                &mut self.rows_cluster[c as usize]
+            }
+            BankAssignment::Shared => {
+                self.max_shared.set((0, false));
+                &mut self.rows_shared
+            }
+        };
+        if full > 0 {
+            for r in rows.iter_mut() {
+                if add {
+                    *r += full;
+                } else {
+                    *r -= full;
+                }
+            }
+        }
+        let start_row = lt.start.rem_euclid(ii as i64) as u32;
+        for k in 0..rem {
+            let r = ((start_row + k) % ii) as usize;
+            if add {
+                rows[r] += 1;
+            } else {
+                rows[r] -= 1;
+            }
+        }
+    }
+
+    /// Currently stored lifetimes, in ascending def-node order — the same
+    /// order `pressure()` emits them in, so spill-candidate tie-breaking is
+    /// identical between the two engines.
+    pub fn live_lifetimes(&self) -> impl Iterator<Item = &ValueLifetime> {
+        self.lifetimes.iter().filter_map(|l| l.as_ref())
+    }
+
+    /// Compare against the batch oracle; returns a description of the first
+    /// divergence, if any. Test/debug aid.
+    pub fn diff_from_batch(
+        &self,
+        w: &WorkGraph,
+        placements: &[Option<(i64, u32)>],
+        lat: &OpLatencies,
+    ) -> Option<String> {
+        let oracle = pressure(w, placements, self.ii, self.clusters, lat, false);
+        for c in 0..self.clusters {
+            if self.cluster_live(c) != oracle.of(BankAssignment::Cluster(c)) {
+                return Some(format!(
+                    "cluster {c}: tracker {} vs batch {}",
+                    self.cluster_live(c),
+                    oracle.of(BankAssignment::Cluster(c))
+                ));
+            }
+        }
+        if self.shared_live() != oracle.shared {
+            return Some(format!(
+                "shared: tracker {} vs batch {}",
+                self.shared_live(),
+                oracle.shared
+            ));
+        }
+        let mine: Vec<ValueLifetime> = self.live_lifetimes().copied().collect();
+        if mine != oracle.lifetimes {
+            return Some(format!(
+                "lifetimes diverge: tracker {mine:?} vs batch {:?}",
+                oracle.lifetimes
+            ));
+        }
+        None
+    }
+}
+
+impl PressureQuery for PressureTracker {
+    fn cluster_live(&self, c: u32) -> u32 {
+        let Some(rows) = self.rows_cluster.get(c as usize) else {
+            return 0;
+        };
+        let (cached, valid) = self.max_cluster[c as usize].get();
+        let max = if valid {
+            cached
+        } else {
+            let m = rows.iter().copied().max().unwrap_or(0);
+            self.max_cluster[c as usize].set((m, true));
+            m
+        };
+        max + self.invariant_cluster[c as usize]
+    }
+    fn shared_live(&self) -> u32 {
+        let (cached, valid) = self.max_shared.get();
+        let max = if valid {
+            cached
+        } else {
+            let m = self.rows_shared.iter().copied().max().unwrap_or(0);
+            self.max_shared.set((m, true));
+            m
+        };
+        max + self.invariant_shared
+    }
+}
+
 /// Pick the best value to spill from an over-pressured bank: the live value
 /// with the longest lifetime whose last consumer can still be rerouted
 /// (it must be reachable through an active flow edge and must not already be
@@ -194,9 +482,18 @@ pub fn pick_spill_candidate<'a>(
     pressure: &'a Pressure,
     bank: BankAssignment,
 ) -> Option<&'a ValueLifetime> {
-    pressure
-        .lifetimes
-        .iter()
+    pick_spill_candidate_from(w, pressure.lifetimes.iter(), bank)
+}
+
+/// [`pick_spill_candidate`] over any lifetime source — the incremental
+/// tracker and the batch snapshot must feed lifetimes in the same (def-node)
+/// order for the two engines to break length ties identically.
+pub fn pick_spill_candidate_from<'a>(
+    w: &WorkGraph,
+    lifetimes: impl Iterator<Item = &'a ValueLifetime>,
+    bank: BankAssignment,
+) -> Option<&'a ValueLifetime> {
+    lifetimes
         .filter(|lt| lt.bank == bank)
         .filter(|lt| lt.last_consumer.is_some())
         .filter(|lt| {
@@ -320,6 +617,83 @@ mod tests {
         let p = pressure(&w, &place, 2, 1, &lat(), false);
         assert_eq!(p.cluster[0], 0);
         assert!(p.lifetimes.is_empty());
+    }
+
+    #[test]
+    fn tracker_matches_batch_after_each_step() {
+        // Place and eject the nodes of a small fanout loop one at a time on
+        // a hierarchical machine; after every step the incremental tracker
+        // must agree with the batch oracle on every bank and lifetime.
+        let mut b = DdgBuilder::new("t");
+        let l = b.load(0, 8);
+        let m1 = b.op_invariant(OpKind::FMul);
+        let a = b.op(OpKind::FAdd);
+        let s = b.store(1, 8);
+        b.flow(l, m1, 0).flow(m1, a, 0).flow(a, a, 1).flow(a, s, 0);
+        let g = b.build();
+        let machine = machine("4C16S64");
+        let mut w = WorkGraph::new(&g, &machine);
+        let ii = 3;
+        let clusters = 4;
+        let mut place: Vec<Option<(i64, u32)>> = vec![None; w.ddg.num_nodes()];
+        let mut tracker = PressureTracker::new(ii, clusters, w.ddg.num_nodes());
+        for n in w.take_pressure_dirty() {
+            tracker.refresh(&w, &place, n);
+        }
+        let nodes: Vec<NodeId> = w.active_nodes().collect();
+        for (step, n) in nodes.iter().enumerate() {
+            place[n.index()] = Some((step as i64 * 2, (step as u32) % clusters));
+            tracker.touch(&w, &place, *n);
+            assert_eq!(tracker.diff_from_batch(&w, &place, &lat()), None);
+        }
+        for n in nodes.iter().step_by(2) {
+            place[n.index()] = None;
+            tracker.touch(&w, &place, *n);
+            assert_eq!(tracker.diff_from_batch(&w, &place, &lat()), None);
+        }
+    }
+
+    #[test]
+    fn tracker_follows_chain_insertion_and_removal() {
+        // A communication chain rewires flow edges; draining the dirty set
+        // must bring the tracker back in line with the batch oracle.
+        let mut b = DdgBuilder::new("c");
+        let p = b.op(OpKind::FMul);
+        let c = b.op(OpKind::FAdd);
+        b.flow(p, c, 0);
+        let g = b.build();
+        let machine = machine("2C64");
+        let mut w = WorkGraph::new(&g, &machine);
+        let ii = 2;
+        let mut place: Vec<Option<(i64, u32)>> = vec![None; w.ddg.num_nodes()];
+        let mut tracker = PressureTracker::new(ii, 2, w.ddg.num_nodes());
+        place[p.index()] = Some((0, 0));
+        tracker.touch(&w, &place, p);
+        place[c.index()] = Some((9, 1));
+        tracker.touch(&w, &place, c);
+        let edge_id = w.ddg.edges().next().map(|(id, _)| id).unwrap();
+        let new_nodes = w.insert_communication(c, edge_id);
+        place.resize(w.ddg.num_nodes(), None);
+        tracker.grow(w.ddg.num_nodes());
+        for n in w.take_pressure_dirty() {
+            tracker.refresh(&w, &place, n);
+        }
+        assert_eq!(tracker.diff_from_batch(&w, &place, &lat()), None);
+        place[new_nodes[0].index()] = Some((5, 1));
+        tracker.touch(&w, &place, new_nodes[0]);
+        assert_eq!(tracker.diff_from_batch(&w, &place, &lat()), None);
+        // Undo the chain; the producer's lifetime must stretch to the
+        // consumer again.
+        for r in w.remove_chains_for(c) {
+            place[r.index()] = None;
+            tracker.touch(&w, &place, r);
+        }
+        for n in w.take_pressure_dirty() {
+            tracker.refresh(&w, &place, n);
+        }
+        assert_eq!(tracker.diff_from_batch(&w, &place, &lat()), None);
+        let producer_lt = tracker.live_lifetimes().find(|lt| lt.def == p).unwrap();
+        assert_eq!(producer_lt.end, 10);
     }
 
     #[test]

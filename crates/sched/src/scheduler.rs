@@ -15,7 +15,10 @@
 use crate::cluster::select_cluster;
 use crate::mrt::{Mrt, ResourceCaps};
 use crate::order::{priority_order, PriorityOrder};
-use crate::pressure::{pick_spill_candidate, pressure, Pressure};
+use crate::pressure::{
+    pick_spill_candidate, pick_spill_candidate_from, pressure, Pressure, PressureQuery,
+    PressureTracker,
+};
 use crate::types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats};
 use crate::workgraph::WorkGraph;
 use hcrf_ir::{mii as mii_mod, Ddg, DepKind, NodeId, OpKind, OpLatencies};
@@ -48,12 +51,27 @@ pub fn schedule_loop_baseline36(ddg: &Ddg, machine: &MachineConfig) -> ScheduleR
 pub struct IterativeScheduler {
     machine: MachineConfig,
     params: SchedulerParams,
+    batch_pressure: bool,
 }
 
 /// Outcome of one II attempt.
 enum Attempt {
     Success(Box<AttemptState>),
     Exhausted,
+}
+
+/// Outcome of the pressure-check/spill loop run after placing one node.
+enum SpillOutcome {
+    /// Every bounded bank fits, or no further spilling is possible (the
+    /// end-of-attempt capacity check has the final word); keep scheduling.
+    Continue,
+    /// The spill-round budget is exhausted with a bank still over capacity:
+    /// abandon this II promptly instead of paying pressure checks for every
+    /// remaining node of a schedule the final capacity check must reject.
+    SpillLimit,
+    /// A spill operation could not be scheduled (baseline scheduler with no
+    /// free slot); abandon the attempt.
+    ScheduleFailed,
 }
 
 /// Mutable state of one II attempt.
@@ -67,12 +85,38 @@ struct AttemptState {
     budget: i64,
     stats: SchedulerStats,
     ii: u32,
+    tracker: PressureTracker,
+}
+
+impl AttemptState {
+    /// Bring the incremental tracker up to date with any graph rewiring
+    /// (chain insertion/removal) since the last query.
+    fn sync_pressure(&mut self) {
+        for n in self.w.take_pressure_dirty() {
+            self.tracker.refresh(&self.w, &self.placements, n);
+        }
+    }
 }
 
 impl IterativeScheduler {
     /// Create a scheduler for the given machine.
     pub fn new(machine: MachineConfig, params: SchedulerParams) -> Self {
-        IterativeScheduler { machine, params }
+        IterativeScheduler {
+            machine,
+            params,
+            batch_pressure: false,
+        }
+    }
+
+    /// Answer every register-pressure query by recomputing the batch
+    /// [`pressure`] snapshot from scratch instead of consulting the
+    /// incremental tracker. Scheduling decisions are bit-identical either
+    /// way (the equivalence tests assert it); this exists so benches and
+    /// tests can measure and cross-check the incremental engine against the
+    /// paper-literal recompute-the-world implementation.
+    pub fn with_batch_pressure_oracle(mut self) -> Self {
+        self.batch_pressure = true;
+        self
     }
 
     /// The machine this scheduler targets.
@@ -148,6 +192,7 @@ impl IterativeScheduler {
         // ping-pong must not keep the attempt alive forever.
         let attempt_cap =
             64 * (w.active_count() as u64 + 8) * (self.params.budget_ratio as u64).max(1);
+        let clusters = self.machine.clusters();
         let mut state = AttemptState {
             w,
             mrt,
@@ -158,8 +203,8 @@ impl IterativeScheduler {
             budget,
             stats: SchedulerStats::default(),
             ii,
+            tracker: PressureTracker::new(ii, clusters, n),
         };
-        let clusters = self.machine.clusters();
         let spill_round_limit = 4 * (ddg.num_nodes() as u32 + 4);
         let mut spill_rounds = 0u32;
 
@@ -173,8 +218,16 @@ impl IterativeScheduler {
                 return Attempt::Exhausted;
             }
             // 1. Cluster selection.
-            let pr = self.current_pressure(&state, lat);
-            let choice = select_cluster(u, &state.w, &state.mrt, &state.placements, &pr);
+            let choice = if self.batch_pressure {
+                // Oracle mode never consults the tracker; discard the dirty
+                // set so it cannot grow for the whole attempt.
+                state.w.take_pressure_dirty();
+                let pr = self.current_pressure(&state, lat);
+                select_cluster(u, &state.w, &state.mrt, &state.placements, &pr)
+            } else {
+                state.sync_pressure();
+                select_cluster(u, &state.w, &state.mrt, &state.placements, &state.tracker)
+            };
             // 2. Communication with already placed neighbours.
             if !self.insert_and_schedule_communication(&mut state, u, choice.cluster, lat) {
                 return Attempt::Exhausted;
@@ -184,14 +237,27 @@ impl IterativeScheduler {
                 return Attempt::Exhausted;
             }
             // 4. Register pressure / spill.
-            if self.has_bounded_banks()
-                && !self.check_and_spill(&mut state, u, lat, &mut spill_rounds, spill_round_limit)
-            {
-                return Attempt::Exhausted;
+            if self.has_bounded_banks() {
+                match self.check_and_spill(&mut state, u, lat, &mut spill_rounds, spill_round_limit)
+                {
+                    SpillOutcome::Continue => {}
+                    SpillOutcome::SpillLimit | SpillOutcome::ScheduleFailed => {
+                        return Attempt::Exhausted;
+                    }
+                }
             }
             state.budget -= 1;
             if state.budget <= 0 {
-                return Attempt::Exhausted;
+                // The budget only fails the attempt while unscheduled work
+                // remains: a schedule whose last placement lands exactly on
+                // budget 0 is complete, not exhausted.
+                let unplaced_remain = state
+                    .w
+                    .active_nodes()
+                    .any(|nd| state.placements[nd.index()].is_none());
+                if unplaced_remain {
+                    return Attempt::Exhausted;
+                }
             }
         }
 
@@ -204,15 +270,21 @@ impl IterativeScheduler {
             return Attempt::Exhausted;
         }
         if self.has_bounded_banks() {
-            let pr = pressure(
-                &state.w,
-                &state.placements,
-                ii,
-                clusters,
-                lat,
-                self.params.binding_prefetch,
-            );
-            if self.over_capacity_bank(&pr).is_some() {
+            let over = if self.batch_pressure {
+                let pr = pressure(
+                    &state.w,
+                    &state.placements,
+                    ii,
+                    clusters,
+                    lat,
+                    self.params.binding_prefetch,
+                );
+                self.over_capacity_bank(&pr).is_some()
+            } else {
+                state.sync_pressure();
+                self.over_capacity_bank(&state.tracker).is_some()
+            };
+            if over {
                 return Attempt::Exhausted;
             }
         }
@@ -242,15 +314,15 @@ impl IterativeScheduler {
     }
 
     /// Find a bank whose MaxLive exceeds its capacity.
-    fn over_capacity_bank(&self, pr: &Pressure) -> Option<BankAssignment> {
+    fn over_capacity_bank(&self, pr: &dyn PressureQuery) -> Option<BankAssignment> {
         let cluster_cap = self.machine.cluster_regs();
-        for (c, live) in pr.cluster.iter().enumerate() {
-            if *live > cluster_cap {
-                return Some(BankAssignment::Cluster(c as u32));
+        for c in 0..self.machine.clusters() {
+            if pr.cluster_live(c) > cluster_cap {
+                return Some(BankAssignment::Cluster(c));
             }
         }
         if let Some(shared_cap) = self.machine.shared_regs() {
-            if pr.shared > shared_cap {
+            if pr.shared_live() > shared_cap {
                 return Some(BankAssignment::Shared);
             }
         }
@@ -331,22 +403,44 @@ impl IterativeScheduler {
         lat: &OpLatencies,
         spill_rounds: &mut u32,
         spill_round_limit: u32,
-    ) -> bool {
+    ) -> SpillOutcome {
         loop {
-            let pr = self.current_pressure(state, lat);
-            let Some(bank) = self.over_capacity_bank(&pr) else {
-                return true;
+            // One pressure probe per round: the over-capacity bank and, if
+            // any, the spill candidate picked from the same lifetime set.
+            let probe = if self.batch_pressure {
+                let pr = self.current_pressure(state, lat);
+                self.over_capacity_bank(&pr)
+                    .map(|bank| (bank, pick_spill_candidate(&state.w, &pr, bank).copied()))
+            } else {
+                state.sync_pressure();
+                self.over_capacity_bank(&state.tracker).map(|bank| {
+                    (
+                        bank,
+                        pick_spill_candidate_from(&state.w, state.tracker.live_lifetimes(), bank)
+                            .copied(),
+                    )
+                })
+            };
+            let Some((bank, candidate)) = probe else {
+                return SpillOutcome::Continue;
             };
             if *spill_rounds >= spill_round_limit {
-                // Give up on this II; a larger II usually lowers MaxLive.
-                return true;
+                // Spill budget exhausted with a bank still over capacity:
+                // give up on this II promptly (a larger II usually lowers
+                // MaxLive) instead of scheduling the rest of the worklist
+                // while over capacity. Later ejections could in principle
+                // still pull the bank back under its limit, but pressure
+                // this far past the spill budget almost never recovers, and
+                // every further placement would pay a pressure + spill
+                // check for it.
+                return SpillOutcome::SpillLimit;
             }
-            let Some(candidate) = pick_spill_candidate(&state.w, &pr, bank) else {
-                return true;
+            let Some(candidate) = candidate else {
+                return SpillOutcome::Continue;
             };
             let def = candidate.def;
             let Some(last_consumer) = candidate.last_consumer else {
-                return true;
+                return SpillOutcome::Continue;
             };
             // Find the active flow edge def -> last_consumer to reroute.
             let Some(edge_id) = state
@@ -355,7 +449,7 @@ impl IterativeScheduler {
                 .find(|(_, e)| e.kind == DepKind::Flow && e.dst == last_consumer)
                 .map(|(id, _)| id)
             else {
-                return true;
+                return SpillOutcome::Continue;
             };
             *spill_rounds += 1;
             let to_shared = state.w.is_hierarchical() && matches!(bank, BankAssignment::Cluster(_));
@@ -377,7 +471,7 @@ impl IterativeScheduler {
                     _ => consumer_cluster,
                 };
                 if !self.schedule_node(state, node, target, lat) {
-                    return false;
+                    return SpillOutcome::ScheduleFailed;
                 }
             }
         }
@@ -388,6 +482,7 @@ impl IterativeScheduler {
         let n = state.w.ddg.num_nodes();
         state.placements.resize(n, None);
         state.prev_cycle.resize(n, None);
+        state.tracker.grow(n);
     }
 
     /// Schedule one node on a cluster, forcing a slot and ejecting
@@ -589,6 +684,9 @@ impl IterativeScheduler {
         if let Some((cycle, cluster)) = state.placements[v.index()].take() {
             let kind = state.w.ddg.node(v).kind;
             state.mrt.remove(kind, cycle, cluster, lat);
+            if !self.batch_pressure {
+                state.tracker.touch(&state.w, &state.placements, v);
+            }
         }
         if state.w.is_inserted(v) {
             if let Some(chain) = state.w.chain_containing(v) {
@@ -607,6 +705,9 @@ impl IterativeScheduler {
                     if let Some((cycle, cluster)) = state.placements[r.index()].take() {
                         let kind = state.w.ddg.node(r).kind;
                         state.mrt.remove(kind, cycle, cluster, lat);
+                    }
+                    if !self.batch_pressure {
+                        state.tracker.touch(&state.w, &state.placements, r);
                     }
                 }
                 if owner != v && state.w.is_active(owner) {
@@ -630,6 +731,9 @@ impl IterativeScheduler {
                     let kind = state.w.ddg.node(r).kind;
                     state.mrt.remove(kind, cycle, cluster, lat);
                 }
+                if !self.batch_pressure {
+                    state.tracker.touch(&state.w, &state.placements, r);
+                }
             }
         }
         state.worklist.push(Reverse((state.order.rank_of(v), v.0)));
@@ -647,6 +751,9 @@ impl IterativeScheduler {
         state.mrt.place(kind, cycle, cluster, lat);
         state.placements[u.index()] = Some((cycle, cluster));
         state.prev_cycle[u.index()] = Some(cycle);
+        if !self.batch_pressure {
+            state.tracker.touch(&state.w, &state.placements, u);
+        }
     }
 
     /// Build the public result from a successful attempt.
@@ -695,6 +802,12 @@ impl IterativeScheduler {
         let total_ops = state.w.active_count() as u32;
         let mut stats = state.stats;
         stats.ii_restarts = 0; // filled by the caller
+        let (final_graph, final_placements) = if self.params.keep_schedule {
+            let (g, p) = active_subgraph(&state.w, &placements_vec);
+            (Some(g), Some(p))
+        } else {
+            (None, None)
+        };
         ScheduleResult {
             loop_name: original.name.clone(),
             config: self.machine.rf.to_string(),
@@ -715,16 +828,8 @@ impl IterativeScheduler {
             total_ops,
             original_ops: state.w.original_nodes() as u32,
             stats,
-            final_graph: if self.params.keep_schedule {
-                Some(active_subgraph(&state.w, &placements_vec).0)
-            } else {
-                None
-            },
-            placements: if self.params.keep_schedule {
-                Some(active_subgraph(&state.w, &placements_vec).1)
-            } else {
-                None
-            },
+            final_graph,
+            placements: final_placements,
         }
     }
 }
@@ -907,6 +1012,44 @@ mod tests {
         let r = schedule_loop(&g, &m, &SchedulerParams::default());
         assert!(!r.failed);
         assert_eq!(r.spill_loads + r.spill_stores, 0);
+    }
+
+    #[test]
+    fn budget_exactly_exhausted_on_last_placement_still_succeeds() {
+        // daxpy schedules on S128 without ejections, so budget_ratio = 1
+        // makes the budget land exactly on 0 with the final placement. A
+        // completed schedule must not be reported as exhausted (that would
+        // spuriously inflate the II, or fail the loop outright since the
+        // budget is the same at every II).
+        let g = daxpy();
+        let m = machine("S128");
+        let params = SchedulerParams {
+            budget_ratio: 1,
+            ..Default::default()
+        };
+        let r = schedule_loop(&g, &m, &params);
+        assert!(!r.failed, "budget-edge schedule spuriously failed");
+        assert_eq!(r.ii, r.mii);
+        validate_schedule(&g, &m, &r).unwrap();
+    }
+
+    #[test]
+    fn batch_oracle_and_incremental_agree() {
+        // The incremental tracker must not change a single scheduling
+        // decision: results are bit-identical to the batch-pressure path,
+        // including on machines that force spilling.
+        let loops = [daxpy(), recurrence_loop()];
+        for cfg in ["S128", "S16", "4C32", "4C16S64", "8C16S16"] {
+            let m = machine(cfg);
+            let params = SchedulerParams::default();
+            for g in &loops {
+                let inc = IterativeScheduler::new(m.clone(), params).schedule(g);
+                let batch = IterativeScheduler::new(m.clone(), params)
+                    .with_batch_pressure_oracle()
+                    .schedule(g);
+                assert_eq!(inc, batch, "engines diverged on {} / {}", g.name, cfg);
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,13 @@
 //!
 //! Used by the test-suite (including the property tests) and available to
 //! users who want to double-check scheduler output.
+//!
+//! The register-requirement figures checked here (`max_live_*`) are produced
+//! at finalize time by the batch [`crate::pressure::pressure`] walk — the
+//! same function that serves as the correctness oracle for the incremental
+//! [`crate::pressure::PressureTracker`] the scheduler consults while
+//! placing nodes, so a tracker bug cannot leak an over-capacity schedule
+//! past validation.
 
 use crate::types::ScheduleResult;
 use hcrf_ir::{Ddg, DepKind, OpKind, ResourceClass};

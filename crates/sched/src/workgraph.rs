@@ -59,6 +59,10 @@ pub struct WorkGraph {
     /// Spill memory accesses use a dedicated array id so the cache simulator
     /// can distinguish them.
     next_spill_base: u32,
+    /// Defs whose value lifetime may have changed because an incident flow
+    /// edge was (de)activated; drained by the scheduler into the incremental
+    /// [`crate::pressure::PressureTracker`] before its next query.
+    pressure_dirty: Vec<NodeId>,
 }
 
 impl WorkGraph {
@@ -79,6 +83,7 @@ impl WorkGraph {
             hierarchical,
             clustered,
             next_spill_base: 1 << 16,
+            pressure_dirty: Vec::new(),
         };
         if hierarchical {
             wg.insert_memory_interface();
@@ -249,13 +254,27 @@ impl WorkGraph {
     }
 
     fn push_edge(&mut self, edge: Edge) -> EdgeId {
+        if edge.kind == DepKind::Flow {
+            self.pressure_dirty.push(edge.src);
+        }
         let id = self.ddg.add_edge(edge);
         self.edge_active.push(true);
         id
     }
 
     fn deactivate_edge(&mut self, e: EdgeId) {
+        let edge = self.ddg.edge(e);
+        if edge.kind == DepKind::Flow {
+            self.pressure_dirty.push(edge.src);
+        }
         self.edge_active[e.index()] = false;
+    }
+
+    /// Drain the defs whose lifetimes an edge rewiring may have perturbed
+    /// since the last drain. The scheduler refreshes each in its pressure
+    /// tracker; refreshing is idempotent, so duplicates are harmless.
+    pub fn take_pressure_dirty(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.pressure_dirty)
     }
 
     /// Insert the memory-interface operations for a hierarchical target:
@@ -644,9 +663,13 @@ impl WorkGraph {
             self.node_active[n.index()] = false;
         }
         for e in &edges {
-            self.edge_active[e.index()] = false;
+            self.deactivate_edge(*e);
         }
         for e in replaced {
+            let edge = self.ddg.edge(e);
+            if edge.kind == DepKind::Flow {
+                self.pressure_dirty.push(edge.src);
+            }
             self.edge_active[e.index()] = true;
         }
         nodes

@@ -1,0 +1,43 @@
+//! The incremental register-pressure engine must be decision-invisible:
+//! scheduling an entire suite with the `PressureTracker` produces results —
+//! and therefore `SuiteAggregate`s — bit-identical to the batch `pressure()`
+//! recompute-the-world path it replaces.
+
+use hcrf::driver::ConfiguredMachine;
+use hcrf_perf::{LoopPerformance, SuiteAggregate};
+use hcrf_sched::{IterativeScheduler, SchedulerParams};
+use hcrf_workloads::small_suite;
+
+#[test]
+fn suite_aggregates_bit_identical_between_pressure_engines() {
+    let loops = small_suite(8);
+    let params = SchedulerParams::default();
+    for name in ["S128", "4C32S16", "8C16S16"] {
+        let cfg = ConfiguredMachine::from_name(name).unwrap();
+        let incremental = IterativeScheduler::new(cfg.machine.clone(), params);
+        let batch =
+            IterativeScheduler::new(cfg.machine.clone(), params).with_batch_pressure_oracle();
+        let mut agg_inc = SuiteAggregate::new(name, cfg.hardware.clock_ns);
+        let mut agg_batch = SuiteAggregate::new(name, cfg.hardware.clock_ns);
+        for l in &loops {
+            let a = incremental.schedule(&l.ddg);
+            let b = batch.schedule(&l.ddg);
+            // Full structural equality: II, MaxLive per bank, spill and
+            // communication counts, placements — everything.
+            assert_eq!(a, b, "{name} / {}: engines diverged", l.ddg.name);
+            agg_inc.add(&LoopPerformance::from_schedule(&a, l, 0));
+            agg_batch.add(&LoopPerformance::from_schedule(&b, l, 0));
+        }
+        assert_eq!(agg_inc.sum_ii, agg_batch.sum_ii, "{name}: sum_ii");
+        assert_eq!(
+            agg_inc.useful_cycles, agg_batch.useful_cycles,
+            "{name}: useful_cycles"
+        );
+        assert_eq!(
+            agg_inc.memory_traffic, agg_batch.memory_traffic,
+            "{name}: memory_traffic"
+        );
+        assert_eq!(agg_inc.loops_at_mii, agg_batch.loops_at_mii);
+        assert_eq!(agg_inc.failed_loops, agg_batch.failed_loops);
+    }
+}

@@ -5,7 +5,8 @@
 use hcrf_ir::{mii, res_mii, Ddg, DdgBuilder, OpKind, OpLatencies, ResourceCounts};
 use hcrf_machine::{MachineConfig, RfOrganization};
 use hcrf_rfmodel::AnalyticRfModel;
-use hcrf_sched::{schedule_loop, validate_schedule, SchedulerParams};
+use hcrf_sched::workgraph::WorkGraph;
+use hcrf_sched::{schedule_loop, validate_schedule, PressureTracker, SchedulerParams};
 use proptest::prelude::*;
 
 /// Strategy: a random but well-formed loop body.
@@ -120,6 +121,44 @@ proptest! {
         prop_assert!(hier.ii >= mono.mii);
         prop_assert!(hier.memory_ops as usize >= ddg.memory_ops());
         prop_assert!(mono.memory_ops as usize >= ddg.memory_ops());
+    }
+
+    /// The incremental pressure tracker equals the batch `pressure()`
+    /// oracle on every bank (and on the stored lifetime set) after each of a
+    /// random sequence of place/eject operations, on both a hierarchical
+    /// (`4C16S64`) and a monolithic (`S64`) machine.
+    #[test]
+    fn incremental_pressure_matches_batch_oracle(
+        ddg in arb_loop(14),
+        ops in prop::collection::vec((any::<u16>(), 0u32..4, 0i64..48), 4..48),
+        hier in any::<bool>(),
+        ii in 1u32..9,
+    ) {
+        let lat = OpLatencies::paper_baseline();
+        let cfg = if hier { "4C16S64" } else { "S64" };
+        let machine = MachineConfig::paper_baseline(RfOrganization::parse(cfg).unwrap());
+        let clusters = machine.clusters();
+        let mut w = WorkGraph::new(&ddg, &machine);
+        let mut placements: Vec<Option<(i64, u32)>> = vec![None; w.ddg.num_nodes()];
+        let mut tracker = PressureTracker::new(ii, clusters, w.ddg.num_nodes());
+        // The hierarchical preprocessing rewires edges before the tracker
+        // exists; drain the dirty set once, like the scheduler does.
+        for n in w.take_pressure_dirty() {
+            tracker.refresh(&w, &placements, n);
+        }
+        let nodes: Vec<_> = w.active_nodes().collect();
+        for (sel, cluster, cycle) in ops {
+            let n = nodes[sel as usize % nodes.len()];
+            if placements[n.index()].is_some() {
+                placements[n.index()] = None; // eject
+            } else {
+                placements[n.index()] = Some((cycle, cluster % clusters)); // place
+            }
+            tracker.touch(&w, &placements, n);
+            if let Some(diff) = tracker.diff_from_batch(&w, &placements, &lat) {
+                return Err(TestCaseError::fail(format!("{cfg} II={ii}: {diff}")));
+            }
+        }
     }
 
     /// The RF timing/area model is monotone in both capacity and port count.
