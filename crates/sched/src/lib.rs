@@ -53,12 +53,16 @@ pub mod order;
 pub mod port_profile;
 pub mod pressure;
 pub mod scheduler;
+pub mod store;
 pub mod types;
 pub mod validate;
 pub mod workgraph;
 
 pub use port_profile::{port_requirements, PortRequirement};
 pub use pressure::{Pressure, PressureQuery, PressureTracker, ValueLifetime};
-pub use scheduler::{schedule_loop, schedule_loop_baseline36, IterativeScheduler};
+pub use scheduler::{
+    schedule_loop, schedule_loop_baseline36, IterativeScheduler, EJECTION_GUARD_LIMIT,
+};
+pub use store::{PlacementStore, SlotIndex};
 pub use types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats};
-pub use validate::validate_schedule;
+pub use validate::{validate_schedule, validate_store};

@@ -89,6 +89,12 @@ pub struct Mrt {
     lp: Vec<u16>,
     /// `sp[row * clusters + cluster]`
     sp: Vec<u16>,
+    /// Free FU slots per cluster across the whole table, maintained
+    /// incrementally by [`Mrt::adjust`] so the cluster-selection heuristic's
+    /// [`Mrt::free_fu_slots`] costs O(1) instead of O(II) — it is called
+    /// once per cluster per scheduling attempt, which dominated
+    /// ejection-churn-heavy loops.
+    fu_free: Vec<u32>,
 }
 
 impl Mrt {
@@ -106,6 +112,7 @@ impl Mrt {
             bus: vec![0; rows],
             lp: vec![0; rows * c],
             sp: vec![0; rows * c],
+            fu_free: vec![ii * caps.fus_per_cluster; c],
         }
     }
 
@@ -195,13 +202,21 @@ impl Mrt {
             ResourceClass::Fu => {
                 let occ = Self::occupancy(kind, lat);
                 let span = occ.min(self.ii);
+                let cap = self.caps.fus_per_cluster as i64;
+                let mut free_delta = 0i64;
                 for k in 0..span {
                     let copies = self.fu_copies(occ, k);
                     let i = self.idx(cycle + k as i64, cluster);
+                    let old = self.fu[i];
                     for _ in 0..copies {
                         apply(&mut self.fu[i]);
                     }
+                    // Free slots clamp at 0 on (transient) over-subscription,
+                    // mirroring what the O(II) recount would see.
+                    free_delta += (cap - self.fu[i] as i64).max(0) - (cap - old as i64).max(0);
                 }
+                let free = &mut self.fu_free[cluster as usize];
+                *free = (*free as i64 + free_delta).max(0) as u32;
             }
             ResourceClass::MemPort => {
                 if self.caps.memory_is_shared() {
@@ -229,13 +244,9 @@ impl Mrt {
 
     /// Number of free FU slots in a cluster across the whole table
     /// (used by the cluster-selection heuristic to balance load).
+    /// O(1): maintained incrementally by every place/remove.
     pub fn free_fu_slots(&self, cluster: u32) -> u32 {
-        let mut free = 0u32;
-        for row in 0..self.ii as usize {
-            let i = row * self.caps.clusters as usize + cluster as usize;
-            free += (self.caps.fus_per_cluster as i64 - self.fu[i] as i64).max(0) as u32;
-        }
-        free
+        self.fu_free[cluster as usize]
     }
 
     /// Number of LoadR issues in the given cluster and row (Figure 4 port

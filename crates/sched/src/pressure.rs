@@ -230,6 +230,12 @@ pub fn pressure_final(
 /// stored lifetime set equal what `pressure()` would compute from the same
 /// placements. `tests/property_based.rs` asserts this after each step of
 /// randomized place/eject sequences.
+///
+/// Since the [`crate::store::PlacementStore`] refactor the scheduler no
+/// longer calls `touch` directly: every `touch`/`refresh` happens inside the
+/// store's `place`/`eject`/`remove_chain_members`/`sync_pressure`
+/// transactions, so a new scheduler mutation path cannot forget the tracker
+/// (the oracle tests would catch it if one did).
 #[derive(Debug, Clone)]
 pub struct PressureTracker {
     ii: u32,

@@ -11,20 +11,33 @@
 //! spill code when a bank exceeds its capacity. A budget proportional to the
 //! number of nodes bounds the work per II; when it is exhausted the partial
 //! schedule is discarded and the process restarts at II + 1.
+//!
+//! All mutable placement state of an attempt (placements, `prev_cycle`, MRT
+//! slot counts, pressure tracker, worklist) lives in a
+//! [`crate::store::PlacementStore`]; this module never mutates any of it
+//! directly — every placement goes through [`PlacementStore::place`] and
+//! every ejection through [`PlacementStore::eject`], which keep the
+//! [`crate::store::SlotIndex`] used by the O(row) victim search consistent.
 
 use crate::cluster::select_cluster;
-use crate::mrt::{Mrt, ResourceCaps};
-use crate::order::{priority_order, PriorityOrder};
+use crate::mrt::ResourceCaps;
+use crate::order::priority_order;
 use crate::pressure::{
     pick_spill_candidate, pick_spill_candidate_from, pressure, Pressure, PressureQuery,
-    PressureTracker,
 };
+use crate::store::PlacementStore;
 use crate::types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats};
 use crate::workgraph::WorkGraph;
 use hcrf_ir::{mii as mii_mod, Ddg, DepKind, NodeId, OpKind, OpLatencies};
 use hcrf_machine::MachineConfig;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+
+/// Hard bound on the eject-and-retry iterations spent forcing a single slot
+/// before the attempt is abandoned (each trip is counted in
+/// [`SchedulerStats::guard_trips`]). Forcing normally converges in a handful
+/// of ejections; reaching this limit means the conflicting resource cannot be
+/// freed (for example a non-pipelined operation longer than the II keeps
+/// re-occupying every row) and a larger II is needed.
+pub const EJECTION_GUARD_LIMIT: u32 = 4096;
 
 /// Schedule one loop for one machine configuration with the iterative
 /// MIRS / MIRS_HC scheduler (backtracking enabled by default).
@@ -52,12 +65,14 @@ pub struct IterativeScheduler {
     machine: MachineConfig,
     params: SchedulerParams,
     batch_pressure: bool,
+    linear_victim: bool,
 }
 
-/// Outcome of one II attempt.
+/// Outcome of one II attempt. Exhausted attempts carry their partial stats
+/// so guard trips are accounted across II restarts.
 enum Attempt {
     Success(Box<AttemptState>),
-    Exhausted,
+    Exhausted(SchedulerStats),
 }
 
 /// Outcome of the pressure-check/spill loop run after placing one node.
@@ -74,28 +89,14 @@ enum SpillOutcome {
     ScheduleFailed,
 }
 
-/// Mutable state of one II attempt.
+/// Mutable state of one II attempt: the working graph plus the unified
+/// placement store that owns every piece of placement state.
 struct AttemptState {
     w: WorkGraph,
-    mrt: Mrt,
-    placements: Vec<Option<(i64, u32)>>,
-    prev_cycle: Vec<Option<i64>>,
-    order: PriorityOrder,
-    worklist: BinaryHeap<Reverse<(usize, u32)>>,
+    store: PlacementStore,
     budget: i64,
     stats: SchedulerStats,
     ii: u32,
-    tracker: PressureTracker,
-}
-
-impl AttemptState {
-    /// Bring the incremental tracker up to date with any graph rewiring
-    /// (chain insertion/removal) since the last query.
-    fn sync_pressure(&mut self) {
-        for n in self.w.take_pressure_dirty() {
-            self.tracker.refresh(&self.w, &self.placements, n);
-        }
-    }
 }
 
 impl IterativeScheduler {
@@ -105,6 +106,7 @@ impl IterativeScheduler {
             machine,
             params,
             batch_pressure: false,
+            linear_victim: false,
         }
     }
 
@@ -116,6 +118,16 @@ impl IterativeScheduler {
     /// paper-literal recompute-the-world implementation.
     pub fn with_batch_pressure_oracle(mut self) -> Self {
         self.batch_pressure = true;
+        self
+    }
+
+    /// Answer every victim search with the O(active nodes) linear scan
+    /// instead of the [`crate::store::SlotIndex`] lookup. Victim choices are
+    /// bit-identical either way (`tests/victim_equivalence.rs` asserts it);
+    /// this exists so `benches/ejection.rs` can measure the indexed search
+    /// against the scan it replaced.
+    pub fn with_linear_victim_scan(mut self) -> Self {
+        self.linear_victim = true;
         self
     }
 
@@ -141,9 +153,18 @@ impl IterativeScheduler {
                 Attempt::Success(state) => {
                     let mut result = self.finalize(ddg, *state, mii);
                     result.stats.ii_restarts = stats.ii_restarts;
+                    // Work done by the failed attempts that led here: every
+                    // counter spans all IIs of the loop, so the inspector's
+                    // attempts/ejections/guard-trips read on the same scope.
+                    result.stats.attempts += stats.attempts;
+                    result.stats.ejections += stats.ejections;
+                    result.stats.guard_trips += stats.guard_trips;
                     return result;
                 }
-                Attempt::Exhausted => {
+                Attempt::Exhausted(partial) => {
+                    stats.attempts += partial.attempts;
+                    stats.ejections += partial.ejections;
+                    stats.guard_trips += partial.guard_trips;
                     ii += 1;
                 }
             }
@@ -178,12 +199,11 @@ impl IterativeScheduler {
     fn attempt(&self, ddg: &Ddg, ii: u32, lat: &OpLatencies) -> Attempt {
         let w = WorkGraph::new(ddg, &self.machine);
         let caps = ResourceCaps::from_machine(&self.machine);
-        let mrt = Mrt::new(ii, caps);
         let order = priority_order(&w, lat, ii);
         let n = w.ddg.num_nodes();
-        let mut worklist = BinaryHeap::new();
+        let mut store = PlacementStore::new(ii, caps, n, order, !self.batch_pressure);
         for node in w.active_nodes() {
-            worklist.push(Reverse((order.rank_of(node), node.0)));
+            store.requeue(node);
         }
         let budget = (self.params.budget_ratio as i64) * (w.active_count() as i64).max(1);
         // Hard cap on scheduling attempts: the budget can legitimately grow
@@ -195,46 +215,52 @@ impl IterativeScheduler {
         let clusters = self.machine.clusters();
         let mut state = AttemptState {
             w,
-            mrt,
-            placements: vec![None; n],
-            prev_cycle: vec![None; n],
-            order,
-            worklist,
+            store,
             budget,
             stats: SchedulerStats::default(),
             ii,
-            tracker: PressureTracker::new(ii, clusters, n),
         };
         let spill_round_limit = 4 * (ddg.num_nodes() as u32 + 4);
         let mut spill_rounds = 0u32;
 
-        while let Some(Reverse((_, raw))) = state.worklist.pop() {
-            let u = NodeId(raw);
-            if !state.w.is_active(u) || state.placements[u.index()].is_some() {
+        while let Some(u) = state.store.pop_worklist() {
+            if !state.w.is_active(u) || state.store.is_placed(u) {
                 continue;
             }
             state.stats.attempts += 1;
             if state.stats.attempts > attempt_cap {
-                return Attempt::Exhausted;
+                return Attempt::Exhausted(state.stats);
             }
             // 1. Cluster selection.
             let choice = if self.batch_pressure {
-                // Oracle mode never consults the tracker; discard the dirty
-                // set so it cannot grow for the whole attempt.
-                state.w.take_pressure_dirty();
+                // Oracle mode never consults the tracker; the store discards
+                // the dirty set so it cannot grow for the whole attempt.
+                state.store.sync_pressure(&mut state.w);
                 let pr = self.current_pressure(&state, lat);
-                select_cluster(u, &state.w, &state.mrt, &state.placements, &pr)
+                select_cluster(
+                    u,
+                    &state.w,
+                    state.store.mrt(),
+                    state.store.placements(),
+                    &pr,
+                )
             } else {
-                state.sync_pressure();
-                select_cluster(u, &state.w, &state.mrt, &state.placements, &state.tracker)
+                state.store.sync_pressure(&mut state.w);
+                select_cluster(
+                    u,
+                    &state.w,
+                    state.store.mrt(),
+                    state.store.placements(),
+                    state.store.tracker(),
+                )
             };
             // 2. Communication with already placed neighbours.
             if !self.insert_and_schedule_communication(&mut state, u, choice.cluster, lat) {
-                return Attempt::Exhausted;
+                return Attempt::Exhausted(state.stats);
             }
             // 3. Schedule the node itself.
             if !self.schedule_node(&mut state, u, choice.cluster, lat) {
-                return Attempt::Exhausted;
+                return Attempt::Exhausted(state.stats);
             }
             // 4. Register pressure / spill.
             if self.has_bounded_banks() {
@@ -242,7 +268,7 @@ impl IterativeScheduler {
                 {
                     SpillOutcome::Continue => {}
                     SpillOutcome::SpillLimit | SpillOutcome::ScheduleFailed => {
-                        return Attempt::Exhausted;
+                        return Attempt::Exhausted(state.stats);
                     }
                 }
             }
@@ -251,29 +277,23 @@ impl IterativeScheduler {
                 // The budget only fails the attempt while unscheduled work
                 // remains: a schedule whose last placement lands exactly on
                 // budget 0 is complete, not exhausted.
-                let unplaced_remain = state
-                    .w
-                    .active_nodes()
-                    .any(|nd| state.placements[nd.index()].is_none());
+                let unplaced_remain = state.w.active_nodes().any(|nd| !state.store.is_placed(nd));
                 if unplaced_remain {
-                    return Attempt::Exhausted;
+                    return Attempt::Exhausted(state.stats);
                 }
             }
         }
 
         // Every active node must be placed and the banks within capacity.
-        let all_placed = state
-            .w
-            .active_nodes()
-            .all(|nd| state.placements[nd.index()].is_some());
+        let all_placed = state.w.active_nodes().all(|nd| state.store.is_placed(nd));
         if !all_placed {
-            return Attempt::Exhausted;
+            return Attempt::Exhausted(state.stats);
         }
         if self.has_bounded_banks() {
             let over = if self.batch_pressure {
                 let pr = pressure(
                     &state.w,
-                    &state.placements,
+                    state.store.placements(),
                     ii,
                     clusters,
                     lat,
@@ -281,11 +301,11 @@ impl IterativeScheduler {
                 );
                 self.over_capacity_bank(&pr).is_some()
             } else {
-                state.sync_pressure();
-                self.over_capacity_bank(&state.tracker).is_some()
+                state.store.sync_pressure(&mut state.w);
+                self.over_capacity_bank(state.store.tracker()).is_some()
             };
             if over {
-                return Attempt::Exhausted;
+                return Attempt::Exhausted(state.stats);
             }
         }
         Attempt::Success(Box::new(state))
@@ -305,7 +325,7 @@ impl IterativeScheduler {
     fn current_pressure(&self, state: &AttemptState, lat: &OpLatencies) -> Pressure {
         pressure(
             &state.w,
-            &state.placements,
+            state.store.placements(),
             state.ii,
             self.machine.clusters(),
             lat,
@@ -345,7 +365,7 @@ impl IterativeScheduler {
             // communication; insert a chain for it; repeat until none remain.
             let mut candidate = None;
             for (id, e) in state.w.active_pred_edges(u) {
-                if let Some((_, pc)) = state.placements[e.src.index()] {
+                if let Some((_, pc)) = state.store.placement(e.src) {
                     if state.w.needs_communication(e, pc, cluster) {
                         candidate = Some(id);
                         break;
@@ -354,7 +374,7 @@ impl IterativeScheduler {
             }
             if candidate.is_none() {
                 for (id, e) in state.w.active_succ_edges(u) {
-                    if let Some((_, sc)) = state.placements[e.dst.index()] {
+                    if let Some((_, sc)) = state.store.placement(e.dst) {
                         if state.w.needs_communication(e, cluster, sc) {
                             candidate = Some(id);
                             break;
@@ -367,13 +387,15 @@ impl IterativeScheduler {
             };
             let edge = *state.w.ddg.edge(edge_id);
             let new_nodes = state.w.insert_communication(u, edge_id);
-            self.grow_arrays(state);
+            state.store.grow(state.w.ddg.num_nodes());
             state.budget += (self.params.budget_ratio as i64) * new_nodes.len() as i64;
             for node in new_nodes {
                 let kind = state.w.ddg.node(node).kind;
                 let target_cluster = match kind {
                     // StoreR executes in the cluster of its producer.
-                    OpKind::StoreR => state.placements[edge.src.index()]
+                    OpKind::StoreR => state
+                        .store
+                        .placement(edge.src)
                         .map(|(_, c)| c)
                         .unwrap_or(cluster),
                     // LoadR / Move execute in (write into) the consumer's cluster.
@@ -381,7 +403,9 @@ impl IterativeScheduler {
                         if edge.dst == u {
                             cluster
                         } else {
-                            state.placements[edge.dst.index()]
+                            state
+                                .store
+                                .placement(edge.dst)
                                 .map(|(_, c)| c)
                                 .unwrap_or(cluster)
                         }
@@ -412,12 +436,16 @@ impl IterativeScheduler {
                 self.over_capacity_bank(&pr)
                     .map(|bank| (bank, pick_spill_candidate(&state.w, &pr, bank).copied()))
             } else {
-                state.sync_pressure();
-                self.over_capacity_bank(&state.tracker).map(|bank| {
+                state.store.sync_pressure(&mut state.w);
+                self.over_capacity_bank(state.store.tracker()).map(|bank| {
                     (
                         bank,
-                        pick_spill_candidate_from(&state.w, state.tracker.live_lifetimes(), bank)
-                            .copied(),
+                        pick_spill_candidate_from(
+                            &state.w,
+                            state.store.tracker().live_lifetimes(),
+                            bank,
+                        )
+                        .copied(),
                     )
                 })
             };
@@ -458,10 +486,12 @@ impl IterativeScheduler {
             } else {
                 state.w.insert_spill_to_memory(owner, edge_id)
             };
-            self.grow_arrays(state);
+            state.store.grow(state.w.ddg.num_nodes());
             state.budget += (self.params.budget_ratio as i64) * new_nodes.len() as i64;
-            let producer_cluster = state.placements[def.index()].map(|(_, c)| c).unwrap_or(0);
-            let consumer_cluster = state.placements[last_consumer.index()]
+            let producer_cluster = state.store.placement(def).map(|(_, c)| c).unwrap_or(0);
+            let consumer_cluster = state
+                .store
+                .placement(last_consumer)
                 .map(|(_, c)| c)
                 .unwrap_or(producer_cluster);
             for node in new_nodes {
@@ -477,17 +507,10 @@ impl IterativeScheduler {
         }
     }
 
-    /// Keep the per-node arrays in sync with a growing graph.
-    fn grow_arrays(&self, state: &mut AttemptState) {
-        let n = state.w.ddg.num_nodes();
-        state.placements.resize(n, None);
-        state.prev_cycle.resize(n, None);
-        state.tracker.grow(n);
-    }
-
     /// Schedule one node on a cluster, forcing a slot and ejecting
     /// conflicting operations when necessary. Returns `false` only when
-    /// backtracking is disabled and no free slot exists.
+    /// backtracking is disabled and no free slot exists, or the ejection
+    /// guard trips.
     fn schedule_node(
         &self,
         state: &mut AttemptState,
@@ -495,6 +518,14 @@ impl IterativeScheduler {
         cluster: u32,
         lat: &OpLatencies,
     ) -> bool {
+        if !state.w.is_active(u) {
+            // An ejection triggered while scheduling an earlier member of the
+            // same communication/spill chain removed the whole chain; placing
+            // a deactivated node would leak its MRT reservation for the rest
+            // of the attempt (and poison the victim index with a node no
+            // eject can ever reach).
+            return true;
+        }
         let ii = state.ii as i64;
         let kind = state.w.ddg.node(u).kind;
         let bp = self.params.binding_prefetch;
@@ -503,7 +534,7 @@ impl IterativeScheduler {
         // successors (through active edges).
         let mut estart: Option<i64> = None;
         for (_, e) in state.w.active_pred_edges(u) {
-            if let Some((pc, _)) = state.placements[e.src.index()] {
+            if let Some((pc, _)) = state.store.placement(e.src) {
                 let d = state.w.edge_delay(e, lat, bp);
                 let bound = pc + d - ii * e.distance as i64;
                 estart = Some(estart.map_or(bound, |b: i64| b.max(bound)));
@@ -511,7 +542,7 @@ impl IterativeScheduler {
         }
         let mut lstart: Option<i64> = None;
         for (_, e) in state.w.active_succ_edges(u) {
-            if let Some((sc, _)) = state.placements[e.dst.index()] {
+            if let Some((sc, _)) = state.store.placement(e.dst) {
                 let d = state.w.edge_delay(e, lat, bp);
                 let bound = sc - d + ii * e.distance as i64;
                 lstart = Some(lstart.map_or(bound, |b: i64| b.min(bound)));
@@ -531,7 +562,7 @@ impl IterativeScheduler {
             if upward {
                 let mut t = scan_start;
                 while t <= scan_end {
-                    if state.mrt.can_place(kind, t, cluster, lat) {
+                    if state.store.mrt().can_place(kind, t, cluster, lat) {
                         found = Some(t);
                         break;
                     }
@@ -540,7 +571,7 @@ impl IterativeScheduler {
             } else {
                 let mut t = scan_end;
                 while t >= scan_start {
-                    if state.mrt.can_place(kind, t, cluster, lat) {
+                    if state.store.mrt().can_place(kind, t, cluster, lat) {
                         found = Some(t);
                         break;
                     }
@@ -550,7 +581,7 @@ impl IterativeScheduler {
         }
 
         if let Some(t) = found {
-            self.place(state, u, t, cluster, lat);
+            state.store.place(&state.w, u, t, cluster, lat);
             return true;
         }
         if !self.params.backtracking {
@@ -564,7 +595,7 @@ impl IterativeScheduler {
         } else {
             lstart.unwrap_or(0)
         };
-        if let Some(prev) = state.prev_cycle[u.index()] {
+        if let Some(prev) = state.store.prev_cycle(u) {
             if force_at <= prev {
                 force_at = prev + 1;
             }
@@ -572,25 +603,40 @@ impl IterativeScheduler {
 
         // Eject operations holding the resources we need.
         let mut guard = 0u32;
-        while !state.mrt.can_place(kind, force_at, cluster, lat) {
+        while !state.store.mrt().can_place(kind, force_at, cluster, lat) {
             guard += 1;
-            if guard > 4096 {
+            if guard > EJECTION_GUARD_LIMIT {
+                state.stats.guard_trips += 1;
                 return false;
             }
-            let Some(victim) = self.pick_victim(state, u, kind, force_at, cluster) else {
+            let victim = if self.linear_victim {
+                state
+                    .store
+                    .pick_victim_linear(&state.w, u, kind, force_at, cluster, lat)
+            } else {
+                state
+                    .store
+                    .pick_victim(&state.w, u, kind, force_at, cluster)
+            };
+            let Some(victim) = victim else {
                 // Nothing ejectable frees the resource (e.g. a divide longer
                 // than the II); abandon the attempt.
                 return false;
             };
-            self.eject(state, victim, lat);
+            state.stats.ejections += state.store.eject(&mut state.w, victim, lat);
+            if !state.w.is_active(u) {
+                // The ejection cascade removed the chain `u` belongs to;
+                // there is nothing left to place.
+                return true;
+            }
         }
-        self.place(state, u, force_at, cluster, lat);
+        state.store.place(&state.w, u, force_at, cluster, lat);
 
         // Eject placed neighbours whose dependence constraints the forced
         // placement violates.
         let mut violators = Vec::new();
         for (_, e) in state.w.active_pred_edges(u) {
-            if let Some((pc, _)) = state.placements[e.src.index()] {
+            if let Some((pc, _)) = state.store.placement(e.src) {
                 let d = state.w.edge_delay(e, lat, bp);
                 if pc + d - ii * e.distance as i64 > force_at {
                     violators.push(e.src);
@@ -598,7 +644,7 @@ impl IterativeScheduler {
             }
         }
         for (_, e) in state.w.active_succ_edges(u) {
-            if let Some((sc, _)) = state.placements[e.dst.index()] {
+            if let Some((sc, _)) = state.store.placement(e.dst) {
                 let d = state.w.edge_delay(e, lat, bp);
                 if force_at + d - ii * e.distance as i64 > sc {
                     violators.push(e.dst);
@@ -609,151 +655,10 @@ impl IterativeScheduler {
         violators.dedup();
         for v in violators {
             if v != u {
-                self.eject(state, v, lat);
+                state.stats.ejections += state.store.eject(&mut state.w, v, lat);
             }
         }
         true
-    }
-
-    /// Choose an ejection victim that frees the resource `kind` needs at
-    /// `cycle` on `cluster`: a placed node of the same resource class and
-    /// cluster whose reservation overlaps the conflicting row. Original
-    /// nodes with the lowest priority are preferred; inserted nodes are a
-    /// last resort (removing them drags their owner out too).
-    fn pick_victim(
-        &self,
-        state: &AttemptState,
-        u: NodeId,
-        kind: OpKind,
-        cycle: i64,
-        cluster: u32,
-    ) -> Option<NodeId> {
-        let ii = state.ii;
-        let class = kind.resource_class();
-        let row = cycle.rem_euclid(ii as i64) as u32;
-        let lat = &self.machine.latencies;
-        let caps = state.mrt.caps();
-        let mut best: Option<(bool, usize, NodeId)> = None; // (is_original, rank desc key)
-        for v in state.w.active_nodes() {
-            if v == u {
-                continue;
-            }
-            let Some((vc, vcl)) = state.placements[v.index()] else {
-                continue;
-            };
-            let vkind = state.w.ddg.node(v).kind;
-            if vkind.resource_class() != class {
-                continue;
-            }
-            // Cluster-local resources must match clusters; global resources
-            // (shared memory ports, buses) conflict regardless of cluster.
-            let global = matches!(class, hcrf_ir::ResourceClass::Bus)
-                || (class == hcrf_ir::ResourceClass::MemPort && caps.memory_is_shared());
-            if !global && vcl != cluster {
-                continue;
-            }
-            // Does v's reservation touch the conflicting row?
-            let occ = lat.occupancy(vkind).min(ii);
-            let vrow = vc.rem_euclid(ii as i64) as u32;
-            let touches = (0..occ).any(|k| (vrow + k) % ii == row);
-            if !touches {
-                continue;
-            }
-            let is_original = !state.w.is_inserted(v);
-            let rank = state.order.rank_of(v);
-            // Prefer original nodes (true > false), then the lowest priority
-            // (largest rank).
-            let key = (is_original, rank, v);
-            match &best {
-                None => best = Some(key),
-                Some((bo, br, _)) => {
-                    if (is_original, rank) > (*bo, *br) {
-                        best = Some(key);
-                    }
-                }
-            }
-        }
-        best.map(|(_, _, v)| v)
-    }
-
-    /// Eject a node: release its resources, forget its placement, push it
-    /// back on the worklist and remove the communication/spill chains that
-    /// depended on it.
-    fn eject(&self, state: &mut AttemptState, v: NodeId, lat: &OpLatencies) {
-        state.stats.ejections += 1;
-        if let Some((cycle, cluster)) = state.placements[v.index()].take() {
-            let kind = state.w.ddg.node(v).kind;
-            state.mrt.remove(kind, cycle, cluster, lat);
-            if !self.batch_pressure {
-                state.tracker.touch(&state.w, &state.placements, v);
-            }
-        }
-        if state.w.is_inserted(v) {
-            if let Some(chain) = state.w.chain_containing(v) {
-                // Memory-interface operations are a permanent part of the
-                // graph for hierarchical targets: ejecting one just requeues
-                // it (like an original node), it never removes the chain.
-                if state.w.chain_kind(chain) == crate::workgraph::ChainKind::MemInterface {
-                    state.worklist.push(Reverse((state.order.rank_of(v), v.0)));
-                    return;
-                }
-                // Removing any other inserted node removes its whole chain
-                // and requeues the owner.
-                let owner = state.w.chain_owner(chain);
-                let removed = state.w.remove_chain(chain);
-                for r in removed {
-                    if let Some((cycle, cluster)) = state.placements[r.index()].take() {
-                        let kind = state.w.ddg.node(r).kind;
-                        state.mrt.remove(kind, cycle, cluster, lat);
-                    }
-                    if !self.batch_pressure {
-                        state.tracker.touch(&state.w, &state.placements, r);
-                    }
-                }
-                if owner != v && state.w.is_active(owner) {
-                    if state.placements[owner.index()].is_some() {
-                        self.eject(state, owner, lat);
-                    } else {
-                        state
-                            .worklist
-                            .push(Reverse((state.order.rank_of(owner), owner.0)));
-                    }
-                }
-            }
-            return;
-        }
-        // Remove chains attached to this node and unplace their members.
-        let chain_ids = state.w.chains_to_remove_for(v);
-        for chain in chain_ids {
-            let removed = state.w.remove_chain(chain);
-            for r in removed {
-                if let Some((cycle, cluster)) = state.placements[r.index()].take() {
-                    let kind = state.w.ddg.node(r).kind;
-                    state.mrt.remove(kind, cycle, cluster, lat);
-                }
-                if !self.batch_pressure {
-                    state.tracker.touch(&state.w, &state.placements, r);
-                }
-            }
-        }
-        state.worklist.push(Reverse((state.order.rank_of(v), v.0)));
-    }
-
-    fn place(
-        &self,
-        state: &mut AttemptState,
-        u: NodeId,
-        cycle: i64,
-        cluster: u32,
-        lat: &OpLatencies,
-    ) {
-        let kind = state.w.ddg.node(u).kind;
-        state.mrt.place(kind, cycle, cluster, lat);
-        state.placements[u.index()] = Some((cycle, cluster));
-        state.prev_cycle[u.index()] = Some(cycle);
-        if !self.batch_pressure {
-            state.tracker.touch(&state.w, &state.placements, u);
-        }
     }
 
     /// Build the public result from a successful attempt.
@@ -765,7 +670,7 @@ impl IterativeScheduler {
         let min_cycle = state
             .w
             .active_nodes()
-            .filter_map(|n| state.placements[n.index()].map(|(c, _)| c))
+            .filter_map(|n| state.store.placement(n).map(|(c, _)| c))
             .min()
             .unwrap_or(0);
         let mut placements_vec = vec![
@@ -778,7 +683,7 @@ impl IterativeScheduler {
         let mut max_cycle = 0u32;
         let mut shifted: Vec<Option<(i64, u32)>> = vec![None; state.w.ddg.num_nodes()];
         for n in state.w.active_nodes() {
-            if let Some((c, cl)) = state.placements[n.index()] {
+            if let Some((c, cl)) = state.store.placement(n) {
                 let cyc = (c - min_cycle) as u32;
                 placements_vec[n.index()] = Placement {
                     cycle: cyc,
@@ -1048,6 +953,28 @@ mod tests {
                     .with_batch_pressure_oracle()
                     .schedule(g);
                 assert_eq!(inc, batch, "engines diverged on {} / {}", g.name, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_and_linear_victim_search_agree() {
+        // The SlotIndex must not change a single scheduling decision either:
+        // results are bit-identical to the linear victim scan it replaced.
+        let loops = [daxpy(), recurrence_loop()];
+        for cfg in ["S128", "S16", "4C32", "4C16S64", "8C16S16"] {
+            let m = machine(cfg);
+            let params = SchedulerParams::default();
+            for g in &loops {
+                let indexed = IterativeScheduler::new(m.clone(), params).schedule(g);
+                let linear = IterativeScheduler::new(m.clone(), params)
+                    .with_linear_victim_scan()
+                    .schedule(g);
+                assert_eq!(
+                    indexed, linear,
+                    "victim policies diverged on {} / {}",
+                    g.name, cfg
+                );
             }
         }
     }

@@ -1,0 +1,617 @@
+//! Unified, transactional placement state for the iterative schedulers.
+//!
+//! Before this module the scheduler's mutable state was scattered across an
+//! `AttemptState`: a `placements` vector, the `prev_cycle` memory of Rau's
+//! force heuristic, the [`Mrt`] slot counts, the incremental
+//! [`PressureTracker`] and the worklist — with three near-duplicate copies of
+//! the unplace logic inside `eject`. Any new mutation path (a future swing
+//! modulo scheduler, an alternate victim policy) had to remember to update
+//! all of them in the right order or silently corrupt the attempt.
+//!
+//! [`PlacementStore`] owns all of that state behind a transactional API:
+//! [`PlacementStore::place`], [`PlacementStore::eject`] and
+//! [`PlacementStore::remove_chain_members`] each leave every piece —
+//! placements, `prev_cycle`, MRT, pressure tracker, [`SlotIndex`] and
+//! worklist — mutually consistent. The store additionally maintains a
+//! [`SlotIndex`]: per (resource class, row, cluster) lists of the placed
+//! nodes whose reservation touches that row (global classes such as buses
+//! and shared memory ports are indexed cluster-agnostically), so the
+//! backtracking victim search enumerates only the nodes actually reserving
+//! the conflicting row — O(row occupancy) — instead of walking every active
+//! node. The linear scan survives as
+//! [`PlacementStore::pick_victim_linear`], a test/bench oracle that must
+//! choose the exact same victim (`tests/property_based.rs` asserts it on
+//! randomized place/eject sequences; `tests/victim_equivalence.rs` asserts
+//! bit-identical suite results).
+
+use crate::mrt::{Mrt, ResourceCaps};
+use crate::order::PriorityOrder;
+use crate::pressure::PressureTracker;
+use crate::workgraph::{ChainKind, WorkGraph};
+use hcrf_ir::{NodeId, OpKind, OpLatencies, ResourceClass};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-(resource class, row, cluster) occupancy lists: which placed nodes
+/// reserve each row of the modulo reservation table.
+///
+/// A node of occupancy `o` appears in the `min(o, II)` consecutive row lists
+/// (modulo the II) starting at its issue row — the same "touches" predicate
+/// the linear victim scan evaluates per candidate, precomputed at placement
+/// time. Cluster-local classes (FUs, per-cluster memory ports, LoadR/StoreR
+/// ports) keep one list per (row, cluster); global classes (buses, and
+/// memory ports when the machine routes all memory traffic through a shared
+/// pool) keep one list per row.
+#[derive(Debug, Clone)]
+pub struct SlotIndex {
+    ii: u32,
+    clusters: u32,
+    memory_shared: bool,
+    /// `fu[row * clusters + cluster]`
+    fu: Vec<Vec<NodeId>>,
+    /// `mem[row * clusters + cluster]`, or `mem[row]` when memory is shared.
+    mem: Vec<Vec<NodeId>>,
+    /// `bus[row]` (buses are always global).
+    bus: Vec<Vec<NodeId>>,
+    /// `lp[row * clusters + cluster]`
+    lp: Vec<Vec<NodeId>>,
+    /// `sp[row * clusters + cluster]`
+    sp: Vec<Vec<NodeId>>,
+}
+
+impl SlotIndex {
+    /// Empty index for an II attempt.
+    pub fn new(ii: u32, caps: &ResourceCaps) -> Self {
+        let ii = ii.max(1);
+        let rows = ii as usize;
+        let c = caps.clusters as usize;
+        let memory_shared = caps.memory_is_shared();
+        SlotIndex {
+            ii,
+            clusters: caps.clusters,
+            memory_shared,
+            fu: vec![Vec::new(); rows * c],
+            mem: vec![Vec::new(); if memory_shared { rows } else { rows * c }],
+            bus: vec![Vec::new(); rows],
+            lp: vec![Vec::new(); rows * c],
+            sp: vec![Vec::new(); rows * c],
+        }
+    }
+
+    /// Whether a resource class conflicts regardless of cluster.
+    fn is_global(&self, class: ResourceClass) -> bool {
+        match class {
+            ResourceClass::Bus => true,
+            ResourceClass::MemPort => self.memory_shared,
+            _ => false,
+        }
+    }
+
+    fn slot(&self, class: ResourceClass, row: u32, cluster: u32) -> usize {
+        if self.is_global(class) {
+            row as usize
+        } else {
+            row as usize * self.clusters as usize + cluster as usize
+        }
+    }
+
+    fn lists(&self, class: ResourceClass) -> &Vec<Vec<NodeId>> {
+        match class {
+            ResourceClass::Fu => &self.fu,
+            ResourceClass::MemPort => &self.mem,
+            ResourceClass::Bus => &self.bus,
+            ResourceClass::SharedReadPort => &self.lp,
+            ResourceClass::SharedWritePort => &self.sp,
+        }
+    }
+
+    fn lists_mut(&mut self, class: ResourceClass) -> &mut Vec<Vec<NodeId>> {
+        match class {
+            ResourceClass::Fu => &mut self.fu,
+            ResourceClass::MemPort => &mut self.mem,
+            ResourceClass::Bus => &mut self.bus,
+            ResourceClass::SharedReadPort => &mut self.lp,
+            ResourceClass::SharedWritePort => &mut self.sp,
+        }
+    }
+
+    /// Record a placement: the node enters the `min(occupancy, II)`
+    /// consecutive row lists (modulo the II) starting at its issue row.
+    pub fn insert(&mut self, n: NodeId, kind: OpKind, cycle: i64, cluster: u32, lat: &OpLatencies) {
+        let class = kind.resource_class();
+        let ii = self.ii;
+        let span = lat.occupancy(kind).min(ii);
+        let start = cycle.rem_euclid(ii as i64) as u32;
+        for k in 0..span {
+            let slot = self.slot(class, (start + k) % ii, cluster);
+            self.lists_mut(class)[slot].push(n);
+        }
+    }
+
+    /// Erase a placement (must mirror a previous [`SlotIndex::insert`]).
+    pub fn remove(&mut self, n: NodeId, kind: OpKind, cycle: i64, cluster: u32, lat: &OpLatencies) {
+        let class = kind.resource_class();
+        let ii = self.ii;
+        let span = lat.occupancy(kind).min(ii);
+        let start = cycle.rem_euclid(ii as i64) as u32;
+        for k in 0..span {
+            let row = (start + k) % ii;
+            let slot = self.slot(class, row, cluster);
+            let list = &mut self.lists_mut(class)[slot];
+            if let Some(pos) = list.iter().position(|&x| x == n) {
+                list.swap_remove(pos);
+            } else {
+                debug_assert!(
+                    false,
+                    "SlotIndex::remove: {n} missing from {class:?} row {row}"
+                );
+            }
+        }
+    }
+
+    /// Placed nodes whose reservation of `class` touches `row` (on `cluster`
+    /// for cluster-local classes; the cluster is ignored for global ones).
+    pub fn candidates(&self, class: ResourceClass, row: u32, cluster: u32) -> &[NodeId] {
+        &self.lists(class)[self.slot(class, row, cluster)]
+    }
+
+    /// Compare against an index rebuilt from scratch; returns a description
+    /// of the first diverging list, if any. Membership is order-insensitive
+    /// (`swap_remove` reorders lists; victim selection is order-independent).
+    pub fn diff(&self, other: &SlotIndex) -> Option<String> {
+        let classes = [
+            ResourceClass::Fu,
+            ResourceClass::MemPort,
+            ResourceClass::Bus,
+            ResourceClass::SharedReadPort,
+            ResourceClass::SharedWritePort,
+        ];
+        for class in classes {
+            let (a, b) = (self.lists(class), other.lists(class));
+            if a.len() != b.len() {
+                return Some(format!("{class:?}: {} slots vs {}", a.len(), b.len()));
+            }
+            for (slot, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                let mut x: Vec<u32> = x.iter().map(|n| n.0).collect();
+                let mut y: Vec<u32> = y.iter().map(|n| n.0).collect();
+                x.sort_unstable();
+                y.sort_unstable();
+                if x != y {
+                    return Some(format!("{class:?} slot {slot}: {x:?} vs {y:?}"));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The unified placement state of one II attempt. See the module docs.
+#[derive(Debug, Clone)]
+pub struct PlacementStore {
+    ii: u32,
+    mrt: Mrt,
+    index: SlotIndex,
+    placements: Vec<Option<(i64, u32)>>,
+    prev_cycle: Vec<Option<i64>>,
+    tracker: PressureTracker,
+    /// `false` in batch-pressure-oracle mode: the tracker is never consulted,
+    /// so transactions skip its maintenance (keeping the oracle benchmark an
+    /// honest recompute-the-world baseline).
+    track_pressure: bool,
+    order: PriorityOrder,
+    worklist: BinaryHeap<Reverse<(usize, u32)>>,
+}
+
+impl PlacementStore {
+    /// Empty store for an attempt at the given II.
+    pub fn new(
+        ii: u32,
+        caps: ResourceCaps,
+        num_nodes: usize,
+        order: PriorityOrder,
+        track_pressure: bool,
+    ) -> Self {
+        let ii = ii.max(1);
+        let clusters = caps.clusters;
+        PlacementStore {
+            ii,
+            mrt: Mrt::new(ii, caps),
+            index: SlotIndex::new(ii, &caps),
+            placements: vec![None; num_nodes],
+            prev_cycle: vec![None; num_nodes],
+            tracker: PressureTracker::new(ii, clusters, num_nodes),
+            track_pressure,
+            order,
+            worklist: BinaryHeap::new(),
+        }
+    }
+
+    /// II of the attempt.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The modulo reservation table (read-only: mutations go through
+    /// [`PlacementStore::place`] / [`PlacementStore::eject`]).
+    pub fn mrt(&self) -> &Mrt {
+        &self.mrt
+    }
+
+    /// The slot index (read-only; exposed for cross-checks and tests).
+    pub fn slot_index(&self) -> &SlotIndex {
+        &self.index
+    }
+
+    /// The incremental pressure tracker (read-only).
+    pub fn tracker(&self) -> &PressureTracker {
+        &self.tracker
+    }
+
+    /// The scheduling priority order of this attempt.
+    pub fn order(&self) -> &PriorityOrder {
+        &self.order
+    }
+
+    /// Current (partial) placements, `None` = not scheduled.
+    pub fn placements(&self) -> &[Option<(i64, u32)>] {
+        &self.placements
+    }
+
+    /// Placement of one node.
+    pub fn placement(&self, n: NodeId) -> Option<(i64, u32)> {
+        self.placements[n.index()]
+    }
+
+    /// Whether a node is currently placed.
+    pub fn is_placed(&self, n: NodeId) -> bool {
+        self.placements[n.index()].is_some()
+    }
+
+    /// Cycle of the node's most recent placement (Rau's force heuristic
+    /// never re-forces at or before it).
+    pub fn prev_cycle(&self, n: NodeId) -> Option<i64> {
+        self.prev_cycle[n.index()]
+    }
+
+    /// Push a node (back) onto the worklist at its priority rank.
+    pub fn requeue(&mut self, n: NodeId) {
+        self.worklist.push(Reverse((self.order.rank_of(n), n.0)));
+    }
+
+    /// Pop the highest-priority worklist entry. Entries may be stale
+    /// (already placed or deactivated since they were pushed); the caller
+    /// filters, so a pop is not necessarily a scheduling attempt.
+    pub fn pop_worklist(&mut self) -> Option<NodeId> {
+        self.worklist.pop().map(|Reverse((_, raw))| NodeId(raw))
+    }
+
+    /// Keep the per-node arrays in sync with a growing graph.
+    pub fn grow(&mut self, num_nodes: usize) {
+        if num_nodes > self.placements.len() {
+            self.placements.resize(num_nodes, None);
+            self.prev_cycle.resize(num_nodes, None);
+        }
+        self.tracker.grow(num_nodes);
+    }
+
+    /// Bring the incremental tracker up to date with any graph rewiring
+    /// (chain insertion/removal) since the last query. In oracle mode the
+    /// dirty set is discarded so it cannot grow for the whole attempt.
+    pub fn sync_pressure(&mut self, w: &mut WorkGraph) {
+        let dirty = w.take_pressure_dirty();
+        if !self.track_pressure {
+            return;
+        }
+        for n in dirty {
+            self.tracker.refresh(w, &self.placements, n);
+        }
+    }
+
+    /// Place a node: reserve its MRT slots, index the reservation, record
+    /// the placement and `prev_cycle`, and update the pressure tracker —
+    /// one transaction, nothing to forget.
+    pub fn place(&mut self, w: &WorkGraph, n: NodeId, cycle: i64, cluster: u32, lat: &OpLatencies) {
+        debug_assert!(self.placements[n.index()].is_none(), "{n} placed twice");
+        // Placing a deactivated node would leak its MRT reservation (no
+        // eject can ever reach it again) and let the indexed victim search
+        // see a node the active-node scan cannot — the scheduler checks
+        // activity after every ejection cascade instead.
+        debug_assert!(w.is_active(n), "{n} placed while inactive");
+        let kind = w.ddg.node(n).kind;
+        self.mrt.place(kind, cycle, cluster, lat);
+        self.index.insert(n, kind, cycle, cluster, lat);
+        self.placements[n.index()] = Some((cycle, cluster));
+        self.prev_cycle[n.index()] = Some(cycle);
+        if self.track_pressure {
+            self.tracker.touch(w, &self.placements, n);
+        }
+    }
+
+    /// The single unplace path shared by every ejection flavour: release the
+    /// MRT slots, erase the index entries, forget the placement and refresh
+    /// the pressure tracker. `prev_cycle` is deliberately retained.
+    fn unplace(&mut self, w: &WorkGraph, n: NodeId, lat: &OpLatencies) {
+        if let Some((cycle, cluster)) = self.placements[n.index()].take() {
+            let kind = w.ddg.node(n).kind;
+            self.mrt.remove(kind, cycle, cluster, lat);
+            self.index.remove(n, kind, cycle, cluster, lat);
+        }
+        if self.track_pressure {
+            // Refresh even when the node was unplaced: chain removal
+            // deactivates nodes, which perturbs lifetimes on its own.
+            self.tracker.touch(w, &self.placements, n);
+        }
+    }
+
+    /// Eject a node: unplace it, push it back on the worklist and remove the
+    /// communication/spill chains that depended on it (recursively ejecting
+    /// chain owners). Returns the number of ejections performed (for
+    /// [`crate::types::SchedulerStats::ejections`]).
+    pub fn eject(&mut self, w: &mut WorkGraph, v: NodeId, lat: &OpLatencies) -> u64 {
+        let mut count = 1u64;
+        self.unplace(w, v, lat);
+        if w.is_inserted(v) {
+            if let Some(chain) = w.chain_containing(v) {
+                // Memory-interface operations are a permanent part of the
+                // graph for hierarchical targets: ejecting one just requeues
+                // it (like an original node), it never removes the chain.
+                if w.chain_kind(chain) == ChainKind::MemInterface {
+                    self.requeue(v);
+                    return count;
+                }
+                // Removing any other inserted node removes its whole chain
+                // and requeues (or recursively ejects) the owner.
+                let owner = w.chain_owner(chain);
+                self.remove_chain_members(w, chain, lat);
+                if owner != v && w.is_active(owner) {
+                    if self.is_placed(owner) {
+                        count += self.eject(w, owner, lat);
+                    } else {
+                        self.requeue(owner);
+                    }
+                }
+            }
+            return count;
+        }
+        // Remove chains attached to this node and unplace their members.
+        for chain in w.chains_to_remove_for(v) {
+            self.remove_chain_members(w, chain, lat);
+        }
+        self.requeue(v);
+        count
+    }
+
+    /// Deactivate one chain in the graph and unplace every member — the
+    /// chain-removal notification from [`WorkGraph::remove_chain`] flows
+    /// through the store so no mutation path can forget the MRT, index or
+    /// tracker updates.
+    pub fn remove_chain_members(&mut self, w: &mut WorkGraph, chain: usize, lat: &OpLatencies) {
+        for r in w.remove_chain(chain) {
+            self.unplace(w, r, lat);
+        }
+    }
+
+    /// Choose an ejection victim that frees the resource `kind` needs at
+    /// `cycle` on `cluster`, enumerating only the nodes the [`SlotIndex`]
+    /// records for the conflicting (class, row, cluster) — O(row occupancy)
+    /// instead of O(active nodes). Original nodes with the lowest priority
+    /// are preferred; inserted nodes are a last resort (removing them drags
+    /// their owner out too); ties break towards the lowest node id, exactly
+    /// like the linear scan.
+    pub fn pick_victim(
+        &self,
+        w: &WorkGraph,
+        u: NodeId,
+        kind: OpKind,
+        cycle: i64,
+        cluster: u32,
+    ) -> Option<NodeId> {
+        let class = kind.resource_class();
+        let row = cycle.rem_euclid(self.ii as i64) as u32;
+        let cands = self.index.candidates(class, row, cluster);
+        self.best_victim(w, u, cands.iter().copied())
+    }
+
+    /// The paper-literal O(active nodes) victim scan, kept as the oracle the
+    /// property and equivalence tests compare [`PlacementStore::pick_victim`]
+    /// against (and as the baseline of `benches/ejection.rs`).
+    pub fn pick_victim_linear(
+        &self,
+        w: &WorkGraph,
+        u: NodeId,
+        kind: OpKind,
+        cycle: i64,
+        cluster: u32,
+        lat: &OpLatencies,
+    ) -> Option<NodeId> {
+        let ii = self.ii;
+        let class = kind.resource_class();
+        let row = cycle.rem_euclid(ii as i64) as u32;
+        let caps = self.mrt.caps();
+        let global = matches!(class, ResourceClass::Bus)
+            || (class == ResourceClass::MemPort && caps.memory_is_shared());
+        let candidates = w.active_nodes().filter(|&v| {
+            let Some((vc, vcl)) = self.placements[v.index()] else {
+                return false;
+            };
+            let vkind = w.ddg.node(v).kind;
+            if vkind.resource_class() != class {
+                return false;
+            }
+            // Cluster-local resources must match clusters; global resources
+            // (shared memory ports, buses) conflict regardless of cluster.
+            if !global && vcl != cluster {
+                return false;
+            }
+            // Does v's reservation touch the conflicting row?
+            let occ = lat.occupancy(vkind).min(ii);
+            let vrow = vc.rem_euclid(ii as i64) as u32;
+            (0..occ).any(|k| (vrow + k) % ii == row)
+        });
+        self.best_victim(w, u, candidates)
+    }
+
+    /// Shared victim ranking: max over `(is_original, rank, lowest id)`.
+    fn best_victim(
+        &self,
+        w: &WorkGraph,
+        u: NodeId,
+        candidates: impl Iterator<Item = NodeId>,
+    ) -> Option<NodeId> {
+        candidates
+            .filter(|&v| v != u && self.placements[v.index()].is_some())
+            .max_by_key(|&v| (!w.is_inserted(v), self.order.rank_of(v), Reverse(v.0)))
+    }
+
+    /// Desynchronise the index on purpose (test aid for the store
+    /// validator): erases one node's index entries while leaving its
+    /// placement and MRT reservation in place — exactly the drift a
+    /// mutation path bypassing the transactional API would cause.
+    #[cfg(test)]
+    pub(crate) fn desync_index_for_test(&mut self, w: &WorkGraph, n: NodeId, lat: &OpLatencies) {
+        let (cycle, cluster) = self.placements[n.index()].expect("node must be placed");
+        let kind = w.ddg.node(n).kind;
+        self.index.remove(n, kind, cycle, cluster, lat);
+    }
+
+    /// Cross-check the derived structures against the ground truth: the
+    /// [`SlotIndex`] membership must equal a from-scratch scan of the
+    /// placements, and the MRT must equal a table rebuilt by replaying every
+    /// placement. Returns a description of the first divergence, if any.
+    pub fn check_consistency(&self, w: &WorkGraph, lat: &OpLatencies) -> Option<String> {
+        let caps = *self.mrt.caps();
+        let mut index = SlotIndex::new(self.ii, &caps);
+        let mut mrt = Mrt::new(self.ii, caps);
+        for n in w.active_nodes() {
+            if let Some((cycle, cluster)) = self.placements.get(n.index()).copied().flatten() {
+                let kind = w.ddg.node(n).kind;
+                index.insert(n, kind, cycle, cluster, lat);
+                mrt.place(kind, cycle, cluster, lat);
+            }
+        }
+        if let Some(diff) = self.index.diff(&index) {
+            return Some(format!("SlotIndex diverges from placement scan: {diff}"));
+        }
+        if mrt != self.mrt {
+            return Some("MRT diverges from a table rebuilt from the placements".to_string());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::priority_order;
+    use hcrf_ir::DdgBuilder;
+    use hcrf_machine::{MachineConfig, RfOrganization};
+
+    fn machine(cfg: &str) -> MachineConfig {
+        MachineConfig::paper_baseline(RfOrganization::parse(cfg).unwrap())
+    }
+
+    fn lat() -> OpLatencies {
+        OpLatencies::paper_baseline()
+    }
+
+    fn store_for(w: &WorkGraph, m: &MachineConfig, ii: u32) -> PlacementStore {
+        let caps = ResourceCaps::from_machine(m);
+        let order = priority_order(w, &lat(), ii);
+        PlacementStore::new(ii, caps, w.ddg.num_nodes(), order, true)
+    }
+
+    #[test]
+    fn place_and_eject_keep_index_and_mrt_consistent() {
+        let mut b = DdgBuilder::new("s");
+        let l = b.load(0, 8);
+        let a = b.op(OpKind::FAdd);
+        let d = b.op(OpKind::FDiv);
+        b.flow(l, a, 0).flow(a, d, 0);
+        let g = b.build();
+        let m = machine("4C32");
+        let mut w = WorkGraph::new(&g, &m);
+        let mut store = store_for(&w, &m, 4);
+        store.place(&w, l, 0, 0, &lat());
+        store.place(&w, a, 2, 1, &lat());
+        store.place(&w, d, 3, 1, &lat());
+        assert_eq!(store.check_consistency(&w, &lat()), None);
+        // The divide (occupancy 17 > II 4) must appear in every row of its
+        // cluster's FU lists.
+        for row in 0..4 {
+            assert!(store
+                .slot_index()
+                .candidates(ResourceClass::Fu, row, 1)
+                .contains(&d));
+        }
+        assert_eq!(store.eject(&mut w, d, &lat()), 1);
+        assert!(!store.is_placed(d));
+        assert_eq!(store.prev_cycle(d), Some(3));
+        assert_eq!(store.check_consistency(&w, &lat()), None);
+    }
+
+    #[test]
+    fn global_memory_ports_indexed_cluster_agnostically() {
+        let mut b = DdgBuilder::new("g");
+        let l1 = b.load(0, 8);
+        let l2 = b.load(1, 8);
+        let g = b.build();
+        let m = machine("4C16S64"); // hierarchical: shared memory ports
+        let w = WorkGraph::new(&g, &m);
+        let mut store = store_for(&w, &m, 2);
+        store.place(&w, l1, 0, 0, &lat());
+        store.place(&w, l2, 0, 3, &lat());
+        // Both loads conflict in row 0 regardless of the cluster queried.
+        for c in 0..4 {
+            let cands = store.slot_index().candidates(ResourceClass::MemPort, 0, c);
+            assert_eq!(cands.len(), 2, "cluster {c}");
+        }
+        assert_eq!(store.check_consistency(&w, &lat()), None);
+    }
+
+    #[test]
+    fn indexed_victim_matches_linear_scan() {
+        let mut b = DdgBuilder::new("v");
+        let mut nodes = Vec::new();
+        for i in 0..6 {
+            nodes.push(b.load(i, 8));
+        }
+        for _ in 0..4 {
+            nodes.push(b.op(OpKind::FAdd));
+        }
+        let g = b.build();
+        let m = machine("S128");
+        let w = WorkGraph::new(&g, &m);
+        let mut store = store_for(&w, &m, 2);
+        for (i, n) in nodes.iter().enumerate() {
+            store.place(&w, *n, i as i64 % 3, 0, &lat());
+        }
+        let probe = NodeId(u32::MAX - 1);
+        for kind in [OpKind::Load, OpKind::FAdd] {
+            for cycle in 0..3i64 {
+                assert_eq!(
+                    store.pick_victim(&w, probe, kind, cycle, 0),
+                    store.pick_victim_linear(&w, probe, kind, cycle, 0, &lat()),
+                    "{kind:?} @ {cycle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_pops_by_priority_rank() {
+        let mut b = DdgBuilder::new("w");
+        let l = b.load(0, 8);
+        let a = b.op(OpKind::FAdd);
+        b.flow(l, a, 0).flow(a, a, 1);
+        let g = b.build();
+        let m = machine("S64");
+        let w = WorkGraph::new(&g, &m);
+        let mut store = store_for(&w, &m, 4);
+        store.requeue(l);
+        store.requeue(a);
+        // The recurrence node outranks the free load.
+        assert_eq!(store.pop_worklist(), Some(a));
+        assert_eq!(store.pop_worklist(), Some(l));
+        assert_eq!(store.pop_worklist(), None);
+    }
+}

@@ -94,10 +94,16 @@ impl SchedulerParams {
 pub struct SchedulerStats {
     /// Number of node scheduling attempts performed (across all IIs).
     pub attempts: u64,
-    /// Number of nodes ejected by backtracking.
+    /// Number of nodes ejected by backtracking (across all IIs, including
+    /// attempts that were abandoned).
     pub ejections: u64,
     /// Number of II values tried.
     pub ii_restarts: u32,
+    /// Times the ejection guard
+    /// ([`crate::scheduler::EJECTION_GUARD_LIMIT`]) tripped while forcing a
+    /// slot, abandoning the II attempt. Accumulated across all IIs of the
+    /// loop, including attempts that failed.
+    pub guard_trips: u64,
 }
 
 /// Result of scheduling one loop for one machine configuration.

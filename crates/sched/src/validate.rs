@@ -10,9 +10,33 @@
 //! placing nodes, so a tracker bug cannot leak an over-capacity schedule
 //! past validation.
 
+use crate::store::PlacementStore;
 use crate::types::ScheduleResult;
-use hcrf_ir::{Ddg, DepKind, OpKind, ResourceClass};
+use crate::workgraph::WorkGraph;
+use hcrf_ir::{Ddg, DepKind, OpKind, OpLatencies, ResourceClass};
 use hcrf_machine::{MachineConfig, RfOrganization};
+
+/// Validate the internal consistency of a live [`PlacementStore`] mid- or
+/// post-attempt: the [`crate::store::SlotIndex`] membership must equal a
+/// from-scratch scan of the placements, and the MRT row counts must equal a
+/// table rebuilt by replaying every placement (the index is the ground the
+/// MRT counts are derivable from). Returns a human-readable description of
+/// the first divergence, if any.
+///
+/// Every scheduler mutation must go through the store's transactional API
+/// (`place` / `eject` / `remove_chain_members`); a mutation path that
+/// bypasses it leaves the index or the MRT stale, which this check — called
+/// after every step of the randomized place/eject property test — catches.
+pub fn validate_store(
+    store: &PlacementStore,
+    w: &WorkGraph,
+    lat: &OpLatencies,
+) -> Result<(), String> {
+    match store.check_consistency(w, lat) {
+        None => Ok(()),
+        Some(diff) => Err(diff),
+    }
+}
 
 /// Validate a schedule against the original loop and the machine it was
 /// produced for. Returns a human-readable description of the first violated
@@ -270,5 +294,28 @@ mod tests {
         let mut r = schedule_loop(&g, &m, &SchedulerParams::default());
         r.failed = true;
         assert!(validate_schedule(&g, &m, &r).is_err());
+    }
+
+    #[test]
+    fn store_validation_accepts_consistent_and_catches_drift() {
+        use crate::mrt::ResourceCaps;
+        use crate::order::priority_order;
+        use hcrf_ir::{NodeId, OpLatencies};
+
+        let g = simple();
+        let m = MachineConfig::paper_baseline(RfOrganization::monolithic(64));
+        let lat = OpLatencies::paper_baseline();
+        let w = WorkGraph::new(&g, &m);
+        let caps = ResourceCaps::from_machine(&m);
+        let order = priority_order(&w, &lat, 4);
+        let mut store = PlacementStore::new(4, caps, g.num_nodes(), order, true);
+        store.place(&w, NodeId(0), 0, 0, &lat);
+        store.place(&w, NodeId(1), 2, 0, &lat);
+        assert!(validate_store(&store, &w, &lat).is_ok());
+        // A mutation that bypasses the store (here: desynchronising the
+        // index by removing an entry directly) must be caught.
+        let mut broken = store.clone();
+        broken.desync_index_for_test(&w, NodeId(1), &lat);
+        assert!(validate_store(&broken, &w, &lat).is_err());
     }
 }

@@ -63,6 +63,18 @@ pub struct WorkGraph {
     /// edge was (de)activated; drained by the scheduler into the incremental
     /// [`crate::pressure::PressureTracker`] before its next query.
     pressure_dirty: Vec<NodeId>,
+    /// Chain that contains each (inserted) node, `None` for original nodes.
+    /// Chains never share nodes, so membership is unique; readers must still
+    /// check the chain's `active` flag.
+    chain_of_node: Vec<Option<u32>>,
+    /// Per node, the removable chains whose owner it is or whose replaced
+    /// edges touch it — the set [`WorkGraph::chains_to_remove_for`] must
+    /// enumerate. Indexed at insertion so the ejection path pays O(chains
+    /// touching the node) instead of scanning every chain ever inserted
+    /// (ejection storms query this hundreds of thousands of times per
+    /// attempt). `MemInterface` chains are never removable and are not
+    /// indexed.
+    chains_touching: Vec<Vec<u32>>,
 }
 
 impl WorkGraph {
@@ -84,6 +96,8 @@ impl WorkGraph {
             clustered,
             next_spill_base: 1 << 16,
             pressure_dirty: Vec::new(),
+            chain_of_node: vec![None; original.num_nodes()],
+            chains_touching: vec![Vec::new(); original.num_nodes()],
         };
         if hierarchical {
             wg.insert_memory_interface();
@@ -250,7 +264,33 @@ impl WorkGraph {
         let id = self.ddg.add_node(node);
         self.node_active.push(true);
         self.spill_reload.push(false);
+        self.chain_of_node.push(None);
+        self.chains_touching.push(Vec::new());
         id
+    }
+
+    /// Register a chain, indexing its member nodes and — for removable
+    /// chains — the nodes whose ejection must remove it.
+    fn push_chain(&mut self, chain: CommChain) {
+        let id = self.chains.len() as u32;
+        for n in &chain.nodes {
+            debug_assert!(self.chain_of_node[n.index()].is_none());
+            self.chain_of_node[n.index()] = Some(id);
+        }
+        if chain.kind != ChainKind::MemInterface {
+            let mut touched = vec![chain.owner];
+            for e in &chain.replaced_edges {
+                let edge = self.ddg.edge(*e);
+                touched.push(edge.src);
+                touched.push(edge.dst);
+            }
+            touched.sort_unstable_by_key(|n| n.index());
+            touched.dedup();
+            for t in touched {
+                self.chains_touching[t.index()].push(id);
+            }
+        }
+        self.chains.push(chain);
     }
 
     fn push_edge(&mut self, edge: Edge) -> EdgeId {
@@ -318,7 +358,7 @@ impl WorkGraph {
                             distance: e.distance,
                         }));
                     }
-                    self.chains.push(CommChain {
+                    self.push_chain(CommChain {
                         kind: ChainKind::MemInterface,
                         owner: n,
                         replaced_edges: replaced,
@@ -360,7 +400,7 @@ impl WorkGraph {
                         kind: DepKind::Flow,
                         distance: 0,
                     }));
-                    self.chains.push(CommChain {
+                    self.push_chain(CommChain {
                         kind: ChainKind::MemInterface,
                         owner: n,
                         replaced_edges: replaced,
@@ -445,7 +485,7 @@ impl WorkGraph {
             kind: DepKind::Flow,
             distance: edge.distance,
         }));
-        self.chains.push(CommChain {
+        self.push_chain(CommChain {
             kind: ChainKind::CommHierarchical,
             owner,
             replaced_edges: vec![edge_id],
@@ -476,7 +516,7 @@ impl WorkGraph {
             kind: DepKind::Flow,
             distance: edge.distance,
         });
-        self.chains.push(CommChain {
+        self.push_chain(CommChain {
             kind: ChainKind::CommClustered,
             owner,
             replaced_edges: vec![edge_id],
@@ -532,7 +572,7 @@ impl WorkGraph {
             kind: DepKind::Flow,
             distance: edge.distance,
         }));
-        self.chains.push(CommChain {
+        self.push_chain(CommChain {
             kind: ChainKind::SpillToShared,
             owner,
             replaced_edges: vec![edge_id],
@@ -583,7 +623,7 @@ impl WorkGraph {
             kind: DepKind::Flow,
             distance: edge.distance,
         });
-        self.chains.push(CommChain {
+        self.push_chain(CommChain {
             kind: ChainKind::SpillToMemory,
             owner,
             replaced_edges: vec![edge_id],
@@ -607,21 +647,14 @@ impl WorkGraph {
         removed
     }
 
-    /// Chains that would be removed when `node` is ejected.
+    /// Chains that would be removed when `node` is ejected, in ascending
+    /// chain order. Served from the per-node index built at insertion (the
+    /// full chain scan this replaced dominated ejection storms).
     pub fn chains_to_remove_for(&self, node: NodeId) -> Vec<usize> {
-        self.chains
+        self.chains_touching[node.index()]
             .iter()
-            .enumerate()
-            .filter(|(_, c)| {
-                c.active
-                    && c.kind != ChainKind::MemInterface
-                    && (c.owner == node
-                        || c.replaced_edges.iter().any(|e| {
-                            let edge = self.ddg.edge(*e);
-                            edge.src == node || edge.dst == node
-                        }))
-            })
-            .map(|(i, _)| i)
+            .map(|&id| id as usize)
+            .filter(|&id| self.chains[id].active)
             .collect()
     }
 
@@ -630,13 +663,12 @@ impl WorkGraph {
         &self.chains[chain].nodes
     }
 
-    /// The chain an inserted node belongs to, if any.
+    /// The chain an inserted node belongs to, if any. O(1): chains never
+    /// share nodes, so membership is indexed at insertion.
     pub fn chain_containing(&self, node: NodeId) -> Option<usize> {
-        self.chains
-            .iter()
-            .enumerate()
-            .find(|(_, c)| c.active && c.nodes.contains(&node))
-            .map(|(i, _)| i)
+        self.chain_of_node[node.index()]
+            .map(|id| id as usize)
+            .filter(|&id| self.chains[id].active)
     }
 
     /// Owner of a chain (the node whose scheduling caused the insertion).

@@ -16,7 +16,11 @@
 //!   workbench (≈20 % FU-bound, ≈50 % memory-bound, ≈30 % recurrence-bound
 //!   loops on the S128 configuration — Table 1);
 //! * [`suite`] — the standard evaluation suite used by all benches:
-//!   the hand-written kernels plus a synthetic population, 1258 loops total.
+//!   the hand-written kernels plus a synthetic population, 1258 loops total;
+//! * [`churn`] — an ejection-churn-heavy family (long non-pipelined
+//!   operations near the II, high resource contention) that stresses the
+//!   scheduler's backtracking paths; built via [`churn::churn_suite`] and
+//!   used by `benches/ejection.rs` and the victim-search equivalence tests.
 //!
 //! ```
 //! let suite = hcrf_workloads::standard_suite();
@@ -26,10 +30,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod kernels;
 pub mod suite;
 pub mod synthetic;
 
+pub use churn::{churn_suite, ChurnParams, ChurnWorkload};
 pub use kernels::all_kernels;
 pub use suite::{small_suite, standard_suite, SuiteParams};
 pub use synthetic::{SyntheticParams, SyntheticWorkload};

@@ -56,4 +56,11 @@ fn main() {
         "communication inserted: {} LoadR, {} StoreR (spill: {} loads, {} stores)",
         result.loadr_ops, result.storer_ops, result.spill_loads, result.spill_stores
     );
+    println!(
+        "scheduler work: {} attempts, {} ejections, {} ejection-guard trips, {} II restarts",
+        result.stats.attempts,
+        result.stats.ejections,
+        result.stats.guard_trips,
+        result.stats.ii_restarts
+    );
 }

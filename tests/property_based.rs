@@ -5,8 +5,13 @@
 use hcrf_ir::{mii, res_mii, Ddg, DdgBuilder, OpKind, OpLatencies, ResourceCounts};
 use hcrf_machine::{MachineConfig, RfOrganization};
 use hcrf_rfmodel::AnalyticRfModel;
+use hcrf_sched::mrt::ResourceCaps;
+use hcrf_sched::order::priority_order;
 use hcrf_sched::workgraph::WorkGraph;
-use hcrf_sched::{schedule_loop, validate_schedule, PressureTracker, SchedulerParams};
+use hcrf_sched::{
+    schedule_loop, validate_schedule, validate_store, PlacementStore, PressureTracker,
+    SchedulerParams,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random but well-formed loop body.
@@ -157,6 +162,58 @@ proptest! {
             tracker.touch(&w, &placements, n);
             if let Some(diff) = tracker.diff_from_batch(&w, &placements, &lat) {
                 return Err(TestCaseError::fail(format!("{cfg} II={ii}: {diff}")));
+            }
+        }
+    }
+
+    /// On randomized place/eject sequences driven through the
+    /// `PlacementStore`, the `SlotIndex` membership always equals a
+    /// from-scratch scan of the placements (and the MRT equals a replayed
+    /// table), and the victim chosen by the indexed `pick_victim` equals the
+    /// linear-scan oracle's choice for arbitrary (kind, cycle, cluster)
+    /// conflict probes — mirroring the PR 2 pressure-oracle pattern.
+    #[test]
+    fn slot_index_matches_scan_and_victim_policies_agree(
+        ddg in arb_loop(14),
+        ops in prop::collection::vec((any::<u16>(), 0u32..4, 0i64..48), 4..48),
+        probes in prop::collection::vec((0u8..5, 0i64..48, 0u32..4), 1..12),
+        hier in any::<bool>(),
+        ii in 1u32..9,
+    ) {
+        let lat = OpLatencies::paper_baseline();
+        let cfg = if hier { "4C16S64" } else { "S64" };
+        let machine = MachineConfig::paper_baseline(RfOrganization::parse(cfg).unwrap());
+        let mut w = WorkGraph::new(&ddg, &machine);
+        let caps = ResourceCaps::from_machine(&machine);
+        let order = priority_order(&w, &lat, ii);
+        let mut store = PlacementStore::new(ii, caps, w.ddg.num_nodes(), order, true);
+        store.sync_pressure(&mut w);
+        let nodes: Vec<_> = w.active_nodes().collect();
+        let probe_kinds = [OpKind::FAdd, OpKind::FDiv, OpKind::Load, OpKind::LoadR, OpKind::StoreR];
+        for (sel, cluster, cycle) in ops {
+            let n = nodes[sel as usize % nodes.len()];
+            if !w.is_active(n) {
+                continue; // removed by an earlier chain-removing ejection
+            }
+            if store.is_placed(n) {
+                store.eject(&mut w, n, &lat);
+            } else {
+                store.place(&w, n, cycle, cluster % machine.clusters(), &lat);
+            }
+            if let Err(diff) = validate_store(&store, &w, &lat) {
+                return Err(TestCaseError::fail(format!("{cfg} II={ii}: {diff}")));
+            }
+            for &(k, pc, pcl) in &probes {
+                let kind = probe_kinds[k as usize % probe_kinds.len()];
+                let cl = pcl % machine.clusters();
+                let probe_node = hcrf_ir::NodeId(u32::MAX - 1);
+                let indexed = store.pick_victim(&w, probe_node, kind, pc, cl);
+                let linear = store.pick_victim_linear(&w, probe_node, kind, pc, cl, &lat);
+                if indexed != linear {
+                    return Err(TestCaseError::fail(format!(
+                        "{cfg} II={ii}: victim diverged for {kind:?}@{pc}/c{cl}: {indexed:?} vs {linear:?}"
+                    )));
+                }
             }
         }
     }
