@@ -1,0 +1,199 @@
+//! Scheduler performance-trajectory harness (`bench_sched`).
+//!
+//! Schedules the standard, ejection-churn and wide-window suites on the two
+//! configurations that bound scheduler wall time (`4C16S64`, the 2-FU
+//! hierarchical machine whose churn loops storm the backtracking paths, and
+//! the `S128` monolithic control) and writes per-(suite, config) wall-time
+//! and work counters — ejections, guard trips, infeasible cutoffs, II
+//! restarts — to a JSON trajectory file. Committing the file after a
+//! scheduler-perf PR gives the next PR a baseline to compare against
+//! without re-running the old code.
+//!
+//! ```text
+//! bench_sched [--loops N] [--churn N] [--wide N] [--out BENCH_sched.json]
+//! ```
+
+use hcrf_explore::json::Json;
+use hcrf_ir::Loop;
+use hcrf_machine::{MachineConfig, RfOrganization};
+use hcrf_sched::{IterativeScheduler, SchedulerParams, SchedulerStats};
+use hcrf_workloads::{churn_suite, suite::suite, wide_window_suite, SuiteParams};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const CONFIGS: [&str; 2] = ["4C16S64", "S128"];
+
+struct Args {
+    loops: usize,
+    churn: usize,
+    wide: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        loops: 128,
+        churn: 16,
+        wide: 8,
+        out: PathBuf::from("BENCH_sched.json"),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("bench_sched: missing value for {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--loops" => args.loops = value(&mut i).parse().expect("--loops N"),
+            "--churn" => args.churn = value(&mut i).parse().expect("--churn N"),
+            "--wide" => args.wide = value(&mut i).parse().expect("--wide N"),
+            "--out" => args.out = PathBuf::from(value(&mut i)),
+            "--help" | "-h" => {
+                eprintln!("usage: bench_sched [--loops N] [--churn N] [--wide N] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("bench_sched: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Aggregate counters of one (suite, config) sweep.
+#[derive(Default)]
+struct Sweep {
+    wall_ms: f64,
+    loops: u64,
+    failed: u64,
+    sum_ii: u64,
+    stats: SchedulerStats,
+}
+
+fn run_sweep(loops: &[Loop], config: &str, params: SchedulerParams) -> Sweep {
+    let machine = MachineConfig::paper_baseline(RfOrganization::parse(config).unwrap());
+    let sched = IterativeScheduler::new(machine, params);
+    let mut sweep = Sweep::default();
+    let start = Instant::now();
+    for l in loops {
+        let r = sched.schedule(&l.ddg);
+        sweep.loops += 1;
+        sweep.failed += u64::from(r.failed);
+        sweep.sum_ii += r.ii as u64;
+        sweep.stats.attempts += r.stats.attempts;
+        sweep.stats.ejections += r.stats.ejections;
+        sweep.stats.guard_trips += r.stats.guard_trips;
+        sweep.stats.infeasible_cutoffs += r.stats.infeasible_cutoffs;
+        sweep.stats.ii_restarts += r.stats.ii_restarts;
+    }
+    sweep.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    sweep
+}
+
+fn sweep_json(sweep: &Sweep) -> Json {
+    Json::obj(vec![
+        ("wall_ms", Json::Num((sweep.wall_ms * 1e3).round() / 1e3)),
+        ("loops", Json::u64(sweep.loops)),
+        ("failed", Json::u64(sweep.failed)),
+        ("sum_ii", Json::u64(sweep.sum_ii)),
+        ("attempts", Json::u64(sweep.stats.attempts)),
+        ("ejections", Json::u64(sweep.stats.ejections)),
+        ("guard_trips", Json::u64(sweep.stats.guard_trips)),
+        (
+            "infeasible_cutoffs",
+            Json::u64(sweep.stats.infeasible_cutoffs),
+        ),
+        ("ii_restarts", Json::u64(sweep.stats.ii_restarts as u64)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    // The churn family climbs long II ladders by design; the other suites
+    // use the default cap (identical to the equivalence tests).
+    let default_params = SchedulerParams::default().without_schedule();
+    let churn_params = SchedulerParams {
+        max_ii: 256,
+        ..default_params
+    };
+    let suites: [(&str, Vec<Loop>, SchedulerParams); 3] = [
+        (
+            "standard",
+            suite(SuiteParams {
+                total_loops: args.loops,
+                ..Default::default()
+            }),
+            default_params,
+        ),
+        ("churn", churn_suite(args.churn), churn_params),
+        ("wide", wide_window_suite(args.wide), default_params),
+    ];
+
+    println!("================================================================");
+    println!("bench_sched — scheduler wall-time / work-counter trajectory");
+    println!(
+        "suites: standard({}) churn({}) wide({}) | configs: {}",
+        args.loops,
+        args.churn,
+        args.wide,
+        CONFIGS.join(", ")
+    );
+    println!("================================================================");
+
+    let mut suite_objs = Vec::new();
+    for (suite_name, loops, params) in &suites {
+        let mut config_objs = Vec::new();
+        for config in CONFIGS {
+            let sweep = run_sweep(loops, config, *params);
+            println!(
+                "{suite_name:>8} / {config:<8} {:>9.1} ms | {:>9} ejections | {:>5} guard trips \
+                 | {:>6} infeasible cutoffs | {:>6} II restarts{}",
+                sweep.wall_ms,
+                sweep.stats.ejections,
+                sweep.stats.guard_trips,
+                sweep.stats.infeasible_cutoffs,
+                sweep.stats.ii_restarts,
+                if sweep.failed > 0 {
+                    format!(" | {} failed", sweep.failed)
+                } else {
+                    String::new()
+                },
+            );
+            config_objs.push((config.to_string(), sweep_json(&sweep)));
+        }
+        suite_objs.push((suite_name.to_string(), Json::Obj(config_objs)));
+    }
+
+    let doc = Json::obj(vec![
+        ("harness", Json::str("bench_sched")),
+        (
+            "note",
+            Json::str(
+                "end-to-end IterativeScheduler wall time and work counters per \
+                 (suite, config); regenerate with `cargo run --release --bin bench_sched`",
+            ),
+        ),
+        (
+            "suite_sizes",
+            Json::obj(vec![
+                ("standard", Json::usize(args.loops)),
+                ("churn", Json::usize(args.churn)),
+                ("wide", Json::usize(args.wide)),
+            ]),
+        ),
+        ("suites", Json::Obj(suite_objs)),
+    ]);
+    match std::fs::write(&args.out, doc.to_pretty()) {
+        Ok(()) => println!("trajectory written to {}", args.out.display()),
+        Err(e) => {
+            eprintln!("bench_sched: failed to write {}: {e}", args.out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,7 +8,7 @@
 use crate::mrt::Mrt;
 use crate::pressure::PressureQuery;
 use crate::workgraph::WorkGraph;
-use hcrf_ir::{NodeId, OpKind, ResourceClass};
+use hcrf_ir::{EdgeId, NodeId, OpKind, ResourceClass};
 
 /// Decision produced by [`select_cluster`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,45 +35,133 @@ pub fn select_cluster(
     placements: &[Option<(i64, u32)>],
     pressure: &dyn PressureQuery,
 ) -> ClusterChoice {
+    let mut cands = Vec::new();
+    select_cluster_recording(u, w, mrt, placements, pressure, &mut cands).0
+}
+
+/// [`select_cluster`], additionally recording into `comm_candidates` every
+/// edge between `u` and a placed neighbour that could require communication
+/// for *some* cluster choice, in the exact order the scheduler's
+/// communication-insertion scan visits them (predecessor edges, then
+/// successor edges). Each entry carries the cluster that makes the edge
+/// communication-free (`u32::MAX` when every cluster needs it), so the
+/// scheduler's first scan is a tight filter by the chosen cluster instead of
+/// a re-walk of the whole neighbourhood. A returned `false` flag means a
+/// fast path skipped the scoring walk and the caller must fall back to the
+/// full scan.
+pub fn select_cluster_recording(
+    u: NodeId,
+    w: &WorkGraph,
+    mrt: &Mrt,
+    placements: &[Option<(i64, u32)>],
+    pressure: &dyn PressureQuery,
+    comm_candidates: &mut Vec<(EdgeId, u32)>,
+) -> (ClusterChoice, bool) {
+    comm_candidates.clear();
     let clusters = mrt.caps().clusters;
     let kind = w.ddg.node(u).kind;
     if clusters <= 1 {
-        return ClusterChoice {
-            cluster: 0,
-            comm_cost: 0,
-        };
+        // Monolithic machines never communicate: the empty recording is
+        // complete.
+        return (
+            ClusterChoice {
+                cluster: 0,
+                comm_cost: 0,
+            },
+            true,
+        );
     }
     if w.is_hierarchical() && kind.is_memory() {
-        return ClusterChoice {
-            cluster: 0,
-            comm_cost: 0,
-        };
+        return (
+            ClusterChoice {
+                cluster: 0,
+                comm_cost: 0,
+            },
+            false,
+        );
     }
     // Communication-anchored kinds follow their neighbour directly.
     if kind == OpKind::StoreR {
         if let Some(c) = placed_neighbor_cluster(w, placements, u, Direction::Producers) {
-            return ClusterChoice {
-                cluster: c,
-                comm_cost: 0,
-            };
+            return (
+                ClusterChoice {
+                    cluster: c,
+                    comm_cost: 0,
+                },
+                false,
+            );
         }
     }
     if kind == OpKind::LoadR {
         if let Some(c) = placed_neighbor_cluster(w, placements, u, Direction::Consumers) {
-            return ClusterChoice {
-                cluster: c,
-                comm_cost: 0,
-            };
+            return (
+                ClusterChoice {
+                    cluster: c,
+                    comm_cost: 0,
+                },
+                false,
+            );
         }
     }
 
+    // One pass over u's placed neighbours instead of one `communication_cost`
+    // walk per cluster: for a fixed edge and neighbour cluster `nc`, the cost
+    // as a function of the candidate cluster is either constant or "1 unless
+    // the candidate is `nc`" — probing `needs_communication` at `nc` and at
+    // one other cluster classifies the edge without duplicating its logic.
+    // `communication_cost(c)` then reads `base + dep_total - dep_in[c]`.
+    let mut base = 0u32;
+    let mut dep_total = 0u32;
+    let mut dep_in = [0u32; MAX_FAST_CLUSTERS];
+    let fast = clusters as usize <= MAX_FAST_CLUSTERS;
+    if fast {
+        let other = |nc: u32| if nc == 0 { 1 } else { 0 };
+        for (id, e) in w.active_pred_edges(u) {
+            if let Some((_, pc)) = placements[e.src.index()] {
+                let same = w.needs_communication(e, pc, pc);
+                let diff = w.needs_communication(e, pc, other(pc));
+                if same == diff {
+                    base += u32::from(same);
+                } else {
+                    dep_total += 1;
+                    dep_in[pc as usize] += 1;
+                }
+                if same {
+                    comm_candidates.push((id, u32::MAX));
+                } else if diff {
+                    comm_candidates.push((id, pc));
+                }
+            }
+        }
+        for (id, e) in w.active_succ_edges(u) {
+            if let Some((_, sc)) = placements[e.dst.index()] {
+                let same = w.needs_communication(e, sc, sc);
+                let diff = w.needs_communication(e, other(sc), sc);
+                if same == diff {
+                    base += u32::from(same);
+                } else {
+                    dep_total += 1;
+                    dep_in[sc as usize] += 1;
+                }
+                if same {
+                    comm_candidates.push((id, u32::MAX));
+                } else if diff {
+                    comm_candidates.push((id, sc));
+                }
+            }
+        }
+    }
     let mut best = ClusterChoice {
         cluster: 0,
         comm_cost: u32::MAX,
     };
     let mut best_score = i64::MAX;
     for c in 0..clusters {
-        let comm = communication_cost(w, placements, u, c);
+        let comm = if fast {
+            base + dep_total - dep_in[c as usize]
+        } else {
+            communication_cost(w, placements, u, c)
+        };
         let free_slots = mrt.free_fu_slots(c) as i64;
         let press = pressure.cluster_live(c) as i64;
         // Lower is better: communication dominates, then register pressure,
@@ -87,8 +175,13 @@ pub fn select_cluster(
             };
         }
     }
-    best
+    (best, fast)
 }
+
+/// Widest machine the one-pass communication-cost aggregation handles on the
+/// stack; wider machines (none exist in the design spaces explored so far)
+/// fall back to the per-cluster walk.
+const MAX_FAST_CLUSTERS: usize = 64;
 
 enum Direction {
     Producers,
@@ -101,28 +194,40 @@ fn placed_neighbor_cluster(
     u: NodeId,
     dir: Direction,
 ) -> Option<u32> {
-    let neighbors: Vec<NodeId> = match dir {
-        Direction::Producers => w
-            .active_pred_edges(u)
-            .filter(|(_, e)| e.kind == hcrf_ir::DepKind::Flow)
-            .map(|(_, e)| e.src)
-            .collect(),
-        Direction::Consumers => w
-            .active_succ_edges(u)
-            .filter(|(_, e)| e.kind == hcrf_ir::DepKind::Flow)
-            .map(|(_, e)| e.dst)
-            .collect(),
+    // Prefer the first placed FU neighbour; fall back to the first placed
+    // neighbour of any kind. One allocation-free pass in edge order — this
+    // runs once per worklist pop, so a per-call Vec was measurable on
+    // ejection-churn-heavy loops.
+    let mut fu_cluster = None;
+    let mut any_cluster = None;
+    let mut visit = |n: NodeId| {
+        let Some((_, c)) = placements[n.index()] else {
+            return;
+        };
+        if w.ddg.node(n).kind.resource_class() == ResourceClass::Fu {
+            fu_cluster.get_or_insert(c);
+        }
+        any_cluster.get_or_insert(c);
     };
-    // Prefer a placed FU neighbour; fall back to any placed neighbour.
-    neighbors
-        .iter()
-        .filter(|n| w.ddg.node(**n).kind.resource_class() == ResourceClass::Fu)
-        .find_map(|n| placements[n.index()].map(|(_, c)| c))
-        .or_else(|| {
-            neighbors
-                .iter()
-                .find_map(|n| placements[n.index()].map(|(_, c)| c))
-        })
+    match dir {
+        Direction::Producers => {
+            for (_, e) in w
+                .active_pred_edges(u)
+                .filter(|(_, e)| e.kind == hcrf_ir::DepKind::Flow)
+            {
+                visit(e.src);
+            }
+        }
+        Direction::Consumers => {
+            for (_, e) in w
+                .active_succ_edges(u)
+                .filter(|(_, e)| e.kind == hcrf_ir::DepKind::Flow)
+            {
+                visit(e.dst);
+            }
+        }
+    }
+    fu_cluster.or(any_cluster)
 }
 
 /// Number of placed flow neighbours of `u` that would sit in a different
@@ -229,6 +334,52 @@ mod tests {
         let choice = select_cluster(l, &w, &mrt, &place, &p);
         assert_eq!(choice.cluster, 0);
         assert_eq!(choice.comm_cost, 0);
+    }
+
+    #[test]
+    fn one_pass_scoring_matches_per_cluster_walk_and_records_candidates() {
+        // A mixed neighbourhood on a hierarchical machine: placed producers
+        // in two clusters, one placed consumer, one unplaced neighbour. The
+        // one-pass aggregation must reproduce `communication_cost` for the
+        // chosen cluster, and the recording must list exactly the edges a
+        // scan from the chosen cluster would (in pred-then-succ order).
+        let mut b = DdgBuilder::new("op");
+        let p0 = b.op(OpKind::FMul);
+        let p1 = b.op(OpKind::FMul);
+        let p2 = b.op(OpKind::FMul); // stays unplaced
+        let u = b.op(OpKind::FAdd);
+        let c0 = b.op(OpKind::FAdd);
+        b.flow(p0, u, 0)
+            .flow(p1, u, 0)
+            .flow(p2, u, 0)
+            .flow(u, c0, 0);
+        let g = b.build();
+        let (w, mrt, _) = setup("4C16S64", &g);
+        let lat = OpLatencies::paper_baseline();
+        let mut place = vec![None; w.ddg.num_nodes()];
+        place[p0.index()] = Some((0i64, 0u32));
+        place[p1.index()] = Some((0, 2));
+        place[c0.index()] = Some((9, 2));
+        let pr = pressure(&w, &place, 4, 4, &lat, false);
+        let mut cands = Vec::new();
+        let (choice, complete) = select_cluster_recording(u, &w, &mrt, &place, &pr, &mut cands);
+        assert!(complete);
+        assert_eq!(
+            choice.comm_cost,
+            communication_cost(&w, &place, u, choice.cluster)
+        );
+        for c in 0..4 {
+            // The recorded (edge, comm-free cluster) pairs reproduce the
+            // scan for *any* cluster choice, not just the winning one.
+            let from_recording = cands.iter().filter(|&&(_, free)| free != c).count() as u32;
+            assert_eq!(
+                from_recording,
+                communication_cost(&w, &place, u, c),
+                "cluster {c}"
+            );
+        }
+        // Three placed flow neighbours -> three cluster-dependent entries.
+        assert_eq!(cands.len(), 3);
     }
 
     #[test]

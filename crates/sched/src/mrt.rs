@@ -8,6 +8,21 @@
 //! than binding operations to individual units, which is the usual
 //! abstraction for modulo-scheduling resource models and matches the ResMII
 //! bound of [`hcrf_ir::res_mii`].
+//!
+//! On top of the row counts the table maintains a **row-availability
+//! summary**: per (resource class, cluster — global classes such as buses
+//! and shared memory ports keep a single cluster-agnostic mask) a packed
+//! `u64` bitmask over the II rows whose bit is set iff the row has residual
+//! capacity for one unit-occupancy reservation. Every [`Mrt::place`] /
+//! [`Mrt::remove`] keeps the masks consistent with the counts (enforced by
+//! [`Mrt::check_masks`], which `validate_store` runs after every step of the
+//! randomized property tests), and [`Mrt::first_free_row_in`] answers the
+//! scheduler's slot-window searches as wrapped find-first/last-set over
+//! words instead of the per-row [`Mrt::can_place`] walk they replace —
+//! multi-row operations (non-pipelined divides and square roots) test the
+//! shifted mask bits across their occupancy span, falling back to a
+//! `can_place` confirmation only when the occupancy exceeds the II (the one
+//! case where a row needs more than one unit copy).
 
 use hcrf_ir::{OpKind, OpLatencies, ResourceClass};
 use hcrf_machine::MachineConfig;
@@ -95,6 +110,104 @@ pub struct Mrt {
     /// once per cluster per scheduling attempt, which dominated
     /// ejection-churn-heavy loops.
     fu_free: Vec<u32>,
+    /// Row-availability masks, one bit per row, bit set iff the row can take
+    /// one more unit-occupancy reservation of the class. Cluster-local
+    /// classes store `clusters` masks of `words()` words each; global masks
+    /// store one. Maintained by [`Mrt::adjust`].
+    fu_avail: Vec<u64>,
+    mem_avail: Vec<u64>,
+    bus_avail: Vec<u64>,
+    lp_avail: Vec<u64>,
+    sp_avail: Vec<u64>,
+}
+
+/// Every resource class with an availability mask.
+const ALL_CLASSES: [ResourceClass; 5] = [
+    ResourceClass::Fu,
+    ResourceClass::MemPort,
+    ResourceClass::Bus,
+    ResourceClass::SharedReadPort,
+    ResourceClass::SharedWritePort,
+];
+
+/// The single row-availability predicate behind every bit of the summary
+/// masks: a row can take one more unit-occupancy reservation iff its count
+/// is below the class capacity (`u32::MAX` encodes unbounded bandwidth).
+/// Every writer and checker of the masks — the `adjust` arms, mask
+/// initialization and [`Mrt::check_masks`] — goes through here.
+#[inline]
+fn row_avail(count: u16, cap: u32) -> bool {
+    cap == u32::MAX || (count as u32) < cap
+}
+
+/// Set or clear one row bit in a packed availability mask.
+#[inline]
+fn write_bit(words: &mut [u64], row: usize, avail: bool) {
+    let (w, b) = (row / 64, row % 64);
+    if avail {
+        words[w] |= 1u64 << b;
+    } else {
+        words[w] &= !(1u64 << b);
+    }
+}
+
+/// Read one row bit of a packed availability mask.
+#[inline]
+fn read_bit(words: &[u64], row: usize) -> bool {
+    words[row / 64] & (1u64 << (row % 64)) != 0
+}
+
+/// Smallest row in `[a, b)` whose bit is set, scanning word-at-a-time.
+fn first_set_in_range(words: &[u64], a: u32, b: u32) -> Option<u32> {
+    if a >= b {
+        return None;
+    }
+    let last = ((b - 1) / 64) as usize;
+    let mut wi = (a / 64) as usize;
+    let mut word = words[wi] & (!0u64 << (a % 64));
+    loop {
+        if wi == last {
+            let hi = b - wi as u32 * 64;
+            if hi < 64 {
+                word &= (1u64 << hi) - 1;
+            }
+        }
+        if word != 0 {
+            return Some(wi as u32 * 64 + word.trailing_zeros());
+        }
+        if wi == last {
+            return None;
+        }
+        wi += 1;
+        word = words[wi];
+    }
+}
+
+/// Largest row in `[a, b)` whose bit is set, scanning word-at-a-time.
+fn last_set_in_range(words: &[u64], a: u32, b: u32) -> Option<u32> {
+    if a >= b {
+        return None;
+    }
+    let first = (a / 64) as usize;
+    let mut wi = ((b - 1) / 64) as usize;
+    let mut word = words[wi];
+    let hi = b - wi as u32 * 64;
+    if hi < 64 {
+        word &= (1u64 << hi) - 1;
+    }
+    loop {
+        if wi == first {
+            word &= !0u64 << (a % 64);
+        }
+        if word != 0 {
+            return Some(wi as u32 * 64 + 63 - word.leading_zeros());
+        }
+        if wi == first {
+            return None;
+        }
+        wi -= 1;
+        word = words[wi];
+    }
 }
 
 impl Mrt {
@@ -103,7 +216,9 @@ impl Mrt {
         let ii = ii.max(1);
         let rows = ii as usize;
         let c = caps.clusters as usize;
-        Mrt {
+        let words = rows.div_ceil(64);
+        let mem_blocks = if caps.memory_is_shared() { 1 } else { c };
+        let mut mrt = Mrt {
             ii,
             caps,
             fu: vec![0; rows * c],
@@ -113,7 +228,27 @@ impl Mrt {
             lp: vec![0; rows * c],
             sp: vec![0; rows * c],
             fu_free: vec![ii * caps.fus_per_cluster; c],
+            fu_avail: vec![0; words * c],
+            mem_avail: vec![0; words * mem_blocks],
+            bus_avail: vec![0; words],
+            lp_avail: vec![0; words * c],
+            sp_avail: vec![0; words * c],
+        };
+        // Initialize the masks from the shared predicate on the zero counts
+        // (rows past the II stay clear so the word scans never report ghost
+        // rows).
+        for class in ALL_CLASSES {
+            let cap = mrt.unit_cap(class);
+            let blocks = if mrt.class_is_global(class) { 1 } else { c };
+            let avail = row_avail(0, cap);
+            for block in 0..blocks {
+                let mask = mrt.avail_words_mut(class, block as u32);
+                for row in 0..rows {
+                    write_bit(mask, row, avail);
+                }
+            }
         }
+        mrt
     }
 
     /// The II of the table.
@@ -128,6 +263,74 @@ impl Mrt {
 
     fn row_of(&self, cycle: i64) -> usize {
         (cycle.rem_euclid(self.ii as i64)) as usize
+    }
+
+    /// Words per availability mask.
+    fn words(&self) -> usize {
+        (self.ii as usize).div_ceil(64)
+    }
+
+    /// Capacity one unit-occupancy reservation of the class is checked
+    /// against (`u32::MAX` encodes unbounded bandwidth).
+    fn unit_cap(&self, class: ResourceClass) -> u32 {
+        match class {
+            ResourceClass::Fu => self.caps.fus_per_cluster,
+            ResourceClass::MemPort => {
+                if self.caps.memory_is_shared() {
+                    self.caps.shared_mem_ports
+                } else {
+                    self.caps.mem_ports_per_cluster
+                }
+            }
+            ResourceClass::Bus => self.caps.buses,
+            ResourceClass::SharedReadPort => self.caps.lp,
+            ResourceClass::SharedWritePort => self.caps.sp,
+        }
+    }
+
+    /// Whether the class conflicts regardless of cluster (one global mask).
+    fn class_is_global(&self, class: ResourceClass) -> bool {
+        match class {
+            ResourceClass::Bus => true,
+            ResourceClass::MemPort => self.caps.memory_is_shared(),
+            _ => false,
+        }
+    }
+
+    /// The availability mask of one (class, cluster).
+    fn avail_words(&self, class: ResourceClass, cluster: u32) -> &[u64] {
+        let w = self.words();
+        let block = if self.class_is_global(class) {
+            0
+        } else {
+            cluster as usize
+        };
+        let m = match class {
+            ResourceClass::Fu => &self.fu_avail,
+            ResourceClass::MemPort => &self.mem_avail,
+            ResourceClass::Bus => &self.bus_avail,
+            ResourceClass::SharedReadPort => &self.lp_avail,
+            ResourceClass::SharedWritePort => &self.sp_avail,
+        };
+        &m[block * w..][..w]
+    }
+
+    /// Mutable counterpart of [`Mrt::avail_words`].
+    fn avail_words_mut(&mut self, class: ResourceClass, cluster: u32) -> &mut [u64] {
+        let w = self.words();
+        let block = if self.class_is_global(class) {
+            0
+        } else {
+            cluster as usize
+        };
+        let m = match class {
+            ResourceClass::Fu => &mut self.fu_avail,
+            ResourceClass::MemPort => &mut self.mem_avail,
+            ResourceClass::Bus => &mut self.bus_avail,
+            ResourceClass::SharedReadPort => &mut self.lp_avail,
+            ResourceClass::SharedWritePort => &mut self.sp_avail,
+        };
+        &mut m[block * w..][..w]
     }
 
     fn idx(&self, cycle: i64, cluster: u32) -> usize {
@@ -181,6 +384,211 @@ impl Mrt {
         }
     }
 
+    /// First cycle inside the inclusive `window` of flat cycles at which
+    /// `kind` can be issued on `cluster`, scanning upward (`upward`) or
+    /// downward from the window's far end. Bit-identical to
+    /// [`Mrt::first_free_row_linear`] — the per-row `can_place` walk it
+    /// replaces — but answered as a wrapped find-first/last-set over the
+    /// availability-mask words: windows of a full II cost O(words) instead
+    /// of O(II · occupancy). Multi-row operations test the shifted mask bits
+    /// across their occupancy span; only when the occupancy exceeds the II
+    /// (a row then needs more than one unit copy, which one availability bit
+    /// cannot express) is a candidate confirmed with `can_place`.
+    pub fn first_free_row_in(
+        &self,
+        kind: OpKind,
+        cluster: u32,
+        window: (i64, i64),
+        upward: bool,
+        lat: &OpLatencies,
+    ) -> Option<i64> {
+        let (mut start, mut end) = window;
+        if start > end {
+            return None;
+        }
+        let ii = self.ii as i64;
+        // Row availability is II-periodic: a window longer than one II
+        // repeats rows, so clamp it to the II cycles nearest the scan origin
+        // (the linear walk would find its answer inside them too).
+        if end - start + 1 > ii {
+            if upward {
+                end = start + ii - 1;
+            } else {
+                start = end - ii + 1;
+            }
+        }
+        let class = kind.resource_class();
+        let occ = Self::occupancy(kind, lat);
+        let span = occ.min(self.ii);
+        let words = self.avail_words(class, cluster);
+        // Fast path for unit-occupancy operations: the scan's very first
+        // probe row is free on sparsely occupied tables, and one bit test
+        // answers it without the word machinery.
+        if occ <= 1 {
+            let probe = if upward { start } else { end };
+            if read_bit(words, self.row_of(probe)) {
+                return Some(probe);
+            }
+        }
+        let len = (end - start + 1) as u32;
+        let base = self.row_of(start) as u32;
+        // The wrapped row range [base, base + len) splits into at most two
+        // linear ranges of the mask.
+        let seg1 = len.min(self.ii - base);
+        let mut from = 0u32; // offset bounds still to scan, [from, to)
+        let mut to = len;
+        loop {
+            let o = if upward {
+                let lo = if from < seg1 {
+                    first_set_in_range(words, base + from, base + seg1).map(|r| r - base)
+                } else {
+                    None
+                };
+                lo.or_else(|| {
+                    let a = from.max(seg1);
+                    first_set_in_range(words, a - seg1, to - seg1).map(|r| r + seg1)
+                })
+            } else {
+                let hi = if to > seg1 {
+                    last_set_in_range(words, from.max(seg1) - seg1, to - seg1).map(|r| r + seg1)
+                } else {
+                    None
+                };
+                hi.or_else(|| {
+                    last_set_in_range(words, base + from, base + to.min(seg1)).map(|r| r - base)
+                })
+            }?;
+            let t = start + o as i64;
+            let fits = if occ <= self.ii {
+                // Unit copies in every span row: the shifted bits are exact
+                // (single-row operations need no further test at all).
+                let row = self.row_of(t) as u32;
+                (1..span).all(|k| read_bit(words, ((row + k) % self.ii) as usize))
+            } else {
+                // `occ > II`: rows need several unit copies, which the
+                // one-bit summary cannot express — confirm with the counts.
+                self.can_place(kind, t, cluster, lat)
+            };
+            if fits {
+                return Some(t);
+            }
+            if upward {
+                from = o + 1;
+            } else {
+                to = o;
+            }
+            if from >= to {
+                return None;
+            }
+        }
+    }
+
+    /// The per-row `can_place` walk [`Mrt::first_free_row_in`] replaced,
+    /// kept as the equivalence oracle (`tests/slot_equivalence.rs`, the
+    /// randomized property tests and `benches/ejection.rs` compare against
+    /// it; the scheduler selects it via
+    /// [`crate::IterativeScheduler::with_linear_slot_scan`]).
+    pub fn first_free_row_linear(
+        &self,
+        kind: OpKind,
+        cluster: u32,
+        window: (i64, i64),
+        upward: bool,
+        lat: &OpLatencies,
+    ) -> Option<i64> {
+        let (start, end) = window;
+        if upward {
+            (start..=end).find(|&t| self.can_place(kind, t, cluster, lat))
+        } else {
+            (start..=end)
+                .rev()
+                .find(|&t| self.can_place(kind, t, cluster, lat))
+        }
+    }
+
+    /// Whether `kind` could be issued on a completely empty table — `false`
+    /// means the conflict is *structurally unsatisfiable*: no sequence of
+    /// ejections can ever free the resource (the canonical case is a
+    /// non-pipelined operation whose occupancy needs more unit copies per
+    /// row than the class owns, e.g. a 17-cycle divide at II 4 on a 2-FU
+    /// cluster). The forced-placement path consults this before starting an
+    /// ejection cascade and abandons the attempt immediately instead
+    /// (counted in [`crate::SchedulerStats::infeasible_cutoffs`]).
+    pub fn placeable_on_empty(&self, kind: OpKind, lat: &OpLatencies) -> bool {
+        let class = kind.resource_class();
+        let cap = self.unit_cap(class);
+        if cap == u32::MAX {
+            return true;
+        }
+        match class {
+            ResourceClass::Fu => {
+                let occ = Self::occupancy(kind, lat);
+                // Peak unit copies any row of the span needs (see
+                // `fu_copies`): `ceil(occ / II)`.
+                occ.div_ceil(self.ii).min(occ).max(1) <= cap
+            }
+            _ => cap > 0,
+        }
+    }
+
+    /// Cross-check every availability bit against the row counts it
+    /// summarizes; returns a description of the first stale bit, if any.
+    /// Run by `validate_store` after every step of the randomized property
+    /// tests — a mutation path that touches counts without going through
+    /// [`Mrt::adjust`] shows up here.
+    pub fn check_masks(&self) -> Option<String> {
+        for class in ALL_CLASSES {
+            let cap = self.unit_cap(class);
+            let blocks = if self.class_is_global(class) {
+                1
+            } else {
+                self.caps.clusters
+            };
+            for cluster in 0..blocks {
+                let words = self.avail_words(class, cluster);
+                for row in 0..self.ii {
+                    let count = match class {
+                        ResourceClass::Fu => {
+                            self.fu[row as usize * self.caps.clusters as usize + cluster as usize]
+                        }
+                        ResourceClass::MemPort => {
+                            if self.caps.memory_is_shared() {
+                                self.shared_mem[row as usize]
+                            } else {
+                                self.mem
+                                    [row as usize * self.caps.clusters as usize + cluster as usize]
+                            }
+                        }
+                        ResourceClass::Bus => self.bus[row as usize],
+                        ResourceClass::SharedReadPort => {
+                            self.lp[row as usize * self.caps.clusters as usize + cluster as usize]
+                        }
+                        ResourceClass::SharedWritePort => {
+                            self.sp[row as usize * self.caps.clusters as usize + cluster as usize]
+                        }
+                    };
+                    let expect = row_avail(count, cap);
+                    if read_bit(words, row as usize) != expect {
+                        return Some(format!(
+                            "{class:?} availability bit stale: row {row} cluster {cluster} \
+                             (count {count}, capacity {cap})"
+                        ));
+                    }
+                }
+                // Rows past the II must stay clear or the word scans would
+                // report ghost rows.
+                for row in self.ii as usize..self.words() * 64 {
+                    if read_bit(words, row) {
+                        return Some(format!(
+                            "{class:?} ghost availability bit past the II: row {row} cluster {cluster}"
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// Reserve the resources for `kind` issued at `cycle` on `cluster`.
     /// Call only after [`Mrt::can_place`] (or when deliberately forcing an
     /// over-subscription that will be repaired by ejection).
@@ -198,15 +606,19 @@ impl Mrt {
             let nv = (*v as i32 + delta).max(0);
             *v = nv as u16;
         };
+        let words = self.words();
+        let block = |cluster: u32| cluster as usize * words;
         match kind.resource_class() {
             ResourceClass::Fu => {
                 let occ = Self::occupancy(kind, lat);
                 let span = occ.min(self.ii);
                 let cap = self.caps.fus_per_cluster as i64;
                 let mut free_delta = 0i64;
+                let base = block(cluster);
                 for k in 0..span {
                     let copies = self.fu_copies(occ, k);
-                    let i = self.idx(cycle + k as i64, cluster);
+                    let row = (cycle + k as i64).rem_euclid(self.ii as i64) as usize;
+                    let i = row * self.caps.clusters as usize + cluster as usize;
                     let old = self.fu[i];
                     for _ in 0..copies {
                         apply(&mut self.fu[i]);
@@ -214,6 +626,8 @@ impl Mrt {
                     // Free slots clamp at 0 on (transient) over-subscription,
                     // mirroring what the O(II) recount would see.
                     free_delta += (cap - self.fu[i] as i64).max(0) - (cap - old as i64).max(0);
+                    let avail = row_avail(self.fu[i], self.caps.fus_per_cluster);
+                    write_bit(&mut self.fu_avail[base..][..words], row, avail);
                 }
                 let free = &mut self.fu_free[cluster as usize];
                 *free = (*free as i64 + free_delta).max(0) as u32;
@@ -222,22 +636,35 @@ impl Mrt {
                 if self.caps.memory_is_shared() {
                     let r = self.row_of(cycle);
                     apply(&mut self.shared_mem[r]);
+                    let avail = row_avail(self.shared_mem[r], self.caps.shared_mem_ports);
+                    write_bit(&mut self.mem_avail[..words], r, avail);
                 } else {
-                    let i = self.idx(cycle, cluster);
+                    let r = self.row_of(cycle);
+                    let i = r * self.caps.clusters as usize + cluster as usize;
                     apply(&mut self.mem[i]);
+                    let avail = row_avail(self.mem[i], self.caps.mem_ports_per_cluster);
+                    write_bit(&mut self.mem_avail[block(cluster)..][..words], r, avail);
                 }
             }
             ResourceClass::Bus => {
                 let r = self.row_of(cycle);
                 apply(&mut self.bus[r]);
+                let avail = row_avail(self.bus[r], self.caps.buses);
+                write_bit(&mut self.bus_avail[..words], r, avail);
             }
             ResourceClass::SharedReadPort => {
-                let i = self.idx(cycle, cluster);
+                let r = self.row_of(cycle);
+                let i = r * self.caps.clusters as usize + cluster as usize;
                 apply(&mut self.lp[i]);
+                let avail = row_avail(self.lp[i], self.caps.lp);
+                write_bit(&mut self.lp_avail[block(cluster)..][..words], r, avail);
             }
             ResourceClass::SharedWritePort => {
-                let i = self.idx(cycle, cluster);
+                let r = self.row_of(cycle);
+                let i = r * self.caps.clusters as usize + cluster as usize;
                 apply(&mut self.sp[i]);
+                let avail = row_avail(self.sp[i], self.caps.sp);
+                write_bit(&mut self.sp_avail[block(cluster)..][..words], r, avail);
             }
         }
     }
@@ -405,6 +832,134 @@ mod tests {
             assert!(mrt.can_place(OpKind::Load, 3, 0, &lat));
             mrt.place(OpKind::Load, 3, 0, &lat);
         }
+    }
+
+    #[test]
+    fn masks_track_place_and_remove() {
+        let lat = OpLatencies::paper_baseline();
+        let mut mrt = Mrt::new(3, caps("S128"));
+        assert_eq!(mrt.check_masks(), None);
+        for _ in 0..8 {
+            mrt.place(OpKind::FAdd, 1, 0, &lat);
+            assert_eq!(mrt.check_masks(), None);
+        }
+        // Row 1 is full: the window search must skip it.
+        assert_eq!(
+            mrt.first_free_row_in(OpKind::FAdd, 0, (1, 5), true, &lat),
+            Some(2)
+        );
+        mrt.remove(OpKind::FAdd, 1, 0, &lat);
+        assert_eq!(mrt.check_masks(), None);
+        assert_eq!(
+            mrt.first_free_row_in(OpKind::FAdd, 0, (1, 5), true, &lat),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn window_search_matches_linear_walk_on_crowded_table() {
+        let lat = OpLatencies::paper_baseline();
+        let mut mrt = Mrt::new(70, caps("S128")); // two mask words, 4 shared ports
+                                                  // Fill the first 40 rows' memory ports and a stripe near the wrap.
+        for row in 0..40 {
+            for _ in 0..4 {
+                mrt.place(OpKind::Load, row, 0, &lat);
+            }
+        }
+        for row in 66..70 {
+            for _ in 0..4 {
+                mrt.place(OpKind::Store, row, 0, &lat);
+            }
+        }
+        assert_eq!(mrt.check_masks(), None);
+        for window in [(0i64, 69i64), (-10, 45), (35, 104), (60, 80), (68, 68)] {
+            for upward in [true, false] {
+                assert_eq!(
+                    mrt.first_free_row_in(OpKind::Load, 0, window, upward, &lat),
+                    mrt.first_free_row_linear(OpKind::Load, 0, window, upward, &lat),
+                    "window {window:?} upward {upward}"
+                );
+            }
+        }
+        // The upward scan lands on the first non-full row, 40 probes in.
+        assert_eq!(
+            mrt.first_free_row_in(OpKind::Load, 0, (0, 69), true, &lat),
+            Some(40)
+        );
+        // The downward scan from inside the full wrap stripe walks back.
+        assert_eq!(
+            mrt.first_free_row_in(OpKind::Load, 0, (0, 68), false, &lat),
+            Some(65)
+        );
+    }
+
+    #[test]
+    fn window_search_handles_multi_row_spans() {
+        let lat = OpLatencies::paper_baseline();
+        // 2 FUs per cluster (4C16S64): a 17-cycle divide at II 20 needs 17
+        // consecutive rows with a free unit.
+        let mut mrt = Mrt::new(20, caps("4C16S64"));
+        mrt.place(OpKind::FDiv, 0, 1, &lat); // rows 0..=16 hold one unit each
+        mrt.place(OpKind::FAdd, 0, 1, &lat); // row 0 full
+        mrt.place(OpKind::FAdd, 18, 1, &lat);
+        mrt.place(OpKind::FAdd, 18, 1, &lat); // row 18 full
+        assert_eq!(mrt.check_masks(), None);
+        for window in [(0i64, 19i64), (5, 30), (-20, -1)] {
+            for upward in [true, false] {
+                assert_eq!(
+                    mrt.first_free_row_in(OpKind::FDiv, 1, window, upward, &lat),
+                    mrt.first_free_row_linear(OpKind::FDiv, 1, window, upward, &lat),
+                    "window {window:?} upward {upward}"
+                );
+            }
+        }
+        // A second divide needs 17 consecutive rows with a free unit. Row 0
+        // and row 18 are full, so the only feasible issue row is 1 (span
+        // 1..=17) — starts 2..=17 cross row 18, start 19 wraps onto row 0 —
+        // in both scan directions.
+        assert_eq!(
+            mrt.first_free_row_in(OpKind::FDiv, 1, (0, 19), true, &lat),
+            Some(1)
+        );
+        assert_eq!(
+            mrt.first_free_row_in(OpKind::FDiv, 1, (0, 19), false, &lat),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn infeasible_conflicts_detected_on_empty_table() {
+        let lat = OpLatencies::paper_baseline();
+        // 1 FU per cluster (8C16S16): a 17-cycle divide cannot recur at any
+        // II below 17, no matter what is ejected.
+        let small = Mrt::new(4, caps("8C16S16"));
+        assert!(!small.placeable_on_empty(OpKind::FDiv, &lat));
+        assert!(small.placeable_on_empty(OpKind::FAdd, &lat));
+        assert!(small.placeable_on_empty(OpKind::Load, &lat));
+        let fits = Mrt::new(17, caps("8C16S16"));
+        assert!(fits.placeable_on_empty(OpKind::FDiv, &lat));
+        // 2 FUs per cluster (4C16S64): two overlapped copies fit at II 9.
+        let two = Mrt::new(9, caps("4C16S64"));
+        assert!(two.placeable_on_empty(OpKind::FDiv, &lat));
+        let one_short = Mrt::new(8, caps("4C16S64"));
+        assert!(!one_short.placeable_on_empty(OpKind::FDiv, &lat));
+    }
+
+    #[test]
+    fn unbounded_classes_always_available() {
+        let lat = OpLatencies::paper_baseline();
+        let m = MachineConfig::paper_baseline(RfOrganization::parse("4C16S64").unwrap())
+            .with_unbounded_bandwidth();
+        let mut mrt = Mrt::new(2, ResourceCaps::from_machine(&m));
+        for _ in 0..100 {
+            mrt.place(OpKind::LoadR, 0, 0, &lat);
+        }
+        assert_eq!(mrt.check_masks(), None);
+        assert_eq!(
+            mrt.first_free_row_in(OpKind::LoadR, 0, (0, 1), true, &lat),
+            Some(0)
+        );
+        assert!(mrt.placeable_on_empty(OpKind::LoadR, &lat));
     }
 
     #[test]

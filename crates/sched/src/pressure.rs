@@ -289,17 +289,58 @@ impl PressureTracker {
     }
 
     /// Report that `node` was placed or ejected: re-derives the lifetime of
-    /// `node` itself and of every def feeding it through an active flow edge
-    /// (the only lifetimes its placement can perturb).
+    /// `node` itself and updates every def feeding it through an active flow
+    /// edge (the only lifetimes its placement can perturb).
+    ///
+    /// The feeding defs are updated without re-walking their consumer edges
+    /// in the two common cases: a *placement* of `node` can only stretch a
+    /// producer's lifetime, which the pred edge at hand already determines
+    /// (the full rescan is needed only when the new read lands exactly on
+    /// the current end, where the rescan's first-in-edge-order tie-breaking
+    /// of `last_consumer` must be reproduced); an *ejection* of `node`
+    /// leaves every producer whose recorded `last_consumer` is a different
+    /// node untouched — removing a non-final consumer cannot move the end.
     pub fn touch(&mut self, w: &WorkGraph, placements: &[Option<(i64, u32)>], node: NodeId) {
         self.refresh(w, placements, node);
+        let placed = placements[node.index()];
         let mut preds = std::mem::take(&mut self.scratch);
         preds.clear();
-        preds.extend(
-            w.active_pred_edges(node)
-                .filter(|(_, e)| e.kind == DepKind::Flow && e.src != node)
-                .map(|(_, e)| e.src),
-        );
+        for (_, e) in w
+            .active_pred_edges(node)
+            .filter(|(_, e)| e.kind == DepKind::Flow && e.src != node)
+        {
+            let p = e.src;
+            match (placed, self.lifetimes[p.index()]) {
+                (Some((use_cycle, _)), Some(lt)) => {
+                    let read = use_cycle + (self.ii as i64) * e.distance as i64;
+                    if read + 1 > lt.end {
+                        // The new consumer strictly extends the lifetime: a
+                        // rescan would find `node` as the unique maximum.
+                        let new_lt = ValueLifetime {
+                            end: read + 1,
+                            last_consumer: Some(node),
+                            ..lt
+                        };
+                        self.delta_apply(Some(&lt), Some(&new_lt));
+                        self.lifetimes[p.index()] = Some(new_lt);
+                    } else if read + 1 == lt.end {
+                        // Tie with the current end: `last_consumer` follows
+                        // edge order, which only the rescan knows.
+                        preds.push(p);
+                    }
+                }
+                (None, Some(lt)) => {
+                    if lt.last_consumer == Some(node) {
+                        preds.push(p);
+                    }
+                    // Ejecting a non-final consumer cannot move the end.
+                }
+                // No stored lifetime: the producer is unplaced, inactive or
+                // defines no value — the rescan is already cheap, and it
+                // also covers a first-ever contribution.
+                _ => preds.push(p),
+            }
+        }
         for &p in &preds {
             self.refresh(w, placements, p);
         }
@@ -309,67 +350,149 @@ impl PressureTracker {
     /// Recompute the stored contribution of one def from the current graph
     /// and placements (idempotent; clears the contribution when the node is
     /// inactive or unplaced).
+    ///
+    /// The update is a *delta*: the freshly derived lifetime is diffed
+    /// against the stored one and only the rows whose register count
+    /// actually changes are touched. `refresh` runs for the node and all its
+    /// flow predecessors on every place/eject plus once per dirty def after
+    /// graph rewiring, and most of those calls end with an unchanged (or
+    /// only slightly stretched) lifetime — the old clear-and-rebuild paid
+    /// O(II) row writes and a cache invalidation for every one of them.
     pub fn refresh(&mut self, w: &WorkGraph, placements: &[Option<(i64, u32)>], node: NodeId) {
         let i = node.index();
         self.grow(i + 1);
-        if let Some(old) = self.lifetimes[i].take() {
-            self.apply(&old, false);
-        }
-        if let Some(bank) = self.invariant_of[i].take() {
-            match bank {
-                BankAssignment::Shared => self.invariant_shared -= 1,
-                BankAssignment::Cluster(c) => self.invariant_cluster[c as usize] -= 1,
+        // Derive the node's current contributions.
+        let mut new_invariant = None;
+        let mut new_lt = None;
+        if w.is_active(node) {
+            if let Some((def_cycle, def_cluster)) = placements[i] {
+                let n = w.ddg.node(node);
+                if n.reads_invariant {
+                    new_invariant = Some(match w.def_bank(node, def_cluster) {
+                        Some(BankAssignment::Shared) => BankAssignment::Shared,
+                        _ => BankAssignment::Cluster(def_cluster),
+                    });
+                }
+                if n.kind.defines_value() {
+                    if let Some(bank) = w.def_bank(node, def_cluster) {
+                        let start = def_cycle;
+                        let mut end = start + 1;
+                        let mut last_consumer = None;
+                        for (_, e) in w.active_succ_edges(node) {
+                            if e.kind != DepKind::Flow || !w.is_active(e.dst) {
+                                continue;
+                            }
+                            let Some((use_cycle, _)) = placements[e.dst.index()] else {
+                                continue;
+                            };
+                            let read = use_cycle + (self.ii as i64) * e.distance as i64;
+                            if read + 1 > end {
+                                end = read + 1;
+                                last_consumer = Some(e.dst);
+                            }
+                        }
+                        new_lt = Some(ValueLifetime {
+                            def: node,
+                            bank,
+                            start,
+                            end,
+                            last_consumer,
+                        });
+                    }
+                }
             }
         }
-        if !w.is_active(node) {
-            return;
-        }
-        let Some((def_cycle, def_cluster)) = placements[i] else {
-            return;
-        };
-        let n = w.ddg.node(node);
-        if n.reads_invariant {
-            let bank = match w.def_bank(node, def_cluster) {
-                Some(BankAssignment::Shared) => BankAssignment::Shared,
-                _ => BankAssignment::Cluster(def_cluster),
-            };
-            match bank {
-                BankAssignment::Shared => self.invariant_shared += 1,
-                BankAssignment::Cluster(c) => self.invariant_cluster[c as usize] += 1,
+        if self.invariant_of[i] != new_invariant {
+            if let Some(bank) = self.invariant_of[i] {
+                match bank {
+                    BankAssignment::Shared => self.invariant_shared -= 1,
+                    BankAssignment::Cluster(c) => self.invariant_cluster[c as usize] -= 1,
+                }
             }
-            self.invariant_of[i] = Some(bank);
-        }
-        if !n.kind.defines_value() {
-            return;
-        }
-        let Some(bank) = w.def_bank(node, def_cluster) else {
-            return;
-        };
-        let start = def_cycle;
-        let mut end = start + 1;
-        let mut last_consumer = None;
-        for (_, e) in w.active_succ_edges(node) {
-            if e.kind != DepKind::Flow || !w.is_active(e.dst) {
-                continue;
+            if let Some(bank) = new_invariant {
+                match bank {
+                    BankAssignment::Shared => self.invariant_shared += 1,
+                    BankAssignment::Cluster(c) => self.invariant_cluster[c as usize] += 1,
+                }
             }
-            let Some((use_cycle, _)) = placements[e.dst.index()] else {
-                continue;
-            };
-            let read = use_cycle + (self.ii as i64) * e.distance as i64;
-            if read + 1 > end {
-                end = read + 1;
-                last_consumer = Some(e.dst);
+            self.invariant_of[i] = new_invariant;
+        }
+        if self.lifetimes[i] != new_lt {
+            let old = self.lifetimes[i];
+            self.delta_apply(old.as_ref(), new_lt.as_ref());
+            self.lifetimes[i] = new_lt;
+        }
+    }
+
+    /// Per-row register occupancy of a lifetime: `full` registers in every
+    /// row plus one more in the `rem` rows starting at `start_row`.
+    fn decompose(lt: &ValueLifetime, ii: u32) -> (u32, u32, u32) {
+        let length = lt.length();
+        let full = (length / ii as i64) as u32;
+        let rem = (length % ii as i64) as u32;
+        let start_row = lt.start.rem_euclid(ii as i64) as u32;
+        (full, rem, start_row)
+    }
+
+    /// Replace one lifetime's row contribution with another's, touching only
+    /// the rows that differ. Same-bank transitions with an unchanged row
+    /// footprint (only the `last_consumer` moved) touch nothing at all and
+    /// keep the cached bank maximum valid; same-start stretches touch only
+    /// the `|rem₂ - rem₁|` rows the partial window grew or shrank by.
+    fn delta_apply(&mut self, old: Option<&ValueLifetime>, new: Option<&ValueLifetime>) {
+        match (old, new) {
+            (Some(o), Some(n)) if o.bank == n.bank => {
+                let ii = self.ii;
+                let (f1, r1, s1) = Self::decompose(o, ii);
+                let (f2, r2, s2) = Self::decompose(n, ii);
+                if (f1, r1, s1) == (f2, r2, s2) {
+                    return;
+                }
+                let rows = match n.bank {
+                    BankAssignment::Cluster(c) => {
+                        self.max_cluster[c as usize].set((0, false));
+                        &mut self.rows_cluster[c as usize]
+                    }
+                    BankAssignment::Shared => {
+                        self.max_shared.set((0, false));
+                        &mut self.rows_shared
+                    }
+                };
+                if f1 != f2 {
+                    let d = f2 as i64 - f1 as i64;
+                    for r in rows.iter_mut() {
+                        *r = (*r as i64 + d) as u32;
+                    }
+                }
+                if s1 == s2 {
+                    let (lo, hi) = (r1.min(r2), r1.max(r2));
+                    let grow = r2 > r1;
+                    for k in lo..hi {
+                        let r = ((s1 + k) % ii) as usize;
+                        if grow {
+                            rows[r] += 1;
+                        } else {
+                            rows[r] -= 1;
+                        }
+                    }
+                } else {
+                    for k in 0..r1 {
+                        rows[((s1 + k) % ii) as usize] -= 1;
+                    }
+                    for k in 0..r2 {
+                        rows[((s2 + k) % ii) as usize] += 1;
+                    }
+                }
+            }
+            _ => {
+                if let Some(o) = old {
+                    self.apply(o, false);
+                }
+                if let Some(n) = new {
+                    self.apply(n, true);
+                }
             }
         }
-        let lt = ValueLifetime {
-            def: node,
-            bank,
-            start,
-            end,
-            last_consumer,
-        };
-        self.apply(&lt, true);
-        self.lifetimes[i] = Some(lt);
     }
 
     /// Add or remove one lifetime's per-row register occupancy.

@@ -18,8 +18,17 @@
 //! directly — every placement goes through [`PlacementStore::place`] and
 //! every ejection through [`PlacementStore::eject`], which keep the
 //! [`crate::store::SlotIndex`] used by the O(row) victim search consistent.
+//!
+//! The free-slot window search runs over the MRT's row-availability bitmasks
+//! ([`crate::mrt::Mrt::first_free_row_in`], O(words) per window instead of a
+//! per-row `can_place` walk; oracle kept behind
+//! [`IterativeScheduler::with_linear_slot_scan`]), and forced placements
+//! whose conflict the summary proves *structurally unsatisfiable* (a divide
+//! longer than the II can accommodate on this cluster's units) are abandoned
+//! before their ejection cascade, counted in
+//! [`SchedulerStats::infeasible_cutoffs`].
 
-use crate::cluster::select_cluster;
+use crate::cluster::select_cluster_recording;
 use crate::mrt::ResourceCaps;
 use crate::order::priority_order;
 use crate::pressure::{
@@ -28,7 +37,7 @@ use crate::pressure::{
 use crate::store::PlacementStore;
 use crate::types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats};
 use crate::workgraph::WorkGraph;
-use hcrf_ir::{mii as mii_mod, Ddg, DepKind, NodeId, OpKind, OpLatencies};
+use hcrf_ir::{mii as mii_mod, Ddg, DepKind, EdgeId, NodeId, OpKind, OpLatencies};
 use hcrf_machine::MachineConfig;
 
 /// Hard bound on the eject-and-retry iterations spent forcing a single slot
@@ -66,6 +75,7 @@ pub struct IterativeScheduler {
     params: SchedulerParams,
     batch_pressure: bool,
     linear_victim: bool,
+    linear_slot: bool,
 }
 
 /// Outcome of one II attempt. Exhausted attempts carry their partial stats
@@ -97,6 +107,22 @@ struct AttemptState {
     budget: i64,
     stats: SchedulerStats,
     ii: u32,
+    /// Scratch buffer for the dependence violators of a forced placement,
+    /// cleared (not reallocated) by every `schedule_node` call — ejection
+    /// storms run this path thousands of times per attempt.
+    violators: Vec<NodeId>,
+    /// Scratch for the estart walk: each placed predecessor with the
+    /// earliest cycle its dependence allows (`pc + delay - II·distance`).
+    /// The forced-placement path re-reads these as violator candidates
+    /// instead of re-walking the edges.
+    pred_bounds: Vec<(NodeId, i64)>,
+    /// Scratch for the lstart walk: each placed successor with the latest
+    /// cycle its dependence allows.
+    succ_bounds: Vec<(NodeId, i64)>,
+    /// Scratch for `select_cluster_recording`: edges between the popped node
+    /// and placed neighbours that could need communication for some cluster
+    /// choice, reused by the communication-insertion scan.
+    comm_cands: Vec<(EdgeId, u32)>,
 }
 
 impl IterativeScheduler {
@@ -107,6 +133,7 @@ impl IterativeScheduler {
             params,
             batch_pressure: false,
             linear_victim: false,
+            linear_slot: false,
         }
     }
 
@@ -128,6 +155,17 @@ impl IterativeScheduler {
     /// against the scan it replaced.
     pub fn with_linear_victim_scan(mut self) -> Self {
         self.linear_victim = true;
+        self
+    }
+
+    /// Answer every free-slot window search with the per-row `can_place`
+    /// walk instead of the availability-bitmask
+    /// [`crate::mrt::Mrt::first_free_row_in`]. Slot choices are bit-identical
+    /// either way (`tests/slot_equivalence.rs` asserts it); this exists so
+    /// `benches/ejection.rs` can measure the bitmask search against the scan
+    /// it replaced.
+    pub fn with_linear_slot_scan(mut self) -> Self {
+        self.linear_slot = true;
         self
     }
 
@@ -159,12 +197,14 @@ impl IterativeScheduler {
                     result.stats.attempts += stats.attempts;
                     result.stats.ejections += stats.ejections;
                     result.stats.guard_trips += stats.guard_trips;
+                    result.stats.infeasible_cutoffs += stats.infeasible_cutoffs;
                     return result;
                 }
                 Attempt::Exhausted(partial) => {
                     stats.attempts += partial.attempts;
                     stats.ejections += partial.ejections;
                     stats.guard_trips += partial.guard_trips;
+                    stats.infeasible_cutoffs += partial.infeasible_cutoffs;
                     ii += 1;
                 }
             }
@@ -219,6 +259,10 @@ impl IterativeScheduler {
             budget,
             stats: SchedulerStats::default(),
             ii,
+            violators: Vec::new(),
+            pred_bounds: Vec::new(),
+            succ_bounds: Vec::new(),
+            comm_cands: Vec::new(),
         };
         let spill_round_limit = 4 * (ddg.num_nodes() as u32 + 4);
         let mut spill_rounds = 0u32;
@@ -231,31 +275,43 @@ impl IterativeScheduler {
             if state.stats.attempts > attempt_cap {
                 return Attempt::Exhausted(state.stats);
             }
-            // 1. Cluster selection.
-            let choice = if self.batch_pressure {
+            // 1. Cluster selection. The recording variant notes every edge
+            // that could need communication in the same walk that scores the
+            // clusters, so step 2 does not have to re-walk the neighbourhood.
+            let mut comm_cands = std::mem::take(&mut state.comm_cands);
+            let (choice, cands_complete) = if self.batch_pressure {
                 // Oracle mode never consults the tracker; the store discards
                 // the dirty set so it cannot grow for the whole attempt.
                 state.store.sync_pressure(&mut state.w);
                 let pr = self.current_pressure(&state, lat);
-                select_cluster(
+                select_cluster_recording(
                     u,
                     &state.w,
                     state.store.mrt(),
                     state.store.placements(),
                     &pr,
+                    &mut comm_cands,
                 )
             } else {
                 state.store.sync_pressure(&mut state.w);
-                select_cluster(
+                select_cluster_recording(
                     u,
                     &state.w,
                     state.store.mrt(),
                     state.store.placements(),
                     state.store.tracker(),
+                    &mut comm_cands,
                 )
             };
+            state.comm_cands = comm_cands;
             // 2. Communication with already placed neighbours.
-            if !self.insert_and_schedule_communication(&mut state, u, choice.cluster, lat) {
+            if !self.insert_and_schedule_communication(
+                &mut state,
+                u,
+                choice.cluster,
+                lat,
+                cands_complete,
+            ) {
                 return Attempt::Exhausted(state.stats);
             }
             // 3. Schedule the node itself.
@@ -353,35 +409,56 @@ impl IterativeScheduler {
     /// `u` to talk to its already placed neighbours from cluster `cluster`.
     /// Returns `false` when the attempt must be abandoned (baseline scheduler
     /// finding no slot, or budget pathologies).
+    ///
+    /// When `cands_complete` is set, the first scan filters the edges
+    /// `select_cluster_recording` noted in the same worklist pop (nothing
+    /// mutates in between, so the recording equals what a full walk would
+    /// find). Later iterations always re-walk: scheduling a chain's nodes
+    /// can eject neighbours and remove other chains, which reactivates
+    /// replaced edges the recording has never seen.
     fn insert_and_schedule_communication(
         &self,
         state: &mut AttemptState,
         u: NodeId,
         cluster: u32,
         lat: &OpLatencies,
+        cands_complete: bool,
     ) -> bool {
+        let mut first_scan = true;
         loop {
             // Find one active edge between u and a placed neighbour that needs
             // communication; insert a chain for it; repeat until none remain.
             let mut candidate = None;
-            for (id, e) in state.w.active_pred_edges(u) {
-                if let Some((_, pc)) = state.store.placement(e.src) {
-                    if state.w.needs_communication(e, pc, cluster) {
-                        candidate = Some(id);
-                        break;
-                    }
-                }
-            }
-            if candidate.is_none() {
-                for (id, e) in state.w.active_succ_edges(u) {
-                    if let Some((_, sc)) = state.store.placement(e.dst) {
-                        if state.w.needs_communication(e, cluster, sc) {
+            if first_scan && cands_complete {
+                // Nothing mutated since the recording (same worklist pop),
+                // so "needs communication from `cluster`" is exactly "the
+                // recorded communication-free cluster is not `cluster`".
+                candidate = state
+                    .comm_cands
+                    .iter()
+                    .find(|&&(_, free_cluster)| free_cluster != cluster)
+                    .map(|&(id, _)| id);
+            } else {
+                for (id, e) in state.w.active_pred_edges(u) {
+                    if let Some((_, pc)) = state.store.placement(e.src) {
+                        if state.w.needs_communication(e, pc, cluster) {
                             candidate = Some(id);
                             break;
                         }
                     }
                 }
+                if candidate.is_none() {
+                    for (id, e) in state.w.active_succ_edges(u) {
+                        if let Some((_, sc)) = state.store.placement(e.dst) {
+                            if state.w.needs_communication(e, cluster, sc) {
+                                candidate = Some(id);
+                                break;
+                            }
+                        }
+                    }
+                }
             }
+            first_scan = false;
             let Some(edge_id) = candidate else {
                 return true;
             };
@@ -531,12 +608,18 @@ impl IterativeScheduler {
         let bp = self.params.binding_prefetch;
 
         // Early start from placed predecessors, late start from placed
-        // successors (through active edges).
+        // successors (through active edges). Each placed neighbour's bound
+        // lands in the attempt's scratch buffers (cleared, not reallocated):
+        // the forced-placement path reuses them as violator candidates
+        // instead of re-walking the edges.
+        state.pred_bounds.clear();
+        state.succ_bounds.clear();
         let mut estart: Option<i64> = None;
         for (_, e) in state.w.active_pred_edges(u) {
             if let Some((pc, _)) = state.store.placement(e.src) {
                 let d = state.w.edge_delay(e, lat, bp);
                 let bound = pc + d - ii * e.distance as i64;
+                state.pred_bounds.push((e.src, bound));
                 estart = Some(estart.map_or(bound, |b: i64| b.max(bound)));
             }
         }
@@ -545,9 +628,11 @@ impl IterativeScheduler {
             if let Some((sc, _)) = state.store.placement(e.dst) {
                 let d = state.w.edge_delay(e, lat, bp);
                 let bound = sc - d + ii * e.distance as i64;
+                state.succ_bounds.push((e.dst, bound));
                 lstart = Some(lstart.map_or(bound, |b: i64| b.min(bound)));
             }
         }
+        let topo_at_walk = state.w.topo_version();
 
         // Scan range and direction.
         let (scan_start, scan_end, upward) = match (estart, lstart) {
@@ -557,34 +642,39 @@ impl IterativeScheduler {
             (Some(e), Some(l)) => (e, l.min(e + ii - 1), true),
         };
 
-        let mut found = None;
-        if scan_start <= scan_end {
-            if upward {
-                let mut t = scan_start;
-                while t <= scan_end {
-                    if state.store.mrt().can_place(kind, t, cluster, lat) {
-                        found = Some(t);
-                        break;
-                    }
-                    t += 1;
-                }
-            } else {
-                let mut t = scan_end;
-                while t >= scan_start {
-                    if state.store.mrt().can_place(kind, t, cluster, lat) {
-                        found = Some(t);
-                        break;
-                    }
-                    t -= 1;
-                }
-            }
-        }
+        let found = if self.linear_slot {
+            state.store.mrt().first_free_row_linear(
+                kind,
+                cluster,
+                (scan_start, scan_end),
+                upward,
+                lat,
+            )
+        } else {
+            state
+                .store
+                .mrt()
+                .first_free_row_in(kind, cluster, (scan_start, scan_end), upward, lat)
+        };
 
         if let Some(t) = found {
             state.store.place(&state.w, u, t, cluster, lat);
             return true;
         }
         if !self.params.backtracking {
+            return false;
+        }
+
+        // Structurally unsatisfiable conflict: the class cannot take this
+        // operation even on an empty table (a divide longer than the II
+        // allows on this cluster's units), so no ejection cascade can ever
+        // free the slot — abandon the attempt before paying for one. The
+        // cascade would reach the same `return false` through `pick_victim`
+        // running out of candidates; cutting it short only saves the doomed
+        // ejections (and their worklist churn), which the attempt discard
+        // throws away anyway.
+        if !state.store.mrt().placeable_on_empty(kind, lat) {
+            state.stats.infeasible_cutoffs += 1;
             return false;
         }
 
@@ -633,31 +723,51 @@ impl IterativeScheduler {
         state.store.place(&state.w, u, force_at, cluster, lat);
 
         // Eject placed neighbours whose dependence constraints the forced
-        // placement violates.
-        let mut violators = Vec::new();
-        for (_, e) in state.w.active_pred_edges(u) {
-            if let Some((pc, _)) = state.store.placement(e.src) {
-                let d = state.w.edge_delay(e, lat, bp);
-                if pc + d - ii * e.distance as i64 > force_at {
-                    violators.push(e.src);
+        // placement violates. When the ejection cascade changed no topology
+        // (the common case: ejections only unplace nodes, and a still-placed
+        // neighbour's bound cannot have moved), the candidates are exactly
+        // the still-placed entries of the estart/lstart scratch — no second
+        // edge walk. A cascade that removed a chain reactivated replaced
+        // edges, so the neighbourhood must be re-walked.
+        let mut violators = std::mem::take(&mut state.violators);
+        violators.clear();
+        if state.w.topo_version() == topo_at_walk {
+            for &(v, bound) in &state.pred_bounds {
+                if bound > force_at && state.store.is_placed(v) {
+                    violators.push(v);
                 }
             }
-        }
-        for (_, e) in state.w.active_succ_edges(u) {
-            if let Some((sc, _)) = state.store.placement(e.dst) {
-                let d = state.w.edge_delay(e, lat, bp);
-                if force_at + d - ii * e.distance as i64 > sc {
-                    violators.push(e.dst);
+            for &(v, bound) in &state.succ_bounds {
+                if bound < force_at && state.store.is_placed(v) {
+                    violators.push(v);
+                }
+            }
+        } else {
+            for (_, e) in state.w.active_pred_edges(u) {
+                if let Some((pc, _)) = state.store.placement(e.src) {
+                    let d = state.w.edge_delay(e, lat, bp);
+                    if pc + d - ii * e.distance as i64 > force_at {
+                        violators.push(e.src);
+                    }
+                }
+            }
+            for (_, e) in state.w.active_succ_edges(u) {
+                if let Some((sc, _)) = state.store.placement(e.dst) {
+                    let d = state.w.edge_delay(e, lat, bp);
+                    if force_at + d - ii * e.distance as i64 > sc {
+                        violators.push(e.dst);
+                    }
                 }
             }
         }
         violators.sort_unstable_by_key(|n| n.index());
         violators.dedup();
-        for v in violators {
+        for &v in &violators {
             if v != u {
                 state.stats.ejections += state.store.eject(&mut state.w, v, lat);
             }
         }
+        state.violators = violators;
         true
     }
 

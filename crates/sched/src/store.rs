@@ -495,6 +495,13 @@ impl PlacementStore {
         if mrt != self.mrt {
             return Some("MRT diverges from a table rebuilt from the placements".to_string());
         }
+        // The row-availability bitmasks must summarize the live counts
+        // exactly (the replayed-table equality above compares two masks that
+        // went through the same `adjust` path, so it cannot catch a
+        // maintenance bug on its own).
+        if let Some(diff) = self.mrt.check_masks() {
+            return Some(format!("MRT availability summary stale: {diff}"));
+        }
         None
     }
 }

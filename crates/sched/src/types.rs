@@ -104,6 +104,13 @@ pub struct SchedulerStats {
     /// slot, abandoning the II attempt. Accumulated across all IIs of the
     /// loop, including attempts that failed.
     pub guard_trips: u64,
+    /// Times a forced placement was abandoned *before* its ejection cascade
+    /// because the availability summary proved the conflict structurally
+    /// unsatisfiable — zero capacity for the operation's class at any row
+    /// even on an empty table (e.g. a divide longer than the II on this
+    /// cluster's units), so no victim set could ever free the slot.
+    /// Accumulated across all IIs of the loop, like `guard_trips`.
+    pub infeasible_cutoffs: u64,
 }
 
 /// Result of scheduling one loop for one machine configuration.

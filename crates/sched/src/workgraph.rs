@@ -75,6 +75,12 @@ pub struct WorkGraph {
     /// attempt). `MemInterface` chains are never removable and are not
     /// indexed.
     chains_touching: Vec<Vec<u32>>,
+    /// Bumped on every change to the edge/node topology (chain insertion or
+    /// removal). Lets the scheduler detect that a snapshot of a node's
+    /// neighbourhood taken before an ejection cascade is still valid — the
+    /// cascade can only *unplace* nodes unless it also removed a chain,
+    /// which reactivates replaced edges and shows up here.
+    topo_version: u64,
 }
 
 impl WorkGraph {
@@ -98,6 +104,7 @@ impl WorkGraph {
             pressure_dirty: Vec::new(),
             chain_of_node: vec![None; original.num_nodes()],
             chains_touching: vec![Vec::new(); original.num_nodes()],
+            topo_version: 0,
         };
         if hierarchical {
             wg.insert_memory_interface();
@@ -128,6 +135,14 @@ impl WorkGraph {
     /// Whether a node is currently part of the graph.
     pub fn is_active(&self, n: NodeId) -> bool {
         self.node_active[n.index()]
+    }
+
+    /// Current topology version: bumped by every chain insertion/removal.
+    /// Two equal readings bracket a window in which no edge was
+    /// (de)activated and no node joined the graph — placements may still
+    /// have been removed.
+    pub fn topo_version(&self) -> u64 {
+        self.topo_version
     }
 
     /// Whether an edge is currently part of the graph.
@@ -424,6 +439,7 @@ impl WorkGraph {
     /// already lives in the shared bank. For clustered organizations the
     /// chain is a single bus `Move`.
     pub fn insert_communication(&mut self, owner: NodeId, edge_id: EdgeId) -> Vec<NodeId> {
+        self.topo_version += 1;
         let edge = *self.ddg.edge(edge_id);
         debug_assert!(self.edge_active[edge_id.index()]);
         if self.hierarchical {
@@ -539,6 +555,7 @@ impl WorkGraph {
     /// the consumer reached through `edge_id` will re-load the value with a
     /// LoadR instead of keeping it live in the cluster bank.
     pub fn insert_spill_to_shared(&mut self, owner: NodeId, edge_id: EdgeId) -> Vec<NodeId> {
+        self.topo_version += 1;
         let edge = *self.ddg.edge(edge_id);
         self.deactivate_edge(edge_id);
         let mut nodes = Vec::new();
@@ -588,6 +605,7 @@ impl WorkGraph {
     /// `edge_id`. This is the spill used by monolithic and clustered
     /// organizations, and by the shared bank when it overflows.
     pub fn insert_spill_to_memory(&mut self, owner: NodeId, edge_id: EdgeId) -> Vec<NodeId> {
+        self.topo_version += 1;
         let edge = *self.ddg.edge(edge_id);
         self.deactivate_edge(edge_id);
         let base = self.next_spill_base;
@@ -687,6 +705,8 @@ impl WorkGraph {
         if !c.active {
             return Vec::new();
         }
+        self.topo_version += 1;
+        let c = &mut self.chains[chain];
         c.active = false;
         let nodes = c.nodes.clone();
         let edges = c.edges.clone();

@@ -20,7 +20,12 @@
 //! * [`churn`] — an ejection-churn-heavy family (long non-pipelined
 //!   operations near the II, high resource contention) that stresses the
 //!   scheduler's backtracking paths; built via [`churn::churn_suite`] and
-//!   used by `benches/ejection.rs` and the victim-search equivalence tests.
+//!   used by `benches/ejection.rs` and the victim-search equivalence tests;
+//! * [`wide`] — a memory-bound large-II family whose port-saturating
+//!   streams crowd the MRT rows, stressing the free-slot *window search*
+//!   (the cost the scheduler pays even without a single ejection); built via
+//!   [`wide::wide_window_suite`] and used by `benches/ejection.rs` and the
+//!   slot-search equivalence tests.
 //!
 //! ```
 //! let suite = hcrf_workloads::standard_suite();
@@ -34,8 +39,10 @@ pub mod churn;
 pub mod kernels;
 pub mod suite;
 pub mod synthetic;
+pub mod wide;
 
 pub use churn::{churn_suite, ChurnParams, ChurnWorkload};
 pub use kernels::all_kernels;
 pub use suite::{small_suite, standard_suite, SuiteParams};
 pub use synthetic::{SyntheticParams, SyntheticWorkload};
+pub use wide::{wide_window_suite, WideWindowParams, WideWindowWorkload};

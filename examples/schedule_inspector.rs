@@ -57,10 +57,12 @@ fn main() {
         result.loadr_ops, result.storer_ops, result.spill_loads, result.spill_stores
     );
     println!(
-        "scheduler work: {} attempts, {} ejections, {} ejection-guard trips, {} II restarts",
+        "scheduler work: {} attempts, {} ejections, {} ejection-guard trips, \
+         {} infeasible cutoffs, {} II restarts",
         result.stats.attempts,
         result.stats.ejections,
         result.stats.guard_trips,
+        result.stats.infeasible_cutoffs,
         result.stats.ii_restarts
     );
 }

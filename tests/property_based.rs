@@ -218,6 +218,62 @@ proptest! {
         }
     }
 
+    /// On randomized place/remove sequences driven directly through the
+    /// [`hcrf_sched::mrt::Mrt`], the availability-bitmask window search
+    /// `first_free_row_in` equals the per-row `can_place` walk
+    /// `first_free_row_linear` for arbitrary windows — including windows
+    /// that wrap around the II, windows anchored at negative cycles, both
+    /// scan directions and multi-row operations (17-cycle divides and
+    /// 30-cycle square roots whose occupancy can exceed the II) — and the
+    /// bitmasks always summarize the row counts exactly (`check_masks`).
+    #[test]
+    fn bitset_slot_search_matches_linear_scan(
+        ops in prop::collection::vec((0u8..6, 0u32..4, 0i64..64), 4..64),
+        probes in prop::collection::vec((0u8..6, 0u32..4, -40i64..64, 0i64..40, any::<bool>()), 1..16),
+        which in 0usize..7,
+        ii in 1u32..40,
+    ) {
+        use hcrf_sched::mrt::{Mrt, ResourceCaps};
+        let lat = OpLatencies::paper_baseline();
+        let machine = &machines()[which];
+        let caps = ResourceCaps::from_machine(machine);
+        let clusters = machine.clusters();
+        let mut mrt = Mrt::new(ii, caps);
+        let kinds = [OpKind::FAdd, OpKind::FDiv, OpKind::FSqrt, OpKind::Load,
+                     OpKind::LoadR, OpKind::StoreR];
+        // Multiset of live reservations so removes always mirror a place.
+        let mut live: Vec<(OpKind, i64, u32)> = Vec::new();
+        for (k, cluster, cycle) in ops {
+            let kind = kinds[k as usize % kinds.len()];
+            let cluster = cluster % clusters;
+            if k % 2 == 0 || live.is_empty() {
+                mrt.place(kind, cycle, cluster, &lat);
+                live.push((kind, cycle, cluster));
+            } else {
+                let (rk, rc, rcl) = live.swap_remove(cycle as usize % live.len());
+                mrt.remove(rk, rc, rcl, &lat);
+            }
+            if let Some(diff) = mrt.check_masks() {
+                return Err(TestCaseError::fail(format!("{} II={ii}: {diff}", machine.rf)));
+            }
+            for &(pk, pcl, start, len, upward) in &probes {
+                let kind = kinds[pk as usize % kinds.len()];
+                let cl = pcl % clusters;
+                let window = (start, start + len);
+                let fast = mrt.first_free_row_in(kind, cl, window, upward, &lat);
+                let slow = mrt.first_free_row_linear(kind, cl, window, upward, &lat);
+                if fast != slow {
+                    return Err(TestCaseError::fail(format!(
+                        "{} II={ii}: slot search diverged for {kind:?} in {window:?} \
+                         ({}): {fast:?} vs {slow:?}",
+                        machine.rf,
+                        if upward { "up" } else { "down" },
+                    )));
+                }
+            }
+        }
+    }
+
     /// The RF timing/area model is monotone in both capacity and port count.
     #[test]
     fn rf_model_is_monotone(regs in 8u32..512, ports in 2u32..40) {
