@@ -19,6 +19,12 @@
 //!   scan re-runs after every ejection) and the wide-window suite (crowded
 //!   large-II tables where the scan dominates without any churn). Both
 //!   scans pick bit-identical slots (`tests/slot_equivalence.rs`).
+//! * `arena_ladder/*` — the PR 5 mechanisms on the churn suite: the
+//!   persistent `AttemptArena` against per-attempt rebuilds
+//!   (`with_fresh_arena`), batched row ejection against the per-victim loop
+//!   (`with_per_victim_ejection`), and the budget-aware II-ladder skipping
+//!   against the unit ladder (`with_unit_ladder`). Bit-identical schedules
+//!   across all four (`tests/ladder_equivalence.rs`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcrf_ir::{DdgBuilder, OpKind, OpLatencies};
@@ -129,6 +135,47 @@ fn slot_search(c: &mut Criterion) {
     group.finish();
 }
 
+fn arena_and_ladder(c: &mut Criterion) {
+    // The PR 5 stack, each oracle isolating one mechanism on the churn
+    // suite: `fresh` rebuilds WorkGraph/order/store per II attempt instead
+    // of resetting the persistent arena, `per_victim` forces slots one
+    // pick_victim+eject transaction at a time instead of the batched row
+    // drain, and `unit_ladder` climbs the II ladder by 1 instead of the
+    // budget-aware geometric skip. All four produce bit-identical schedules
+    // (`tests/ladder_equivalence.rs`; the unit ladder differs only in which
+    // failing rungs it pays for).
+    let loops = churn_suite(32);
+    let params = SchedulerParams::default().without_schedule();
+    let machine = MachineConfig::paper_baseline(RfOrganization::parse("4C16S64").unwrap());
+    let variants: [(&str, IterativeScheduler); 4] = [
+        ("default", IterativeScheduler::new(machine.clone(), params)),
+        (
+            "fresh_arena",
+            IterativeScheduler::new(machine.clone(), params).with_fresh_arena(),
+        ),
+        (
+            "per_victim",
+            IterativeScheduler::new(machine.clone(), params).with_per_victim_ejection(),
+        ),
+        (
+            "unit_ladder",
+            IterativeScheduler::new(machine, params).with_unit_ladder(),
+        ),
+    ];
+    let mut group = c.benchmark_group("arena_ladder");
+    for (name, sched) in &variants {
+        group.bench_with_input(BenchmarkId::new(*name, "churn/4C16S64"), sched, |b, s| {
+            b.iter(|| {
+                loops
+                    .iter()
+                    .map(|l| s.schedule(&l.ddg).ii as u64)
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn quick() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -139,6 +186,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = victim_search, victim_probe, slot_search
+    targets = victim_search, victim_probe, slot_search, arena_and_ladder
 }
 criterion_main!(benches);

@@ -16,7 +16,7 @@
 use hcrf_explore::json::Json;
 use hcrf_ir::Loop;
 use hcrf_machine::{MachineConfig, RfOrganization};
-use hcrf_sched::{IterativeScheduler, SchedulerParams, SchedulerStats};
+use hcrf_sched::{IterativeScheduler, PhaseTimings, SchedulerParams, SchedulerStats};
 use hcrf_workloads::{churn_suite, suite::suite, wide_window_suite, SuiteParams};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -74,6 +74,7 @@ struct Sweep {
     failed: u64,
     sum_ii: u64,
     stats: SchedulerStats,
+    phases: PhaseTimings,
 }
 
 fn run_sweep(loops: &[Loop], config: &str, params: SchedulerParams) -> Sweep {
@@ -82,7 +83,7 @@ fn run_sweep(loops: &[Loop], config: &str, params: SchedulerParams) -> Sweep {
     let mut sweep = Sweep::default();
     let start = Instant::now();
     for l in loops {
-        let r = sched.schedule(&l.ddg);
+        let (r, phases) = sched.schedule_with_timings(&l.ddg);
         sweep.loops += 1;
         sweep.failed += u64::from(r.failed);
         sweep.sum_ii += r.ii as u64;
@@ -91,9 +92,20 @@ fn run_sweep(loops: &[Loop], config: &str, params: SchedulerParams) -> Sweep {
         sweep.stats.guard_trips += r.stats.guard_trips;
         sweep.stats.infeasible_cutoffs += r.stats.infeasible_cutoffs;
         sweep.stats.ii_restarts += r.stats.ii_restarts;
+        sweep.stats.ii_skips += r.stats.ii_skips;
+        sweep.stats.arena_resets += r.stats.arena_resets;
+        sweep.stats.budget_exhausts += r.stats.budget_exhausts;
+        sweep.phases.graph_build += phases.graph_build;
+        sweep.phases.order += phases.order;
+        sweep.phases.resets += phases.resets;
+        sweep.phases.attempts += phases.attempts;
     }
     sweep.wall_ms = start.elapsed().as_secs_f64() * 1e3;
     sweep
+}
+
+fn ms(d: std::time::Duration) -> Json {
+    Json::Num((d.as_secs_f64() * 1e6).round() / 1e3)
 }
 
 fn sweep_json(sweep: &Sweep) -> Json {
@@ -110,6 +122,21 @@ fn sweep_json(sweep: &Sweep) -> Json {
             Json::u64(sweep.stats.infeasible_cutoffs),
         ),
         ("ii_restarts", Json::u64(sweep.stats.ii_restarts as u64)),
+        ("ii_skips", Json::u64(sweep.stats.ii_skips as u64)),
+        ("arena_resets", Json::u64(sweep.stats.arena_resets as u64)),
+        (
+            "budget_exhausts",
+            Json::u64(sweep.stats.budget_exhausts as u64),
+        ),
+        (
+            "phase_ms",
+            Json::obj(vec![
+                ("graph_build", ms(sweep.phases.graph_build)),
+                ("order", ms(sweep.phases.order)),
+                ("resets", ms(sweep.phases.resets)),
+                ("attempts", ms(sweep.phases.attempts)),
+            ]),
+        ),
     ])
 }
 
@@ -153,12 +180,13 @@ fn main() {
             let sweep = run_sweep(loops, config, *params);
             println!(
                 "{suite_name:>8} / {config:<8} {:>9.1} ms | {:>9} ejections | {:>5} guard trips \
-                 | {:>6} infeasible cutoffs | {:>6} II restarts{}",
+                 | {:>6} infeasible cutoffs | {:>6} II restarts | {:>5} II skips{}",
                 sweep.wall_ms,
                 sweep.stats.ejections,
                 sweep.stats.guard_trips,
                 sweep.stats.infeasible_cutoffs,
                 sweep.stats.ii_restarts,
+                sweep.stats.ii_skips,
                 if sweep.failed > 0 {
                     format!(" | {} failed", sweep.failed)
                 } else {

@@ -277,6 +277,40 @@ impl Ddg {
         id
     }
 
+    /// Truncate the graph back to a prefix of `num_nodes` nodes and
+    /// `num_edges` edges, undoing every `add_node` / `add_edge` past those
+    /// marks. The adjacency lists of surviving nodes are repaired by popping
+    /// the truncated edge ids (edges are appended in increasing id order, so
+    /// each list's suffix holds exactly the ids being removed).
+    ///
+    /// Used by the scheduler's attempt arena to restore the pristine working
+    /// graph between II attempts without re-cloning the loop body.
+    ///
+    /// # Panics
+    /// Panics if a surviving edge references a truncated node (callers must
+    /// truncate at a point where the prefix is self-contained).
+    pub fn truncate(&mut self, num_nodes: usize, num_edges: usize) {
+        assert!(num_nodes <= self.nodes.len(), "node truncation grows");
+        assert!(num_edges <= self.edges.len(), "edge truncation grows");
+        for i in (num_edges..self.edges.len()).rev() {
+            let e = self.edges[i];
+            let popped = self.succs[e.src.index()].pop();
+            debug_assert_eq!(popped, Some(EdgeId(i as u32)));
+            let popped = self.preds[e.dst.index()].pop();
+            debug_assert_eq!(popped, Some(EdgeId(i as u32)));
+        }
+        self.edges.truncate(num_edges);
+        for e in &self.edges {
+            assert!(
+                e.src.index() < num_nodes && e.dst.index() < num_nodes,
+                "surviving edge references a truncated node"
+            );
+        }
+        self.nodes.truncate(num_nodes);
+        self.succs.truncate(num_nodes);
+        self.preds.truncate(num_nodes);
+    }
+
     /// Remove a set of nodes (and every edge touching them), compacting ids.
     ///
     /// Returns the mapping `old NodeId -> new NodeId` (removed nodes map to
@@ -475,6 +509,38 @@ mod tests {
         // Edges through the removed node are gone: a->m2->s remain.
         assert_eq!(g.num_edges(), 2);
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn truncate_undoes_appended_nodes_and_edges() {
+        let mut g = diamond();
+        let pristine = g.clone();
+        let (n, e) = (g.num_nodes(), g.num_edges());
+        // Append two nodes and edges touching both old and new nodes.
+        let x = g.add_node(Node::new(OpKind::FAdd));
+        let y = g.add_node(Node::new(OpKind::FMul));
+        g.add_edge(Edge {
+            src: NodeId(0),
+            dst: x,
+            kind: DepKind::Flow,
+            distance: 0,
+        });
+        g.add_edge(Edge {
+            src: x,
+            dst: y,
+            kind: DepKind::Flow,
+            distance: 0,
+        });
+        g.add_edge(Edge {
+            src: y,
+            dst: NodeId(3),
+            kind: DepKind::Flow,
+            distance: 1,
+        });
+        g.validate().unwrap();
+        g.truncate(n, e);
+        g.validate().unwrap();
+        assert_eq!(g, pristine);
     }
 
     #[test]

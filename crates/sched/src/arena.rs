@@ -1,0 +1,267 @@
+//! The per-attempt state arena of the iterative scheduler.
+//!
+//! Before this module every II restart of the ladder rebuilt the complete
+//! per-attempt machinery from scratch: a fresh [`WorkGraph`] (cloning the
+//! loop body and re-inserting the memory-interface chains), a fresh
+//! [`crate::order::PriorityOrder`] and a fresh [`PlacementStore`] (MRT,
+//! slot index, pressure tracker, worklist — all reallocated). Profiling
+//! after PR 4 showed the ladder itself had become a scheduler-perf
+//! frontier: churn loops restart ~74 times each, paying the rebuild per
+//! rung.
+//!
+//! [`AttemptArena`] owns all of that machinery for the lifetime of one
+//! `schedule()` call and is *reset, not rebuilt*, across II restarts:
+//!
+//! * the working graph snapshots its pristine state (loop body + permanent
+//!   memory-interface chains) once and [`WorkGraph::reset_to_pristine`]
+//!   truncates the communication/spill insertions of the failed attempt;
+//! * the priority order is recomputed in place (reusing its buffers) — and
+//!   skipped entirely when the graph has no loop-carried dependence, since
+//!   the ASAP/ALAP bounds it derives from are then II-independent;
+//! * [`PlacementStore::reset_for_ii`] re-shapes the MRT, slot index and
+//!   pressure tracker for the new II by clearing rather than reallocating,
+//!   and shrinks the per-node arrays back to the pristine node count so
+//!   capacity grown for spill nodes of one II never leaks into the next.
+//!
+//! Every reset must leave the arena indistinguishable (for scheduling
+//! decisions) from a freshly built one: `tests/ladder_equivalence.rs`
+//! asserts bit-identical suite results against the
+//! [`crate::IterativeScheduler::with_fresh_arena`] oracle, and the
+//! randomized arena property test validates the store (including the MRT
+//! availability masks) after every reset.
+
+use crate::mrt::ResourceCaps;
+use crate::order::{priority_order_into, OrderScratch, PriorityOrder};
+use crate::store::PlacementStore;
+use crate::types::SchedulerStats;
+use crate::workgraph::WorkGraph;
+use hcrf_ir::{Ddg, EdgeId, NodeId, OpLatencies};
+use hcrf_machine::MachineConfig;
+use std::time::{Duration, Instant};
+
+/// Reusable per-attempt state: working graph, placement store, priority
+/// order and the scheduler's scratch buffers. Created once per
+/// `schedule()` call and [`AttemptArena::reset`] for every II attempt.
+#[derive(Debug, Clone)]
+pub struct AttemptArena {
+    /// The working graph (pristine-marked at construction).
+    pub(crate) w: WorkGraph,
+    /// The unified placement store (owns the order and worklist).
+    pub(crate) store: PlacementStore,
+    /// Scratch buffers for the in-place priority-order recomputation.
+    order_scratch: OrderScratch,
+    /// Whether the order depends on the candidate II (any loop-carried
+    /// dependence). When `false`, the order computed by the first reset is
+    /// reused verbatim by every later one.
+    order_ii_sensitive: bool,
+    /// Whether the order has been computed at least once.
+    order_ready: bool,
+    /// Node count of the pristine graph; per-node store arrays shrink back
+    /// to it on every reset.
+    pristine_nodes: usize,
+    /// Scheduling budget of the current attempt (set by the scheduler).
+    pub(crate) budget: i64,
+    /// Work counters of the current attempt only (the ladder accumulates
+    /// them across restarts).
+    pub(crate) stats: SchedulerStats,
+    /// II of the current attempt.
+    pub(crate) ii: u32,
+    /// Scratch buffer for the dependence violators of a forced placement,
+    /// cleared (not reallocated) by every `schedule_node` call — ejection
+    /// storms run this path thousands of times per attempt.
+    pub(crate) violators: Vec<NodeId>,
+    /// Scratch for the estart walk: each placed predecessor with the
+    /// earliest cycle its dependence allows (`pc + delay - II·distance`).
+    /// The forced-placement path re-reads these as violator candidates
+    /// instead of re-walking the edges.
+    pub(crate) pred_bounds: Vec<(NodeId, i64)>,
+    /// Scratch for the lstart walk: each placed successor with the latest
+    /// cycle its dependence allows.
+    pub(crate) succ_bounds: Vec<(NodeId, i64)>,
+    /// Scratch for `select_cluster_recording`: edges between the popped node
+    /// and placed neighbours that could need communication for some cluster
+    /// choice, reused by the communication-insertion scan.
+    pub(crate) comm_cands: Vec<(EdgeId, u32)>,
+}
+
+impl AttemptArena {
+    /// Build the arena for one loop on one machine: clones the body into a
+    /// working graph, marks it pristine and shapes an empty placement store.
+    /// [`AttemptArena::reset`] must run before the first attempt.
+    pub fn new(ddg: &Ddg, machine: &MachineConfig, track_pressure: bool) -> Self {
+        let mut w = WorkGraph::new(ddg, machine);
+        w.mark_pristine();
+        let caps = ResourceCaps::from_machine(machine);
+        let pristine_nodes = w.ddg.num_nodes();
+        let order_ii_sensitive = w.has_loop_carried_deps();
+        let store = PlacementStore::new(
+            1,
+            caps,
+            pristine_nodes,
+            PriorityOrder::empty(),
+            track_pressure,
+        );
+        AttemptArena {
+            w,
+            store,
+            order_scratch: OrderScratch::default(),
+            order_ii_sensitive,
+            order_ready: false,
+            pristine_nodes,
+            budget: 0,
+            stats: SchedulerStats::default(),
+            ii: 1,
+            violators: Vec::new(),
+            pred_bounds: Vec::new(),
+            succ_bounds: Vec::new(),
+            comm_cands: Vec::new(),
+        }
+    }
+
+    /// Prepare the arena for an attempt at `ii`: restore the pristine graph
+    /// (undoing the previous attempt's communication/spill insertions),
+    /// recompute the priority order in place (skipped when the order is
+    /// II-independent and already computed), clear-and-reshape the placement
+    /// store and requeue every active node.
+    ///
+    /// Returns the time spent recomputing the order (zero when skipped), so
+    /// callers can split reset cost from ordering cost in phase timings.
+    pub fn reset(&mut self, ii: u32, lat: &OpLatencies) -> Duration {
+        let ii = ii.max(1);
+        self.w.reset_to_pristine();
+        self.store.reset_for_ii(ii, self.pristine_nodes);
+        let order_time = if self.order_ii_sensitive || !self.order_ready {
+            let t = Instant::now();
+            priority_order_into(
+                &self.w,
+                lat,
+                ii,
+                self.store.order_mut(),
+                &mut self.order_scratch,
+            );
+            self.order_ready = true;
+            t.elapsed()
+        } else {
+            Duration::ZERO
+        };
+        for n in self.w.active_nodes() {
+            self.store.requeue(n);
+        }
+        self.ii = ii;
+        self.budget = 0;
+        self.stats = SchedulerStats::default();
+        order_time
+    }
+
+    /// Read access to the working graph.
+    pub fn workgraph(&self) -> &WorkGraph {
+        &self.w
+    }
+
+    /// Read access to the placement store.
+    pub fn store(&self) -> &PlacementStore {
+        &self.store
+    }
+
+    /// Work counters of the current (or last finished) attempt.
+    pub fn attempt_stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+
+    /// Mutable access to graph and store together, for tests that drive
+    /// place/eject sequences through the transactional store API between
+    /// resets.
+    pub fn parts_mut(&mut self) -> (&mut WorkGraph, &mut PlacementStore) {
+        (&mut self.w, &mut self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_store;
+    use hcrf_ir::{DdgBuilder, DepKind, OpKind};
+    use hcrf_machine::RfOrganization;
+
+    fn lat() -> OpLatencies {
+        OpLatencies::paper_baseline()
+    }
+
+    /// A wide fan of long-lived values: on a tiny register file every II
+    /// attempt inserts spill chains, which is exactly the state a reset
+    /// must undo.
+    fn spill_heavy() -> Ddg {
+        let mut b = DdgBuilder::new("spill-heavy");
+        let mut defs = Vec::new();
+        for i in 0..12 {
+            defs.push(b.load(i, 8));
+        }
+        let mut prev = b.op(OpKind::FAdd);
+        b.flow(defs[0], prev, 0);
+        for d in defs.iter().skip(1) {
+            let a = b.op(OpKind::FAdd);
+            b.flow(prev, a, 0);
+            b.flow(*d, a, 0);
+            prev = a;
+        }
+        let s = b.store(30, 8);
+        b.flow(prev, s, 0);
+        b.build()
+    }
+
+    /// Spill insertions at one II grow the store's per-node arrays; the next
+    /// II's reset must shrink them back to the pristine node count instead
+    /// of leaking the capacity (and the ghost placements that would ride
+    /// along in `check_consistency`'s replay).
+    #[test]
+    fn spill_growth_does_not_leak_into_next_reset() {
+        let machine = MachineConfig::paper_baseline(RfOrganization::parse("S16").unwrap());
+        let mut arena = AttemptArena::new(&spill_heavy(), &machine, true);
+        let pristine_nodes = arena.workgraph().ddg.num_nodes();
+        let pristine_edges = arena.workgraph().ddg.num_edges();
+        arena.reset(3, &lat());
+        // Simulate the spill path of a failing attempt: insert a spill chain
+        // through the working graph, grow the store, place the new nodes.
+        let (w, store) = arena.parts_mut();
+        let (edge_id, edge) = w
+            .ddg
+            .edges()
+            .find(|(id, e)| w.edge_is_active(*id) && e.kind == DepKind::Flow)
+            .map(|(id, e)| (id, *e))
+            .expect("flow edge");
+        let new_nodes = w.insert_spill_to_memory(edge.dst, edge_id);
+        store.grow(w.ddg.num_nodes());
+        assert!(store.placements().len() > pristine_nodes);
+        for (k, n) in new_nodes.iter().enumerate() {
+            store.place(w, *n, k as i64, 0, &lat());
+        }
+        assert!(validate_store(store, w, &lat()).is_ok());
+
+        // The next II's reset restores the pristine shapes exactly.
+        arena.reset(4, &lat());
+        assert_eq!(arena.workgraph().ddg.num_nodes(), pristine_nodes);
+        assert_eq!(arena.workgraph().ddg.num_edges(), pristine_edges);
+        assert_eq!(arena.store().placements().len(), pristine_nodes);
+        assert!(arena.workgraph().active_nodes().count() == pristine_nodes);
+        assert!(validate_store(arena.store(), arena.workgraph(), &lat()).is_ok());
+    }
+
+    /// End-to-end on the spill-heavy kernel: the reused arena must schedule
+    /// it bit-identically to fresh per-attempt state (the II ladder here
+    /// discards several spill-inserting attempts before succeeding).
+    #[test]
+    fn spill_heavy_kernel_schedules_identically_with_arena_reuse() {
+        use crate::scheduler::IterativeScheduler;
+        use crate::types::SchedulerParams;
+        let g = spill_heavy();
+        let machine = MachineConfig::paper_baseline(RfOrganization::parse("S16").unwrap());
+        let params = SchedulerParams::default();
+        let reused = IterativeScheduler::new(machine.clone(), params).schedule(&g);
+        let fresh = IterativeScheduler::new(machine, params)
+            .with_fresh_arena()
+            .schedule(&g);
+        assert!(!reused.failed);
+        assert!(reused.stats.ii_restarts > 1, "ladder should have restarted");
+        assert_eq!(reused, fresh);
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod cluster;
 pub mod mrt;
 pub mod order;
@@ -58,11 +59,12 @@ pub mod types;
 pub mod validate;
 pub mod workgraph;
 
+pub use arena::AttemptArena;
 pub use port_profile::{port_requirements, PortRequirement};
 pub use pressure::{Pressure, PressureQuery, PressureTracker, ValueLifetime};
 pub use scheduler::{
-    schedule_loop, schedule_loop_baseline36, IterativeScheduler, EJECTION_GUARD_LIMIT,
+    schedule_loop, schedule_loop_baseline36, IterativeScheduler, PhaseTimings, EJECTION_GUARD_LIMIT,
 };
-pub use store::{PlacementStore, SlotIndex};
+pub use store::{PlacementStore, RowEjectOutcome, RowEjectReport, SlotIndex};
 pub use types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats};
 pub use validate::{validate_schedule, validate_store};

@@ -234,21 +234,62 @@ impl Mrt {
             lp_avail: vec![0; words * c],
             sp_avail: vec![0; words * c],
         };
-        // Initialize the masks from the shared predicate on the zero counts
-        // (rows past the II stay clear so the word scans never report ghost
-        // rows).
+        mrt.init_masks();
+        mrt
+    }
+
+    /// Initialize every availability mask from the shared predicate on zero
+    /// counts (rows past the II stay clear so the word scans never report
+    /// ghost rows). Counts must be all-zero when this runs.
+    fn init_masks(&mut self) {
+        let rows = self.ii as usize;
+        let c = self.caps.clusters as usize;
         for class in ALL_CLASSES {
-            let cap = mrt.unit_cap(class);
-            let blocks = if mrt.class_is_global(class) { 1 } else { c };
+            let cap = self.unit_cap(class);
+            let blocks = if self.class_is_global(class) { 1 } else { c };
             let avail = row_avail(0, cap);
             for block in 0..blocks {
-                let mask = mrt.avail_words_mut(class, block as u32);
-                for row in 0..rows {
-                    write_bit(mask, row, avail);
+                let mask = self.avail_words_mut(class, block as u32);
+                for w in mask.iter_mut() {
+                    *w = 0;
+                }
+                if avail {
+                    for row in 0..rows {
+                        write_bit(mask, row, true);
+                    }
                 }
             }
         }
-        mrt
+    }
+
+    /// Re-shape the table for a new II, clearing every row count and
+    /// re-deriving the availability masks — equivalent to [`Mrt::new`] with
+    /// the same capacities but reusing the allocations. The attempt arena
+    /// calls this once per II restart instead of rebuilding the table.
+    pub fn reset_for_ii(&mut self, ii: u32) {
+        let ii = ii.max(1);
+        self.ii = ii;
+        let rows = ii as usize;
+        let c = self.caps.clusters as usize;
+        let words = rows.div_ceil(64);
+        let mem_blocks = if self.caps.memory_is_shared() { 1 } else { c };
+        fn refill<T: Copy>(v: &mut Vec<T>, len: usize, val: T) {
+            v.clear();
+            v.resize(len, val);
+        }
+        refill(&mut self.fu, rows * c, 0);
+        refill(&mut self.mem, rows * c, 0);
+        refill(&mut self.shared_mem, rows, 0);
+        refill(&mut self.bus, rows, 0);
+        refill(&mut self.lp, rows * c, 0);
+        refill(&mut self.sp, rows * c, 0);
+        refill(&mut self.fu_free, c, ii * self.caps.fus_per_cluster);
+        refill(&mut self.fu_avail, words * c, 0);
+        refill(&mut self.mem_avail, words * mem_blocks, 0);
+        refill(&mut self.bus_avail, words, 0);
+        refill(&mut self.lp_avail, words * c, 0);
+        refill(&mut self.sp_avail, words * c, 0);
+        self.init_masks();
     }
 
     /// The II of the table.

@@ -32,6 +32,15 @@ pub struct PriorityOrder {
 }
 
 impl PriorityOrder {
+    /// An empty order (every node at lowest priority). Placeholder the
+    /// attempt arena starts from before its first `reset`.
+    pub fn empty() -> Self {
+        PriorityOrder {
+            order: Vec::new(),
+            rank: Vec::new(),
+        }
+    }
+
     /// Rank of a node (lower is scheduled earlier). Nodes unknown at ordering
     /// time (inserted later) are given the lowest priority.
     pub fn rank_of(&self, n: NodeId) -> usize {
@@ -39,16 +48,45 @@ impl PriorityOrder {
     }
 }
 
+/// Reusable scratch for [`priority_order_into`]: the attempt arena keeps one
+/// so recomputing the order across II restarts allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct OrderScratch {
+    in_order: Vec<bool>,
+    frontier: VecDeque<NodeId>,
+    remaining: Vec<NodeId>,
+}
+
 /// Compute the priority order for the active nodes of a working graph at the
 /// given candidate II.
 pub fn priority_order(w: &WorkGraph, lat: &OpLatencies, ii: u32) -> PriorityOrder {
+    let mut out = PriorityOrder::empty();
+    priority_order_into(w, lat, ii, &mut out, &mut OrderScratch::default());
+    out
+}
+
+/// [`priority_order`] writing into an existing [`PriorityOrder`], reusing its
+/// `order`/`rank` buffers and the caller's [`OrderScratch`]. Produces exactly
+/// the order a fresh computation would (the arena-equivalence property test
+/// asserts it).
+pub fn priority_order_into(
+    w: &WorkGraph,
+    lat: &OpLatencies,
+    ii: u32,
+    out: &mut PriorityOrder,
+    scratch: &mut OrderScratch,
+) {
     let g = &w.ddg;
     let n = g.num_nodes();
     let sched = analysis::acyclic_schedule(g, lat, ii.max(1));
     let recs = analysis::recurrences(g, lat);
 
-    let mut ordered: Vec<NodeId> = Vec::with_capacity(n);
-    let mut in_order = vec![false; n];
+    let mut ordered = std::mem::take(&mut out.order);
+    ordered.clear();
+    ordered.reserve(n);
+    let in_order = &mut scratch.in_order;
+    in_order.clear();
+    in_order.resize(n, false);
 
     // 1. Recurrences, most constrained first; inside a recurrence follow
     //    increasing earliest start time so dependences flow forward.
@@ -70,7 +108,8 @@ pub fn priority_order(w: &WorkGraph, lat: &OpLatencies, ii: u32) -> PriorityOrde
 
     // 2. Breadth-first sweep outwards from the ordered set; if nothing is
     //    ordered yet (a DAG loop body), seed with the minimum-slack node.
-    let mut frontier: VecDeque<NodeId> = VecDeque::new();
+    let frontier = &mut scratch.frontier;
+    frontier.clear();
     // Expand along *active* edges only: scheduler-inserted interface
     // operations (LoadR/StoreR) sit between memory operations and their FU
     // consumers, and walking the deactivated original edges would order the
@@ -85,13 +124,15 @@ pub fn priority_order(w: &WorkGraph, lat: &OpLatencies, ii: u32) -> PriorityOrde
         }
     };
     for o in &ordered {
-        push_neighbors(*o, &mut frontier);
+        push_neighbors(*o, frontier);
     }
 
-    let mut remaining: Vec<NodeId> = g
-        .node_ids()
-        .filter(|id| w.is_active(*id) && !in_order[id.index()])
-        .collect();
+    let remaining = &mut scratch.remaining;
+    remaining.clear();
+    remaining.extend(
+        g.node_ids()
+            .filter(|id| w.is_active(*id) && !in_order[id.index()]),
+    );
     // Sort remaining by (slack, depth) so the seed choices are deterministic
     // and critical nodes go first.
     remaining.sort_by_key(|id| {
@@ -110,7 +151,7 @@ pub fn priority_order(w: &WorkGraph, lat: &OpLatencies, ii: u32) -> PriorityOrde
             if w.is_active(cand) && !in_order[cand.index()] {
                 in_order[cand.index()] = true;
                 ordered.push(cand);
-                push_neighbors(cand, &mut frontier);
+                push_neighbors(cand, frontier);
                 advanced = true;
             }
         }
@@ -121,7 +162,7 @@ pub fn priority_order(w: &WorkGraph, lat: &OpLatencies, ii: u32) -> PriorityOrde
             if !in_order[cand.index()] {
                 in_order[cand.index()] = true;
                 ordered.push(cand);
-                push_neighbors(cand, &mut frontier);
+                push_neighbors(cand, frontier);
                 advanced = true;
                 break;
             }
@@ -131,14 +172,13 @@ pub fn priority_order(w: &WorkGraph, lat: &OpLatencies, ii: u32) -> PriorityOrde
         }
     }
 
-    let mut rank = vec![usize::MAX; n];
+    let rank = &mut out.rank;
+    rank.clear();
+    rank.resize(n, usize::MAX);
     for (i, id) in ordered.iter().enumerate() {
         rank[id.index()] = i;
     }
-    PriorityOrder {
-        order: ordered,
-        rank,
-    }
+    out.order = ordered;
 }
 
 #[cfg(test)]

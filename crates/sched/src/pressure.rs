@@ -280,6 +280,35 @@ impl PressureTracker {
         self.ii
     }
 
+    /// Clear every stored lifetime, row count and cache and re-shape the row
+    /// vectors for a new II — equivalent to [`PressureTracker::new`] with the
+    /// same cluster count but reusing the allocations. `num_nodes` is the
+    /// pristine node count: capacity grown for spill/communication nodes of
+    /// the previous II attempt is released so it cannot leak into the next.
+    pub fn reset_for_ii(&mut self, ii: u32, num_nodes: usize) {
+        let ii = ii.max(1);
+        self.ii = ii;
+        for rows in &mut self.rows_cluster {
+            rows.clear();
+            rows.resize(ii as usize, 0);
+        }
+        self.rows_shared.clear();
+        self.rows_shared.resize(ii as usize, 0);
+        for inv in &mut self.invariant_cluster {
+            *inv = 0;
+        }
+        self.invariant_shared = 0;
+        self.lifetimes.clear();
+        self.lifetimes.resize(num_nodes, None);
+        self.invariant_of.clear();
+        self.invariant_of.resize(num_nodes, None);
+        for m in &mut self.max_cluster {
+            m.set((0, true));
+        }
+        self.max_shared.set((0, true));
+        self.scratch.clear();
+    }
+
     /// Keep the per-node arrays in sync with a growing graph.
     pub fn grow(&mut self, num_nodes: usize) {
         if num_nodes > self.lifetimes.len() {

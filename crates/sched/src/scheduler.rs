@@ -28,17 +28,17 @@
 //! before their ejection cascade, counted in
 //! [`SchedulerStats::infeasible_cutoffs`].
 
+use crate::arena::AttemptArena;
 use crate::cluster::select_cluster_recording;
-use crate::mrt::ResourceCaps;
-use crate::order::priority_order;
 use crate::pressure::{
     pick_spill_candidate, pick_spill_candidate_from, pressure, Pressure, PressureQuery,
 };
-use crate::store::PlacementStore;
+use crate::store::RowEjectOutcome;
 use crate::types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats};
 use crate::workgraph::WorkGraph;
-use hcrf_ir::{mii as mii_mod, Ddg, DepKind, EdgeId, NodeId, OpKind, OpLatencies};
+use hcrf_ir::{mii as mii_mod, Ddg, DepKind, NodeId, OpKind, OpLatencies};
 use hcrf_machine::MachineConfig;
+use std::time::{Duration, Instant};
 
 /// Hard bound on the eject-and-retry iterations spent forcing a single slot
 /// before the attempt is abandoned (each trip is counted in
@@ -47,6 +47,12 @@ use hcrf_machine::MachineConfig;
 /// freed (for example a non-pipelined operation longer than the II keeps
 /// re-occupying every row) and a larger II is needed.
 pub const EJECTION_GUARD_LIMIT: u32 = 4096;
+
+/// Largest stride the budget-aware II ladder takes after a run of failed
+/// attempts. Roughly the square root of the deep churn ladders' length
+/// (~60–80 rungs): a larger cap saves fewer mid-ladder attempts than it adds
+/// to the success-side gap scan, whose worst case is one stride of rungs.
+pub const LADDER_STRIDE_CAP: u32 = 8;
 
 /// Schedule one loop for one machine configuration with the iterative
 /// MIRS / MIRS_HC scheduler (backtracking enabled by default).
@@ -76,13 +82,40 @@ pub struct IterativeScheduler {
     batch_pressure: bool,
     linear_victim: bool,
     linear_slot: bool,
+    fresh_arena: bool,
+    per_victim_ejection: bool,
+    unit_ladder: bool,
 }
 
-/// Outcome of one II attempt. Exhausted attempts carry their partial stats
-/// so guard trips are accounted across II restarts.
-enum Attempt {
-    Success(Box<AttemptState>),
-    Exhausted(SchedulerStats),
+/// Wall time the scheduler spent per phase across one `schedule()` call,
+/// reported by [`IterativeScheduler::schedule_with_timings`] (the
+/// `bench_sched` trajectory harness aggregates these per suite).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Building the [`AttemptArena`] (working-graph clone + memory-interface
+    /// insertion). Once per loop under arena reuse; once per attempt under
+    /// the [`IterativeScheduler::with_fresh_arena`] oracle.
+    pub graph_build: Duration,
+    /// Priority-order computation (skipped by resets when the order is
+    /// II-independent).
+    pub order: Duration,
+    /// Arena resets: pristine-graph restore plus placement-store reshaping.
+    pub resets: Duration,
+    /// The II attempts themselves (worklist loop).
+    pub attempts: Duration,
+}
+
+/// Outcome of one II attempt; the attempt's counters stay in the arena.
+#[derive(Debug, Clone, Copy)]
+enum AttemptOutcome {
+    Success,
+    /// The attempt was abandoned. `budget_limited` is set when the failure
+    /// was a budget-family limit (scheduling budget, spill-round limit,
+    /// completed-but-over-capacity) rather than a structural conflict — the
+    /// signal the budget-aware ladder bases its skip stride on.
+    Exhausted {
+        budget_limited: bool,
+    },
 }
 
 /// Outcome of the pressure-check/spill loop run after placing one node.
@@ -99,32 +132,6 @@ enum SpillOutcome {
     ScheduleFailed,
 }
 
-/// Mutable state of one II attempt: the working graph plus the unified
-/// placement store that owns every piece of placement state.
-struct AttemptState {
-    w: WorkGraph,
-    store: PlacementStore,
-    budget: i64,
-    stats: SchedulerStats,
-    ii: u32,
-    /// Scratch buffer for the dependence violators of a forced placement,
-    /// cleared (not reallocated) by every `schedule_node` call — ejection
-    /// storms run this path thousands of times per attempt.
-    violators: Vec<NodeId>,
-    /// Scratch for the estart walk: each placed predecessor with the
-    /// earliest cycle its dependence allows (`pc + delay - II·distance`).
-    /// The forced-placement path re-reads these as violator candidates
-    /// instead of re-walking the edges.
-    pred_bounds: Vec<(NodeId, i64)>,
-    /// Scratch for the lstart walk: each placed successor with the latest
-    /// cycle its dependence allows.
-    succ_bounds: Vec<(NodeId, i64)>,
-    /// Scratch for `select_cluster_recording`: edges between the popped node
-    /// and placed neighbours that could need communication for some cluster
-    /// choice, reused by the communication-insertion scan.
-    comm_cands: Vec<(EdgeId, u32)>,
-}
-
 impl IterativeScheduler {
     /// Create a scheduler for the given machine.
     pub fn new(machine: MachineConfig, params: SchedulerParams) -> Self {
@@ -134,6 +141,9 @@ impl IterativeScheduler {
             batch_pressure: false,
             linear_victim: false,
             linear_slot: false,
+            fresh_arena: false,
+            per_victim_ejection: false,
+            unit_ladder: false,
         }
     }
 
@@ -169,6 +179,36 @@ impl IterativeScheduler {
         self
     }
 
+    /// Rebuild the complete per-attempt state (working graph, priority
+    /// order, placement store) from scratch for every II attempt instead of
+    /// resetting the persistent [`AttemptArena`]. Scheduling decisions are
+    /// bit-identical either way (`tests/ladder_equivalence.rs` asserts it);
+    /// this exists so the arena's reset paths can be cross-checked against
+    /// the rebuild they replaced.
+    pub fn with_fresh_arena(mut self) -> Self {
+        self.fresh_arena = true;
+        self
+    }
+
+    /// Force a slot by ejecting conflicting occupants one `pick_victim` +
+    /// `eject` transaction at a time instead of the batched
+    /// [`crate::store::PlacementStore::eject_row_occupants`]. Victim choices
+    /// are bit-identical either way (`tests/ladder_equivalence.rs` asserts
+    /// it); this is the oracle the batched transaction is checked against.
+    pub fn with_per_victim_ejection(mut self) -> Self {
+        self.per_victim_ejection = true;
+        self
+    }
+
+    /// Climb the II ladder strictly one step at a time, disabling the
+    /// budget-aware skipping (and its success-side gap verification). This
+    /// is the oracle ladder policy: `tests/ladder_equivalence.rs` asserts
+    /// the skipping ladder never lands on a higher final II than this one.
+    pub fn with_unit_ladder(mut self) -> Self {
+        self.unit_ladder = true;
+        self
+    }
+
     /// The machine this scheduler targets.
     pub fn machine(&self) -> &MachineConfig {
         &self.machine
@@ -181,35 +221,157 @@ impl IterativeScheduler {
 
     /// Schedule one loop.
     pub fn schedule(&self, ddg: &Ddg) -> ScheduleResult {
+        self.schedule_with_timings(ddg).0
+    }
+
+    /// [`IterativeScheduler::schedule`] also reporting where the wall time
+    /// went (graph build / ordering / arena resets / attempts). The timing
+    /// probes sit outside the attempt loop, so the schedule itself is
+    /// bit-identical to `schedule()`'s.
+    pub fn schedule_with_timings(&self, ddg: &Ddg) -> (ScheduleResult, PhaseTimings) {
         let lat = self.machine.latencies;
         let mii = self.mii(ddg);
+        let max_ii = self.params.max_ii;
+        let mut timings = PhaseTimings::default();
         let mut stats = SchedulerStats::default();
+        let mut arena: Option<AttemptArena> = None;
         let mut ii = mii.max(1);
-        while ii <= self.params.max_ii {
-            stats.ii_restarts += 1;
-            match self.attempt(ddg, ii, &lat) {
-                Attempt::Success(state) => {
-                    let mut result = self.finalize(ddg, *state, mii);
-                    result.stats.ii_restarts = stats.ii_restarts;
-                    // Work done by the failed attempts that led here: every
-                    // counter spans all IIs of the loop, so the inspector's
-                    // attempts/ejections/guard-trips read on the same scope.
-                    result.stats.attempts += stats.attempts;
-                    result.stats.ejections += stats.ejections;
-                    result.stats.guard_trips += stats.guard_trips;
-                    result.stats.infeasible_cutoffs += stats.infeasible_cutoffs;
-                    return result;
+        // Budget-aware ladder state: the last failed II (low end of a
+        // potential skip gap) and the streak of consecutive budget-limited
+        // failures driving the geometric stride.
+        let mut last_failed: Option<u32> = None;
+        let mut streak = 0u32;
+        let mut found: Option<ScheduleResult> = None;
+        while ii <= max_ii {
+            match self.run_attempt(&mut arena, ddg, ii, &lat, &mut stats, &mut timings) {
+                AttemptOutcome::Success => {
+                    let a = arena.as_ref().expect("attempt ran");
+                    let mut best = self.finalize(ddg, a, mii);
+                    // Success after a skip: the gap IIs were never attempted,
+                    // so scan them from below and keep the first success —
+                    // exactly the II the unit ladder would have returned
+                    // (whenever budget feasibility is monotone in the II).
+                    // All-fail gap scans cost what the unit ladder would have
+                    // paid for the same rungs; the skips before the final gap
+                    // remain pure savings.
+                    if let Some(p) = last_failed {
+                        for g in (p + 1)..ii {
+                            stats.ii_skips -= 1;
+                            let o = self.run_attempt(
+                                &mut arena,
+                                ddg,
+                                g,
+                                &lat,
+                                &mut stats,
+                                &mut timings,
+                            );
+                            match o {
+                                AttemptOutcome::Success => {
+                                    best = self.finalize(
+                                        ddg,
+                                        arena.as_ref().expect("attempt ran"),
+                                        mii,
+                                    );
+                                    break;
+                                }
+                                AttemptOutcome::Exhausted { budget_limited } => {
+                                    // Gap rungs count towards the recorded
+                                    // budget-pressure signal like any other
+                                    // attempted rung (they just cannot steer
+                                    // the stride any more).
+                                    if budget_limited {
+                                        stats.budget_exhausts += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    found = Some(best);
+                    break;
                 }
-                Attempt::Exhausted(partial) => {
-                    stats.attempts += partial.attempts;
-                    stats.ejections += partial.ejections;
-                    stats.guard_trips += partial.guard_trips;
-                    stats.infeasible_cutoffs += partial.infeasible_cutoffs;
-                    ii += 1;
+                AttemptOutcome::Exhausted { budget_limited } => {
+                    if budget_limited {
+                        stats.budget_exhausts += 1;
+                        streak += 1;
+                    } else {
+                        // A structural failure (no slot, no victim, guard
+                        // trip, infeasible cutoff, attempt cap) resets the
+                        // gallop: these cluster where the feasibility
+                        // frontier is irregular, exactly where skipping
+                        // risks landing past the unit ladder's answer.
+                        streak = 0;
+                    }
+                    // Geometric gallop over consecutive budget-limited
+                    // failures (1, 2, 4, then 8 per step), with the failed
+                    // attempt's ejection pressure as the second signal: a
+                    // storm (at least one ejection per scheduling attempt)
+                    // justifies the full stride, lighter failures step
+                    // cautiously. The success-side gap scan re-checks the
+                    // final gap from below, so an overshoot costs one extra
+                    // (successful) attempt; every skipped rung below the
+                    // final gap is a failed attempt never paid for.
+                    let stride = if self.unit_ladder || streak == 0 {
+                        1
+                    } else {
+                        let attempt_stats = arena.as_ref().expect("attempt ran").attempt_stats();
+                        let storm = attempt_stats.ejections >= attempt_stats.attempts;
+                        let cap = if storm { LADDER_STRIDE_CAP } else { 2 };
+                        (1u32 << (streak - 1).min(3)).min(cap)
+                    };
+                    last_failed = Some(ii);
+                    let mut next = ii.saturating_add(stride);
+                    if next > max_ii && ii < max_ii {
+                        // Never skip past the cap without attempting it.
+                        next = max_ii;
+                    }
+                    if next <= max_ii {
+                        stats.ii_skips += next - ii - 1;
+                    }
+                    ii = next;
                 }
             }
         }
-        // No schedule found up to max_ii.
+        let mut result = found.unwrap_or_else(|| self.failed_result(ddg, mii));
+        result.stats = stats;
+        (result, timings)
+    }
+
+    /// Prepare the arena (reset, or build under the fresh-build oracle) and
+    /// run one attempt at `ii`, folding its counters and phase times into
+    /// the ladder accumulators.
+    fn run_attempt(
+        &self,
+        arena: &mut Option<AttemptArena>,
+        ddg: &Ddg,
+        ii: u32,
+        lat: &OpLatencies,
+        stats: &mut SchedulerStats,
+        timings: &mut PhaseTimings,
+    ) -> AttemptOutcome {
+        if arena.is_none() || self.fresh_arena {
+            let t = Instant::now();
+            *arena = Some(AttemptArena::new(ddg, &self.machine, !self.batch_pressure));
+            timings.graph_build += t.elapsed();
+        }
+        let a = arena.as_mut().expect("just ensured");
+        if stats.ii_restarts > 0 {
+            stats.arena_resets += 1;
+        }
+        stats.ii_restarts += 1;
+        let t = Instant::now();
+        let order_time = a.reset(ii, lat);
+        timings.order += order_time;
+        timings.resets += t.elapsed().saturating_sub(order_time);
+        let t = Instant::now();
+        let outcome = self.attempt(a, lat);
+        timings.attempts += t.elapsed();
+        stats.absorb_attempt(&a.stats);
+        outcome
+    }
+
+    /// The result reported when no schedule was found up to `max_ii`
+    /// (ladder-level stats are filled in by the caller).
+    fn failed_result(&self, ddg: &Ddg, mii: u32) -> ScheduleResult {
         ScheduleResult {
             loop_name: ddg.name.clone(),
             config: self.machine.rf.to_string(),
@@ -229,42 +391,25 @@ impl IterativeScheduler {
             original_memory_ops: ddg.memory_ops() as u32,
             total_ops: ddg.num_nodes() as u32,
             original_ops: ddg.num_nodes() as u32,
-            stats,
+            stats: SchedulerStats::default(),
             final_graph: None,
             placements: None,
         }
     }
 
-    /// One attempt at a fixed II.
-    fn attempt(&self, ddg: &Ddg, ii: u32, lat: &OpLatencies) -> Attempt {
-        let w = WorkGraph::new(ddg, &self.machine);
-        let caps = ResourceCaps::from_machine(&self.machine);
-        let order = priority_order(&w, lat, ii);
-        let n = w.ddg.num_nodes();
-        let mut store = PlacementStore::new(ii, caps, n, order, !self.batch_pressure);
-        for node in w.active_nodes() {
-            store.requeue(node);
-        }
-        let budget = (self.params.budget_ratio as i64) * (w.active_count() as i64).max(1);
+    /// One attempt at the arena's current II (the caller has just `reset`
+    /// the arena for it).
+    fn attempt(&self, state: &mut AttemptArena, lat: &OpLatencies) -> AttemptOutcome {
+        let ii = state.ii;
+        state.budget = (self.params.budget_ratio as i64) * (state.w.active_count() as i64).max(1);
         // Hard cap on scheduling attempts: the budget can legitimately grow
         // when spill or communication operations are inserted (the paper adds
         // Budget_Ratio per inserted node), but a pathological eject/re-insert
         // ping-pong must not keep the attempt alive forever.
         let attempt_cap =
-            64 * (w.active_count() as u64 + 8) * (self.params.budget_ratio as u64).max(1);
+            64 * (state.w.active_count() as u64 + 8) * (self.params.budget_ratio as u64).max(1);
         let clusters = self.machine.clusters();
-        let mut state = AttemptState {
-            w,
-            store,
-            budget,
-            stats: SchedulerStats::default(),
-            ii,
-            violators: Vec::new(),
-            pred_bounds: Vec::new(),
-            succ_bounds: Vec::new(),
-            comm_cands: Vec::new(),
-        };
-        let spill_round_limit = 4 * (ddg.num_nodes() as u32 + 4);
+        let spill_round_limit = 4 * (state.w.original_nodes() as u32 + 4);
         let mut spill_rounds = 0u32;
 
         while let Some(u) = state.store.pop_worklist() {
@@ -273,7 +418,9 @@ impl IterativeScheduler {
             }
             state.stats.attempts += 1;
             if state.stats.attempts > attempt_cap {
-                return Attempt::Exhausted(state.stats);
+                return AttemptOutcome::Exhausted {
+                    budget_limited: false,
+                };
             }
             // 1. Cluster selection. The recording variant notes every edge
             // that could need communication in the same walk that scores the
@@ -283,7 +430,7 @@ impl IterativeScheduler {
                 // Oracle mode never consults the tracker; the store discards
                 // the dirty set so it cannot grow for the whole attempt.
                 state.store.sync_pressure(&mut state.w);
-                let pr = self.current_pressure(&state, lat);
+                let pr = self.current_pressure(state, lat);
                 select_cluster_recording(
                     u,
                     &state.w,
@@ -306,25 +453,37 @@ impl IterativeScheduler {
             state.comm_cands = comm_cands;
             // 2. Communication with already placed neighbours.
             if !self.insert_and_schedule_communication(
-                &mut state,
+                state,
                 u,
                 choice.cluster,
                 lat,
                 cands_complete,
             ) {
-                return Attempt::Exhausted(state.stats);
+                return AttemptOutcome::Exhausted {
+                    budget_limited: false,
+                };
             }
             // 3. Schedule the node itself.
-            if !self.schedule_node(&mut state, u, choice.cluster, lat) {
-                return Attempt::Exhausted(state.stats);
+            if !self.schedule_node(state, u, choice.cluster, lat) {
+                return AttemptOutcome::Exhausted {
+                    budget_limited: false,
+                };
             }
             // 4. Register pressure / spill.
             if self.has_bounded_banks() {
-                match self.check_and_spill(&mut state, u, lat, &mut spill_rounds, spill_round_limit)
-                {
+                match self.check_and_spill(state, u, lat, &mut spill_rounds, spill_round_limit) {
                     SpillOutcome::Continue => {}
-                    SpillOutcome::SpillLimit | SpillOutcome::ScheduleFailed => {
-                        return Attempt::Exhausted(state.stats);
+                    SpillOutcome::SpillLimit => {
+                        // A budget-family failure: more spill rounds (or a
+                        // larger II) would lower the pressure gradually.
+                        return AttemptOutcome::Exhausted {
+                            budget_limited: true,
+                        };
+                    }
+                    SpillOutcome::ScheduleFailed => {
+                        return AttemptOutcome::Exhausted {
+                            budget_limited: false,
+                        };
                     }
                 }
             }
@@ -335,7 +494,9 @@ impl IterativeScheduler {
                 // budget 0 is complete, not exhausted.
                 let unplaced_remain = state.w.active_nodes().any(|nd| !state.store.is_placed(nd));
                 if unplaced_remain {
-                    return Attempt::Exhausted(state.stats);
+                    return AttemptOutcome::Exhausted {
+                        budget_limited: true,
+                    };
                 }
             }
         }
@@ -343,7 +504,9 @@ impl IterativeScheduler {
         // Every active node must be placed and the banks within capacity.
         let all_placed = state.w.active_nodes().all(|nd| state.store.is_placed(nd));
         if !all_placed {
-            return Attempt::Exhausted(state.stats);
+            return AttemptOutcome::Exhausted {
+                budget_limited: false,
+            };
         }
         if self.has_bounded_banks() {
             let over = if self.batch_pressure {
@@ -361,10 +524,12 @@ impl IterativeScheduler {
                 self.over_capacity_bank(state.store.tracker()).is_some()
             };
             if over {
-                return Attempt::Exhausted(state.stats);
+                return AttemptOutcome::Exhausted {
+                    budget_limited: true,
+                };
             }
         }
-        Attempt::Success(Box::new(state))
+        AttemptOutcome::Success
     }
 
     fn has_bounded_banks(&self) -> bool {
@@ -378,7 +543,7 @@ impl IterativeScheduler {
         cluster_bounded || shared_bounded
     }
 
-    fn current_pressure(&self, state: &AttemptState, lat: &OpLatencies) -> Pressure {
+    fn current_pressure(&self, state: &AttemptArena, lat: &OpLatencies) -> Pressure {
         pressure(
             &state.w,
             state.store.placements(),
@@ -418,7 +583,7 @@ impl IterativeScheduler {
     /// replaced edges the recording has never seen.
     fn insert_and_schedule_communication(
         &self,
-        state: &mut AttemptState,
+        state: &mut AttemptArena,
         u: NodeId,
         cluster: u32,
         lat: &OpLatencies,
@@ -499,7 +664,7 @@ impl IterativeScheduler {
     /// (or the spill budget is exhausted).
     fn check_and_spill(
         &self,
-        state: &mut AttemptState,
+        state: &mut AttemptArena,
         owner: NodeId,
         lat: &OpLatencies,
         spill_rounds: &mut u32,
@@ -590,7 +755,7 @@ impl IterativeScheduler {
     /// guard trips.
     fn schedule_node(
         &self,
-        state: &mut AttemptState,
+        state: &mut AttemptArena,
         u: NodeId,
         cluster: u32,
         lat: &OpLatencies,
@@ -691,33 +856,60 @@ impl IterativeScheduler {
             }
         }
 
-        // Eject operations holding the resources we need.
-        let mut guard = 0u32;
-        while !state.store.mrt().can_place(kind, force_at, cluster, lat) {
-            guard += 1;
-            if guard > EJECTION_GUARD_LIMIT {
-                state.stats.guard_trips += 1;
-                return false;
+        // Eject the operations holding the resources we need. The default
+        // path batches the whole forced row into one store transaction
+        // (single ranked drain of the conflicting SlotIndex row, deferred
+        // tracker touches and worklist re-insertions); the per-victim loop
+        // below is the decision-identical oracle, also used when the linear
+        // victim scan is selected (the snapshot ranking is the index's).
+        if self.per_victim_ejection || self.linear_victim {
+            let mut guard = 0u32;
+            while !state.store.mrt().can_place(kind, force_at, cluster, lat) {
+                guard += 1;
+                if guard > EJECTION_GUARD_LIMIT {
+                    state.stats.guard_trips += 1;
+                    return false;
+                }
+                let victim = if self.linear_victim {
+                    state
+                        .store
+                        .pick_victim_linear(&state.w, u, kind, force_at, cluster, lat)
+                } else {
+                    state
+                        .store
+                        .pick_victim(&state.w, u, kind, force_at, cluster)
+                };
+                let Some(victim) = victim else {
+                    // Nothing ejectable frees the resource (e.g. a divide
+                    // longer than the II); abandon the attempt.
+                    return false;
+                };
+                state.stats.ejections += state.store.eject(&mut state.w, victim, lat);
+                if !state.w.is_active(u) {
+                    // The ejection cascade removed the chain `u` belongs to;
+                    // there is nothing left to place.
+                    return true;
+                }
             }
-            let victim = if self.linear_victim {
-                state
-                    .store
-                    .pick_victim_linear(&state.w, u, kind, force_at, cluster, lat)
-            } else {
-                state
-                    .store
-                    .pick_victim(&state.w, u, kind, force_at, cluster)
-            };
-            let Some(victim) = victim else {
-                // Nothing ejectable frees the resource (e.g. a divide longer
-                // than the II); abandon the attempt.
-                return false;
-            };
-            state.stats.ejections += state.store.eject(&mut state.w, victim, lat);
-            if !state.w.is_active(u) {
-                // The ejection cascade removed the chain `u` belongs to;
-                // there is nothing left to place.
-                return true;
+        } else {
+            let report = state.store.eject_row_occupants(
+                &mut state.w,
+                u,
+                kind,
+                force_at,
+                cluster,
+                lat,
+                EJECTION_GUARD_LIMIT,
+            );
+            state.stats.ejections += report.ejections;
+            match report.outcome {
+                RowEjectOutcome::Freed => {}
+                RowEjectOutcome::GuardTripped => {
+                    state.stats.guard_trips += 1;
+                    return false;
+                }
+                RowEjectOutcome::NoVictim => return false,
+                RowEjectOutcome::OwnerDeactivated => return true,
             }
         }
         state.store.place(&state.w, u, force_at, cluster, lat);
@@ -771,8 +963,10 @@ impl IterativeScheduler {
         true
     }
 
-    /// Build the public result from a successful attempt.
-    fn finalize(&self, original: &Ddg, state: AttemptState, mii: u32) -> ScheduleResult {
+    /// Build the public result from a successful attempt. The `stats` field
+    /// is left default: the ladder in [`IterativeScheduler::schedule_with_timings`]
+    /// owns all counter accumulation across II restarts and overwrites it.
+    fn finalize(&self, original: &Ddg, state: &AttemptArena, mii: u32) -> ScheduleResult {
         let ii = state.ii;
         let lat = self.machine.latencies;
         let clusters = self.machine.clusters();
@@ -815,8 +1009,6 @@ impl IterativeScheduler {
         let (loadr, storer, moves, spill_loads, spill_stores) = state.w.inserted_counts();
         let memory_ops = state.w.active_memory_ops();
         let total_ops = state.w.active_count() as u32;
-        let mut stats = state.stats;
-        stats.ii_restarts = 0; // filled by the caller
         let (final_graph, final_placements) = if self.params.keep_schedule {
             let (g, p) = active_subgraph(&state.w, &placements_vec);
             (Some(g), Some(p))
@@ -842,7 +1034,7 @@ impl IterativeScheduler {
             original_memory_ops: state.w.original_mem_ops() as u32,
             total_ops,
             original_ops: state.w.original_nodes() as u32,
-            stats,
+            stats: SchedulerStats::default(),
             final_graph,
             placements: final_placements,
         }

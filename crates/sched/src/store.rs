@@ -78,6 +78,29 @@ impl SlotIndex {
         }
     }
 
+    /// Re-shape the index for a new II, clearing every occupancy list while
+    /// keeping their allocations — equivalent to [`SlotIndex::new`] with the
+    /// same capacities. The attempt arena calls this once per II restart.
+    pub fn reset_for_ii(&mut self, ii: u32) {
+        let ii = ii.max(1);
+        self.ii = ii;
+        let rows = ii as usize;
+        let c = self.clusters as usize;
+        let mem_slots = if self.memory_shared { rows } else { rows * c };
+        fn reshape(lists: &mut Vec<Vec<NodeId>>, len: usize) {
+            lists.truncate(len);
+            for l in lists.iter_mut() {
+                l.clear();
+            }
+            lists.resize_with(len, Vec::new);
+        }
+        reshape(&mut self.fu, rows * c);
+        reshape(&mut self.mem, mem_slots);
+        reshape(&mut self.bus, rows);
+        reshape(&mut self.lp, rows * c);
+        reshape(&mut self.sp, rows * c);
+    }
+
     /// Whether a resource class conflicts regardless of cluster.
     fn is_global(&self, class: ResourceClass) -> bool {
         match class {
@@ -200,6 +223,46 @@ pub struct PlacementStore {
     track_pressure: bool,
     order: PriorityOrder,
     worklist: BinaryHeap<Reverse<(usize, u32)>>,
+    /// `true` while [`PlacementStore::eject_row_occupants`] runs: tracker
+    /// touches and worklist requeues are deferred into the two buffers below
+    /// and flushed once at the end of the batch.
+    batch_active: bool,
+    /// Nodes `unplace` ran on during the batch, in ejection order; each gets
+    /// its (idempotent) tracker touch at flush time, so a producer feeding
+    /// several batch victims is not rescanned once per victim.
+    batch_touched: Vec<NodeId>,
+    /// Worklist re-insertions deferred by the batch (heap order is
+    /// irrelevant: pops follow the total `(rank, id)` order).
+    batch_requeue: Vec<NodeId>,
+    /// Reusable snapshot buffer for the ranked row candidates of a batched
+    /// row ejection (the forced-placement path runs hundreds of thousands
+    /// of times per churn suite; it should not allocate).
+    batch_cands: Vec<NodeId>,
+}
+
+/// How a batched forced-row ejection ended (see
+/// [`PlacementStore::eject_row_occupants`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowEjectOutcome {
+    /// The resource is now free at the forced cycle: place and continue.
+    Freed,
+    /// The ejection guard limit was reached; abandon the attempt.
+    GuardTripped,
+    /// No ejectable occupant frees the resource; abandon the attempt.
+    NoVictim,
+    /// An ejection cascade removed the chain the forced node belongs to;
+    /// there is nothing left to place.
+    OwnerDeactivated,
+}
+
+/// Result of one [`PlacementStore::eject_row_occupants`] transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct RowEjectReport {
+    /// Total ejections performed (cascades included), for
+    /// [`crate::types::SchedulerStats::ejections`].
+    pub ejections: u64,
+    /// How the batch ended.
+    pub outcome: RowEjectOutcome,
 }
 
 impl PlacementStore {
@@ -223,7 +286,46 @@ impl PlacementStore {
             track_pressure,
             order,
             worklist: BinaryHeap::new(),
+            batch_active: false,
+            batch_touched: Vec::new(),
+            batch_requeue: Vec::new(),
+            batch_cands: Vec::new(),
         }
+    }
+
+    /// Clear every piece of placement state and re-shape the II-sized tables
+    /// for a new attempt — equivalent to [`PlacementStore::new`] with the
+    /// same capacities and pressure mode but reusing every allocation.
+    /// `num_nodes` is the *pristine* node count of the working graph: the
+    /// per-node arrays shrink back to it, so capacity grown for
+    /// spill/communication nodes of a previous II cannot leak into this one.
+    /// The priority order is updated separately (see
+    /// [`PlacementStore::order_mut`]); the worklist is emptied, callers
+    /// requeue the active nodes afterwards.
+    pub fn reset_for_ii(&mut self, ii: u32, num_nodes: usize) {
+        let ii = ii.max(1);
+        self.ii = ii;
+        self.mrt.reset_for_ii(ii);
+        self.index.reset_for_ii(ii);
+        self.placements.clear();
+        self.placements.resize(num_nodes, None);
+        self.prev_cycle.clear();
+        self.prev_cycle.resize(num_nodes, None);
+        self.tracker.reset_for_ii(ii, num_nodes);
+        self.worklist.clear();
+        debug_assert!(!self.batch_active);
+        self.batch_touched.clear();
+        self.batch_requeue.clear();
+        self.batch_cands.clear();
+    }
+
+    /// Mutable access to the priority order, for the attempt arena's
+    /// in-place recomputation across II restarts. Replacing the order while
+    /// the worklist is non-empty would desynchronise the queued ranks; the
+    /// arena only calls this right after [`PlacementStore::reset_for_ii`].
+    pub fn order_mut(&mut self) -> &mut PriorityOrder {
+        debug_assert!(self.worklist.is_empty());
+        &mut self.order
     }
 
     /// II of the attempt.
@@ -273,8 +375,14 @@ impl PlacementStore {
         self.prev_cycle[n.index()]
     }
 
-    /// Push a node (back) onto the worklist at its priority rank.
+    /// Push a node (back) onto the worklist at its priority rank. During a
+    /// batched row ejection the push is deferred (heap insertion order never
+    /// affects pops: they follow the total `(rank, id)` order).
     pub fn requeue(&mut self, n: NodeId) {
+        if self.batch_active {
+            self.batch_requeue.push(n);
+            return;
+        }
         self.worklist.push(Reverse((self.order.rank_of(n), n.0)));
     }
 
@@ -337,6 +445,16 @@ impl PlacementStore {
             self.index.remove(n, kind, cycle, cluster, lat);
         }
         if self.track_pressure {
+            if self.batch_active {
+                // Deferred to the batch flush: touching is idempotent and
+                // placements only disappear during a batch, so one touch per
+                // node at the end converges to the same tracker state the
+                // interleaved touches reach (the flush walks the nodes in
+                // ejection order; a producer whose recorded last consumer
+                // was ejected is rescanned by that consumer's touch).
+                self.batch_touched.push(n);
+                return;
+            }
             // Refresh even when the node was unplaced: chain removal
             // deactivates nodes, which perturbs lifetimes on its own.
             self.tracker.touch(w, &self.placements, n);
@@ -449,6 +567,108 @@ impl PlacementStore {
             (0..occ).any(|k| (vrow + k) % ii == row)
         });
         self.best_victim(w, u, candidates)
+    }
+
+    /// Eject every occupant of the forced row that stands between `kind` and
+    /// its placement at `cycle` on `cluster`, as one batched transaction:
+    ///
+    /// * the conflicting row's [`SlotIndex`] list is drained (snapshotted and
+    ///   ranked) **once** instead of re-running `pick_victim`'s max-scan per
+    ///   ejection — cascades can only *remove* candidates, so walking the
+    ///   ranked snapshot with an is-placed filter reproduces the
+    ///   per-victim choices exactly;
+    /// * pressure-tracker touches are deferred and applied once per unplaced
+    ///   node at the end of the batch (idempotent; a producer feeding several
+    ///   victims is no longer rescanned once per victim);
+    /// * worklist re-insertions are deferred into one extend.
+    ///
+    /// Decision-equivalent to the per-victim loop it replaces
+    /// (`tests/ladder_equivalence.rs` asserts bit-identical suite results
+    /// against [`crate::IterativeScheduler::with_per_victim_ejection`]).
+    /// `guard_limit` mirrors [`crate::EJECTION_GUARD_LIMIT`] accounting: one
+    /// guard tick per conflicting-row probe, [`RowEjectOutcome::GuardTripped`]
+    /// when exceeded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eject_row_occupants(
+        &mut self,
+        w: &mut WorkGraph,
+        u: NodeId,
+        kind: OpKind,
+        cycle: i64,
+        cluster: u32,
+        lat: &OpLatencies,
+        guard_limit: u32,
+    ) -> RowEjectReport {
+        // Nothing to eject when the forced slot is already free (the force
+        // cycle can sit past `prev_cycle` in an empty row) — same zero
+        // iterations the per-victim loop would do, without snapshotting.
+        if self.mrt.can_place(kind, cycle, cluster, lat) {
+            return RowEjectReport {
+                ejections: 0,
+                outcome: RowEjectOutcome::Freed,
+            };
+        }
+        let class = kind.resource_class();
+        let row = cycle.rem_euclid(self.ii as i64) as u32;
+        // One snapshot of the row occupants (into the reusable scratch),
+        // ranked once: descending victim preference, exactly the key
+        // `best_victim` maximises.
+        let mut cands = std::mem::take(&mut self.batch_cands);
+        cands.clear();
+        cands.extend_from_slice(self.index.candidates(class, row, cluster));
+        cands.sort_unstable_by_key(|&v| {
+            Reverse((!w.is_inserted(v), self.order.rank_of(v), Reverse(v.0)))
+        });
+        debug_assert!(!self.batch_active);
+        self.batch_active = true;
+        let mut cursor = 0usize;
+        let mut ejections = 0u64;
+        let mut guard = 0u32;
+        let outcome = loop {
+            if self.mrt.can_place(kind, cycle, cluster, lat) {
+                break RowEjectOutcome::Freed;
+            }
+            guard += 1;
+            if guard > guard_limit {
+                break RowEjectOutcome::GuardTripped;
+            }
+            // Next still-placed snapshot entry = pick_victim's choice.
+            let victim = loop {
+                let Some(&v) = cands.get(cursor) else {
+                    break None;
+                };
+                cursor += 1;
+                if v != u && self.placements[v.index()].is_some() {
+                    break Some(v);
+                }
+            };
+            let Some(victim) = victim else {
+                break RowEjectOutcome::NoVictim;
+            };
+            ejections += self.eject(w, victim, lat);
+            if !w.is_active(u) {
+                break RowEjectOutcome::OwnerDeactivated;
+            }
+        };
+        self.batch_cands = cands;
+        self.flush_batch(w);
+        RowEjectReport { ejections, outcome }
+    }
+
+    /// Apply the deferred tracker touches and worklist insertions of a
+    /// batched row ejection.
+    fn flush_batch(&mut self, w: &WorkGraph) {
+        self.batch_active = false;
+        for i in 0..self.batch_touched.len() {
+            let n = self.batch_touched[i];
+            self.tracker.touch(w, &self.placements, n);
+        }
+        self.batch_touched.clear();
+        for i in 0..self.batch_requeue.len() {
+            let n = self.batch_requeue[i];
+            self.worklist.push(Reverse((self.order.rank_of(n), n.0)));
+        }
+        self.batch_requeue.clear();
     }
 
     /// Shared victim ranking: max over `(is_original, rank, lowest id)`.

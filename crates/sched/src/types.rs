@@ -97,8 +97,24 @@ pub struct SchedulerStats {
     /// Number of nodes ejected by backtracking (across all IIs, including
     /// attempts that were abandoned).
     pub ejections: u64,
-    /// Number of II values tried.
+    /// Number of II values actually attempted.
     pub ii_restarts: u32,
+    /// Number of candidate II values the budget-aware ladder skipped over
+    /// without attempting them (zero under
+    /// [`crate::IterativeScheduler::with_unit_ladder`]). IIs inside a skip
+    /// gap that are attempted after all by the success-side verification
+    /// scan count as restarts, not skips.
+    pub ii_skips: u32,
+    /// Attempt-state preparations beyond the first: arena resets under the
+    /// default reuse policy, full rebuilds under the
+    /// [`crate::IterativeScheduler::with_fresh_arena`] oracle (counted the
+    /// same so results stay bit-comparable between the two).
+    pub arena_resets: u32,
+    /// Attempts that failed on a budget-family limit (scheduling budget,
+    /// spill-round limit or a completed-but-over-capacity schedule) rather
+    /// than a structural conflict — the recorded ejection-pressure signal
+    /// the budget-aware ladder bases its skip stride on.
+    pub budget_exhausts: u32,
     /// Times the ejection guard
     /// ([`crate::scheduler::EJECTION_GUARD_LIMIT`]) tripped while forcing a
     /// slot, abandoning the II attempt. Accumulated across all IIs of the
@@ -111,6 +127,20 @@ pub struct SchedulerStats {
     /// cluster's units), so no victim set could ever free the slot.
     /// Accumulated across all IIs of the loop, like `guard_trips`.
     pub infeasible_cutoffs: u64,
+}
+
+impl SchedulerStats {
+    /// Fold one attempt's counters into a ladder-level accumulator. This is
+    /// the single place per-attempt work is summed across II restarts; the
+    /// ladder-owned counters (`ii_restarts`, `ii_skips`, `arena_resets`,
+    /// `budget_exhausts`) are maintained directly by the ladder loop and
+    /// deliberately not absorbed here.
+    pub fn absorb_attempt(&mut self, attempt: &SchedulerStats) {
+        self.attempts += attempt.attempts;
+        self.ejections += attempt.ejections;
+        self.guard_trips += attempt.guard_trips;
+        self.infeasible_cutoffs += attempt.infeasible_cutoffs;
+    }
 }
 
 /// Result of scheduling one loop for one machine configuration.

@@ -36,6 +36,10 @@ pub struct CommChain {
     pub nodes: Vec<NodeId>,
     /// Edges added by the chain.
     pub edges: Vec<EdgeId>,
+    /// Nodes whose `chains_touching` index lists this chain (owner plus
+    /// replaced-edge endpoints); remembered so removal can unindex them
+    /// without rescanning the replaced edges.
+    pub touched: Vec<NodeId>,
     /// Whether the chain is currently active.
     pub active: bool,
 }
@@ -59,6 +63,17 @@ pub struct WorkGraph {
     /// Spill memory accesses use a dedicated array id so the cache simulator
     /// can distinguish them.
     next_spill_base: u32,
+    /// Per-node *active* outgoing edge ids, sorted ascending — exactly the
+    /// sequence the `edge_active` filter over the full adjacency would
+    /// yield. Maintained incrementally (deactivation removes, reactivation
+    /// re-inserts at the sorted position) so the scheduler's neighbourhood
+    /// walks never iterate the dead edges of removed chains: eject/insert
+    /// ping-pong storms used to make hub-node walks O(insertion history)
+    /// per visit, which dominated the worst churn rungs.
+    succ_active_edges: Vec<Vec<EdgeId>>,
+    /// Per-node active incoming edge ids, sorted ascending (see
+    /// `succ_active_edges`).
+    pred_active_edges: Vec<Vec<EdgeId>>,
     /// Defs whose value lifetime may have changed because an incident flow
     /// edge was (de)activated; drained by the scheduler into the incremental
     /// [`crate::pressure::PressureTracker`] before its next query.
@@ -81,6 +96,26 @@ pub struct WorkGraph {
     /// cascade can only *unplace* nodes unless it also removed a chain,
     /// which reactivates replaced edges and shows up here.
     topo_version: u64,
+    /// Snapshot taken by [`WorkGraph::mark_pristine`]: the graph state right
+    /// after construction (loop body + memory-interface chains), before any
+    /// communication or spill chain of an II attempt. `None` until marked.
+    pristine: Option<PristineMark>,
+}
+
+/// What [`WorkGraph::reset_to_pristine`] needs to restore: every container of
+/// the working graph is append-only between attempts (nodes, edges, chains),
+/// except `edge_active` and the sorted active-adjacency lists, whose pristine
+/// prefixes can be flipped both ways by chain insertion/removal and are
+/// therefore snapshotted wholesale.
+#[derive(Debug, Clone)]
+struct PristineMark {
+    nodes: usize,
+    edges: usize,
+    chains: usize,
+    edge_active: Vec<bool>,
+    succ_active_edges: Vec<Vec<EdgeId>>,
+    pred_active_edges: Vec<Vec<EdgeId>>,
+    next_spill_base: u32,
 }
 
 impl WorkGraph {
@@ -90,10 +125,20 @@ impl WorkGraph {
     pub fn new(original: &Ddg, machine: &MachineConfig) -> Self {
         let hierarchical = machine.rf.is_hierarchical();
         let clustered = matches!(machine.rf, RfOrganization::Clustered { .. });
+        let succ_active_edges = original
+            .node_ids()
+            .map(|n| original.succ_edges(n).map(|(id, _)| id).collect())
+            .collect();
+        let pred_active_edges = original
+            .node_ids()
+            .map(|n| original.pred_edges(n).map(|(id, _)| id).collect())
+            .collect();
         let mut wg = WorkGraph {
             ddg: original.clone(),
             node_active: vec![true; original.num_nodes()],
             edge_active: vec![true; original.num_edges()],
+            succ_active_edges,
+            pred_active_edges,
             spill_reload: vec![false; original.num_nodes()],
             chains: Vec::new(),
             original_nodes: original.num_nodes(),
@@ -105,11 +150,96 @@ impl WorkGraph {
             chain_of_node: vec![None; original.num_nodes()],
             chains_touching: vec![Vec::new(); original.num_nodes()],
             topo_version: 0,
+            pristine: None,
         };
         if hierarchical {
             wg.insert_memory_interface();
         }
         wg
+    }
+
+    /// Snapshot the current state as the *pristine* baseline
+    /// [`WorkGraph::reset_to_pristine`] restores. Call right after
+    /// construction, before any communication/spill insertion: the pristine
+    /// graph is the loop body plus the permanent memory-interface chains.
+    pub fn mark_pristine(&mut self) {
+        self.pristine = Some(PristineMark {
+            nodes: self.ddg.num_nodes(),
+            edges: self.ddg.num_edges(),
+            chains: self.chains.len(),
+            edge_active: self.edge_active.clone(),
+            succ_active_edges: self.succ_active_edges.clone(),
+            pred_active_edges: self.pred_active_edges.clone(),
+            next_spill_base: self.next_spill_base,
+        });
+    }
+
+    /// Number of nodes of the pristine graph (panics if never marked).
+    pub fn pristine_nodes(&self) -> usize {
+        self.pristine
+            .as_ref()
+            .expect("mark_pristine not called")
+            .nodes
+    }
+
+    /// Undo every insertion since [`WorkGraph::mark_pristine`]: truncate the
+    /// appended nodes/edges/chains, restore the snapshotted edge activity
+    /// (chains can deactivate — and their removal reactivate — *pristine*
+    /// edges) and clear the per-attempt scratch. After this the graph is
+    /// indistinguishable from a freshly built one except for the monotonic
+    /// `topo_version` (never compared across attempts).
+    ///
+    /// Pristine per-node state needs no restore beyond truncation:
+    /// `node_active` is only cleared for *inserted* chain members
+    /// (`MemInterface` chains are never removed), `spill_reload` is only set
+    /// on inserted spill reloads, and `chain_of_node` entries of pristine
+    /// nodes are written once at interface insertion. `chains_touching` is
+    /// the one pristine-indexed container removable chains write into, so
+    /// its lists are cleared outright (pristine `MemInterface` chains are
+    /// never indexed there).
+    pub fn reset_to_pristine(&mut self) {
+        let mark = self.pristine.as_ref().expect("mark_pristine not called");
+        let (nodes, edges, chains) = (mark.nodes, mark.edges, mark.chains);
+        self.topo_version += 1;
+        self.ddg.truncate(nodes, edges);
+        self.node_active.truncate(nodes);
+        debug_assert!(self.node_active.iter().all(|a| *a));
+        self.spill_reload.truncate(nodes);
+        debug_assert!(self.spill_reload.iter().all(|s| !*s));
+        self.chain_of_node.truncate(nodes);
+        self.chains.truncate(chains);
+        self.chains_touching.truncate(nodes);
+        for touched in &mut self.chains_touching {
+            touched.clear();
+        }
+        self.edge_active.truncate(edges);
+        self.edge_active.copy_from_slice(&mark.edge_active);
+        self.succ_active_edges.truncate(nodes);
+        for (cur, pri) in self
+            .succ_active_edges
+            .iter_mut()
+            .zip(&mark.succ_active_edges)
+        {
+            cur.clone_from(pri);
+        }
+        self.pred_active_edges.truncate(nodes);
+        for (cur, pri) in self
+            .pred_active_edges
+            .iter_mut()
+            .zip(&mark.pred_active_edges)
+        {
+            cur.clone_from(pri);
+        }
+        self.next_spill_base = mark.next_spill_base;
+        self.pressure_dirty.clear();
+    }
+
+    /// Whether any dependence of the graph is loop-carried (`distance > 0`).
+    /// When none is, the ASAP/ALAP bounds — and therefore the scheduling
+    /// priority order — are independent of the candidate II, so the arena
+    /// can reuse the order across II restarts without recomputing it.
+    pub fn has_loop_carried_deps(&self) -> bool {
+        self.ddg.edges().any(|(_, e)| e.distance > 0)
     }
 
     /// Number of nodes of the original loop body.
@@ -173,18 +303,22 @@ impl WorkGraph {
         self.node_active.iter().filter(|a| **a).count()
     }
 
-    /// Active outgoing edges of a node.
+    /// Active outgoing edges of a node, in ascending edge-id order — the
+    /// exact sequence filtering the full adjacency by `edge_active` would
+    /// yield, but served from the incrementally maintained active lists so
+    /// the walk never iterates dead edges of removed chains.
     pub fn active_succ_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.ddg
-            .succ_edges(n)
-            .filter(move |(id, _)| self.edge_active[id.index()])
+        self.succ_active_edges[n.index()]
+            .iter()
+            .map(move |&id| (id, self.ddg.edge(id)))
     }
 
-    /// Active incoming edges of a node.
+    /// Active incoming edges of a node (see
+    /// [`WorkGraph::active_succ_edges`]).
     pub fn active_pred_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.ddg
-            .pred_edges(n)
-            .filter(move |(id, _)| self.edge_active[id.index()])
+        self.pred_active_edges[n.index()]
+            .iter()
+            .map(move |&id| (id, self.ddg.edge(id)))
     }
 
     /// Effective latency of a node as a producer, honouring selective binding
@@ -281,12 +415,17 @@ impl WorkGraph {
         self.spill_reload.push(false);
         self.chain_of_node.push(None);
         self.chains_touching.push(Vec::new());
+        self.succ_active_edges.push(Vec::new());
+        self.pred_active_edges.push(Vec::new());
         id
     }
 
     /// Register a chain, indexing its member nodes and — for removable
-    /// chains — the nodes whose ejection must remove it.
-    fn push_chain(&mut self, chain: CommChain) {
+    /// chains — the nodes whose ejection must remove it. The touched-node
+    /// set is remembered on the chain so removal can unindex it again
+    /// (leaving dead chain ids in the index would make the ejection path
+    /// O(insertion history) at hub nodes during eject/insert storms).
+    fn push_chain(&mut self, mut chain: CommChain) {
         let id = self.chains.len() as u32;
         for n in &chain.nodes {
             debug_assert!(self.chain_of_node[n.index()].is_none());
@@ -301,9 +440,10 @@ impl WorkGraph {
             }
             touched.sort_unstable_by_key(|n| n.index());
             touched.dedup();
-            for t in touched {
+            for t in &touched {
                 self.chains_touching[t.index()].push(id);
             }
+            chain.touched = touched;
         }
         self.chains.push(chain);
     }
@@ -314,15 +454,59 @@ impl WorkGraph {
         }
         let id = self.ddg.add_edge(edge);
         self.edge_active.push(true);
+        // Appended ids are monotonically increasing, so pushing keeps the
+        // active lists sorted.
+        self.succ_active_edges[edge.src.index()].push(id);
+        self.pred_active_edges[edge.dst.index()].push(id);
         id
     }
 
+    /// Remove an id from a sorted active-adjacency list.
+    fn detach(list: &mut Vec<EdgeId>, id: EdgeId) {
+        match list.binary_search(&id) {
+            Ok(pos) => {
+                list.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "active list missing edge {id:?}"),
+        }
+    }
+
+    /// Re-insert an id into a sorted active-adjacency list at its original
+    /// position, so iteration order stays identical to a filtered walk of
+    /// the full adjacency.
+    fn attach(list: &mut Vec<EdgeId>, id: EdgeId) {
+        match list.binary_search(&id) {
+            Err(pos) => list.insert(pos, id),
+            Ok(_) => debug_assert!(false, "active list already holds edge {id:?}"),
+        }
+    }
+
     fn deactivate_edge(&mut self, e: EdgeId) {
-        let edge = self.ddg.edge(e);
+        if !self.edge_active[e.index()] {
+            // Already inactive (a chain being removed can hold edges another
+            // chain replaced earlier): nothing changes, and in particular no
+            // lifetime is perturbed.
+            return;
+        }
+        let edge = *self.ddg.edge(e);
         if edge.kind == DepKind::Flow {
             self.pressure_dirty.push(edge.src);
         }
         self.edge_active[e.index()] = false;
+        Self::detach(&mut self.succ_active_edges[edge.src.index()], e);
+        Self::detach(&mut self.pred_active_edges[edge.dst.index()], e);
+    }
+
+    /// Reactivate a previously replaced edge (chain removal).
+    fn reactivate_edge(&mut self, e: EdgeId) {
+        debug_assert!(!self.edge_active[e.index()]);
+        let edge = *self.ddg.edge(e);
+        if edge.kind == DepKind::Flow {
+            self.pressure_dirty.push(edge.src);
+        }
+        self.edge_active[e.index()] = true;
+        Self::attach(&mut self.succ_active_edges[edge.src.index()], e);
+        Self::attach(&mut self.pred_active_edges[edge.dst.index()], e);
     }
 
     /// Drain the defs whose lifetimes an edge rewiring may have perturbed
@@ -379,6 +563,7 @@ impl WorkGraph {
                         replaced_edges: replaced,
                         nodes: vec![ldr],
                         edges: chain_edges,
+                        touched: Vec::new(),
                         active: true,
                     });
                 }
@@ -421,6 +606,7 @@ impl WorkGraph {
                         replaced_edges: replaced,
                         nodes: vec![str_node],
                         edges: chain_edges,
+                        touched: Vec::new(),
                         active: true,
                     });
                 }
@@ -507,6 +693,7 @@ impl WorkGraph {
             replaced_edges: vec![edge_id],
             nodes: new_nodes.clone(),
             edges: new_edges,
+            touched: Vec::new(),
             active: true,
         });
         new_nodes
@@ -538,6 +725,7 @@ impl WorkGraph {
             replaced_edges: vec![edge_id],
             nodes: vec![mv],
             edges: vec![e1, e2],
+            touched: Vec::new(),
             active: true,
         });
         vec![mv]
@@ -595,6 +783,7 @@ impl WorkGraph {
             replaced_edges: vec![edge_id],
             nodes: nodes.clone(),
             edges,
+            touched: Vec::new(),
             active: true,
         });
         nodes
@@ -647,6 +836,7 @@ impl WorkGraph {
             replaced_edges: vec![edge_id],
             nodes: vec![st, ld],
             edges: vec![e1, e2, e3],
+            touched: Vec::new(),
             active: true,
         });
         vec![st, ld]
@@ -711,6 +901,20 @@ impl WorkGraph {
         let nodes = c.nodes.clone();
         let edges = c.edges.clone();
         let replaced = c.replaced_edges.clone();
+        let touched = std::mem::take(&mut c.touched);
+        // Unindex the (now permanently dead) chain from the nodes it
+        // touched; the lists hold ascending chain ids, so the removal keeps
+        // `chains_to_remove_for`'s ascending enumeration intact.
+        let id = chain as u32;
+        for t in &touched {
+            let list = &mut self.chains_touching[t.index()];
+            match list.binary_search(&id) {
+                Ok(pos) => {
+                    list.remove(pos);
+                }
+                Err(_) => debug_assert!(false, "chain {id} missing from touch index"),
+            }
+        }
         for n in &nodes {
             self.node_active[n.index()] = false;
         }
@@ -718,11 +922,7 @@ impl WorkGraph {
             self.deactivate_edge(*e);
         }
         for e in replaced {
-            let edge = self.ddg.edge(e);
-            if edge.kind == DepKind::Flow {
-                self.pressure_dirty.push(edge.src);
-            }
-            self.edge_active[e.index()] = true;
+            self.reactivate_edge(e);
         }
         nodes
     }

@@ -65,4 +65,8 @@ fn main() {
         result.stats.infeasible_cutoffs,
         result.stats.ii_restarts
     );
+    println!(
+        "ladder: {} II values skipped, {} arena resets, {} budget-limited attempts",
+        result.stats.ii_skips, result.stats.arena_resets, result.stats.budget_exhausts
+    );
 }

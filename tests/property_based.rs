@@ -2,15 +2,15 @@
 //! invariants, MII bounds, register-file model monotonicity and notation
 //! round-trips.
 
-use hcrf_ir::{mii, res_mii, Ddg, DdgBuilder, OpKind, OpLatencies, ResourceCounts};
+use hcrf_ir::{mii, res_mii, Ddg, DdgBuilder, DepKind, OpKind, OpLatencies, ResourceCounts};
 use hcrf_machine::{MachineConfig, RfOrganization};
 use hcrf_rfmodel::AnalyticRfModel;
 use hcrf_sched::mrt::ResourceCaps;
 use hcrf_sched::order::priority_order;
 use hcrf_sched::workgraph::WorkGraph;
 use hcrf_sched::{
-    schedule_loop, validate_schedule, validate_store, PlacementStore, PressureTracker,
-    SchedulerParams,
+    schedule_loop, validate_schedule, validate_store, AttemptArena, PlacementStore,
+    PressureTracker, SchedulerParams,
 };
 use proptest::prelude::*;
 
@@ -269,6 +269,83 @@ proptest! {
                         machine.rf,
                         if upward { "up" } else { "down" },
                     )));
+                }
+            }
+        }
+    }
+
+    /// Across a random sequence of II resets, the reused [`AttemptArena`]
+    /// is indistinguishable from freshly built per-attempt state: the
+    /// priority order equals a from-scratch computation, the store arrays
+    /// are back at the pristine node count (no capacity leak from spill or
+    /// communication chains inserted at an earlier II — they are undone by
+    /// the pristine-graph restore), and `validate_store` (slot-index scan,
+    /// MRT replay and `check_masks`) passes after the reset and after every
+    /// subsequent randomized place/eject step driven through the store.
+    #[test]
+    fn arena_reset_equals_fresh_build(
+        ddg in arb_loop(12),
+        iis in prop::collection::vec(1u32..10, 2..5),
+        ops in prop::collection::vec((any::<u16>(), 0u32..4, 0i64..48), 4..32),
+        which in 0usize..7,
+    ) {
+        let lat = OpLatencies::paper_baseline();
+        let machine = &machines()[which];
+        let mut arena = AttemptArena::new(&ddg, machine, true);
+        let pristine_nodes = arena.workgraph().ddg.num_nodes();
+        let pristine_edges = arena.workgraph().ddg.num_edges();
+        for ii in iis {
+            arena.reset(ii, &lat);
+            // The restored graph and reshaped store equal a fresh build.
+            let fresh_w = WorkGraph::new(&ddg, machine);
+            prop_assert_eq!(arena.workgraph().ddg.num_nodes(), pristine_nodes);
+            prop_assert_eq!(arena.workgraph().ddg.num_edges(), pristine_edges);
+            prop_assert_eq!(&arena.workgraph().ddg, &fresh_w.ddg);
+            prop_assert_eq!(arena.store().placements().len(), pristine_nodes);
+            let fresh_order = priority_order(arena.workgraph(), &lat, ii);
+            prop_assert_eq!(&arena.store().order().order, &fresh_order.order);
+            prop_assert_eq!(&arena.store().order().rank, &fresh_order.rank);
+            if let Err(diff) = validate_store(arena.store(), arena.workgraph(), &lat) {
+                return Err(TestCaseError::fail(format!("{} II={ii} after reset: {diff}", machine.rf)));
+            }
+            // Dirty the arena: random place/eject traffic through the store,
+            // plus a spill-chain insertion (with its store `grow`) so the
+            // next reset has real per-attempt garbage to undo.
+            let (w, store) = arena.parts_mut();
+            let nodes: Vec<_> = w.active_nodes().collect();
+            for &(sel, cluster, cycle) in &ops {
+                let n = nodes[sel as usize % nodes.len()];
+                if !w.is_active(n) {
+                    continue;
+                }
+                if store.is_placed(n) {
+                    store.eject(w, n, &lat);
+                } else {
+                    store.place(w, n, cycle, cluster % machine.clusters(), &lat);
+                }
+                if let Err(diff) = validate_store(store, w, &lat) {
+                    return Err(TestCaseError::fail(format!("{} II={ii} mid-attempt: {diff}", machine.rf)));
+                }
+            }
+            let spill_edge = w
+                .ddg
+                .edges()
+                .find(|(id, e)| {
+                    w.edge_is_active(*id)
+                        && e.kind == DepKind::Flow
+                        && w.is_active(e.src)
+                        && w.is_active(e.dst)
+                })
+                .map(|(id, e)| (id, *e));
+            if let Some((edge_id, edge)) = spill_edge {
+                let new_nodes = w.insert_spill_to_memory(edge.dst, edge_id);
+                store.grow(w.ddg.num_nodes());
+                prop_assert!(store.placements().len() > pristine_nodes);
+                for n in new_nodes {
+                    store.place(w, n, 0, 0, &lat);
+                    if let Err(diff) = validate_store(store, w, &lat) {
+                        return Err(TestCaseError::fail(format!("{} II={ii} post-spill: {diff}", machine.rf)));
+                    }
                 }
             }
         }
