@@ -9,14 +9,23 @@
 //! scheduler-perf PR gives the next PR a baseline to compare against
 //! without re-running the old code.
 //!
+//! With `--compare BASELINE.json` the harness becomes a regression gate: it
+//! re-runs the sweeps at the baseline's suite sizes, requires every work
+//! counter to match the baseline exactly (the scheduler is deterministic),
+//! and requires wall time to stay within `--tolerance` (default 2.0×) of the
+//! baseline when the recorded machine looks comparable (same logical core
+//! count). Any violation exits nonzero.
+//!
 //! ```text
 //! bench_sched [--loops N] [--churn N] [--wide N] [--out BENCH_sched.json]
+//!             [--compare BASELINE.json] [--tolerance 2.0] [--trace PATH]
 //! ```
 
 use hcrf_explore::json::Json;
 use hcrf_ir::Loop;
 use hcrf_machine::{MachineConfig, RfOrganization};
 use hcrf_sched::{IterativeScheduler, PhaseTimings, SchedulerParams, SchedulerStats};
+use hcrf_telemetry::{Telemetry, Verbosity, DEFAULT_TRACE_CAPACITY};
 use hcrf_workloads::{churn_suite, suite::suite, wide_window_suite, SuiteParams};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -27,7 +36,12 @@ struct Args {
     loops: usize,
     churn: usize,
     wide: usize,
+    sizes_explicit: bool,
     out: PathBuf,
+    out_explicit: bool,
+    compare: Option<PathBuf>,
+    tolerance: f64,
+    trace_path: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -35,7 +49,12 @@ fn parse_args() -> Args {
         loops: 128,
         churn: 16,
         wide: 8,
+        sizes_explicit: false,
         out: PathBuf::from("BENCH_sched.json"),
+        out_explicit: false,
+        compare: None,
+        tolerance: 2.0,
+        trace_path: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -48,12 +67,30 @@ fn parse_args() -> Args {
     };
     while i < argv.len() {
         match argv[i].as_str() {
-            "--loops" => args.loops = value(&mut i).parse().expect("--loops N"),
-            "--churn" => args.churn = value(&mut i).parse().expect("--churn N"),
-            "--wide" => args.wide = value(&mut i).parse().expect("--wide N"),
-            "--out" => args.out = PathBuf::from(value(&mut i)),
+            "--loops" => {
+                args.loops = value(&mut i).parse().expect("--loops N");
+                args.sizes_explicit = true;
+            }
+            "--churn" => {
+                args.churn = value(&mut i).parse().expect("--churn N");
+                args.sizes_explicit = true;
+            }
+            "--wide" => {
+                args.wide = value(&mut i).parse().expect("--wide N");
+                args.sizes_explicit = true;
+            }
+            "--out" => {
+                args.out = PathBuf::from(value(&mut i));
+                args.out_explicit = true;
+            }
+            "--compare" => args.compare = Some(PathBuf::from(value(&mut i))),
+            "--tolerance" => args.tolerance = value(&mut i).parse().expect("--tolerance X"),
+            "--trace" => args.trace_path = Some(PathBuf::from(value(&mut i))),
             "--help" | "-h" => {
-                eprintln!("usage: bench_sched [--loops N] [--churn N] [--wide N] [--out PATH]");
+                eprintln!(
+                    "usage: bench_sched [--loops N] [--churn N] [--wide N] [--out PATH] \
+                     [--compare BASELINE.json] [--tolerance 2.0] [--trace PATH]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -77,9 +114,14 @@ struct Sweep {
     phases: PhaseTimings,
 }
 
-fn run_sweep(loops: &[Loop], config: &str, params: SchedulerParams) -> Sweep {
+fn run_sweep(
+    loops: &[Loop],
+    config: &str,
+    params: SchedulerParams,
+    telemetry: &Telemetry,
+) -> Sweep {
     let machine = MachineConfig::paper_baseline(RfOrganization::parse(config).unwrap());
-    let sched = IterativeScheduler::new(machine, params);
+    let sched = IterativeScheduler::new(machine, params).with_telemetry(telemetry.clone());
     let mut sweep = Sweep::default();
     let start = Instant::now();
     for l in loops {
@@ -95,10 +137,7 @@ fn run_sweep(loops: &[Loop], config: &str, params: SchedulerParams) -> Sweep {
         sweep.stats.ii_skips += r.stats.ii_skips;
         sweep.stats.arena_resets += r.stats.arena_resets;
         sweep.stats.budget_exhausts += r.stats.budget_exhausts;
-        sweep.phases.graph_build += phases.graph_build;
-        sweep.phases.order += phases.order;
-        sweep.phases.resets += phases.resets;
-        sweep.phases.attempts += phases.attempts;
+        sweep.phases.absorb(&phases);
     }
     sweep.wall_ms = start.elapsed().as_secs_f64() * 1e3;
     sweep
@@ -107,6 +146,23 @@ fn run_sweep(loops: &[Loop], config: &str, params: SchedulerParams) -> Sweep {
 fn ms(d: std::time::Duration) -> Json {
     Json::Num((d.as_secs_f64() * 1e6).round() / 1e3)
 }
+
+/// Work counters whose values must be bit-identical run-to-run (and hence
+/// across compared runs at equal suite sizes): the scheduler is
+/// deterministic, so any drift means the algorithm changed behaviour.
+const EXACT_KEYS: [&str; 11] = [
+    "loops",
+    "failed",
+    "sum_ii",
+    "attempts",
+    "ejections",
+    "guard_trips",
+    "infeasible_cutoffs",
+    "ii_restarts",
+    "ii_skips",
+    "arena_resets",
+    "budget_exhausts",
+];
 
 fn sweep_json(sweep: &Sweep) -> Json {
     Json::obj(vec![
@@ -140,8 +196,184 @@ fn sweep_json(sweep: &Sweep) -> Json {
     ])
 }
 
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn core_count() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0)
+}
+
+fn meta_json(args: &Args) -> Json {
+    Json::obj(vec![
+        ("git_commit", Json::str(git_commit())),
+        ("core_count", Json::u64(core_count())),
+        (
+            "profile",
+            Json::str(if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }),
+        ),
+        (
+            "suite_sizes",
+            Json::obj(vec![
+                ("standard", Json::usize(args.loops)),
+                ("churn", Json::usize(args.churn)),
+                ("wide", Json::usize(args.wide)),
+            ]),
+        ),
+    ])
+}
+
+/// Load the baseline, reconcile suite sizes, and describe machine
+/// comparability. Exits on malformed baselines or explicit size conflicts.
+fn load_baseline(args: &mut Args) -> (Json, bool) {
+    let path = args.compare.clone().expect("compare mode");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("bench_sched: cannot read baseline {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let baseline = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_sched: malformed baseline {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let meta = baseline.get("meta");
+    let sizes = meta
+        .and_then(|m| m.get("suite_sizes"))
+        .or_else(|| baseline.get("suite_sizes"));
+    if let Some(sizes) = sizes {
+        let get = |key: &str, fallback: usize| -> usize {
+            sizes
+                .get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .unwrap_or(fallback)
+        };
+        let (std_n, churn_n, wide_n) = (
+            get("standard", args.loops),
+            get("churn", args.churn),
+            get("wide", args.wide),
+        );
+        if args.sizes_explicit {
+            if (std_n, churn_n, wide_n) != (args.loops, args.churn, args.wide) {
+                eprintln!(
+                    "bench_sched: suite sizes ({}, {}, {}) do not match the baseline's \
+                     ({std_n}, {churn_n}, {wide_n}); drop the explicit sizes or \
+                     regenerate the baseline",
+                    args.loops, args.churn, args.wide
+                );
+                std::process::exit(2);
+            }
+        } else {
+            args.loops = std_n;
+            args.churn = churn_n;
+            args.wide = wide_n;
+        }
+    }
+    // Wall-time comparability: the baseline must have been recorded in the
+    // same profile on a machine with the same logical core count. Work
+    // counters are machine-independent and are compared regardless.
+    let mut comparable = true;
+    match meta {
+        Some(meta) => {
+            let base_cores = meta.get("core_count").and_then(Json::as_u64).unwrap_or(0);
+            let here = core_count();
+            if base_cores != 0 && here != 0 && base_cores != here {
+                eprintln!(
+                    "bench_sched: warning: baseline recorded on a {base_cores}-core machine, \
+                     this one has {here}; skipping the wall-time check"
+                );
+                comparable = false;
+            }
+            let base_profile = meta.get("profile").and_then(Json::as_str).unwrap_or("");
+            let profile = if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            };
+            if !base_profile.is_empty() && base_profile != profile {
+                eprintln!(
+                    "bench_sched: warning: baseline profile '{base_profile}' vs current \
+                     '{profile}'; skipping the wall-time check"
+                );
+                comparable = false;
+            }
+        }
+        None => {
+            eprintln!(
+                "bench_sched: warning: baseline has no meta header (pre-gate format); \
+                 skipping the wall-time check"
+            );
+            comparable = false;
+        }
+    }
+    (baseline, comparable)
+}
+
+/// Compare the fresh sweeps against a baseline document. Returns the number
+/// of violations (exact-counter mismatches plus wall-time regressions).
+fn compare_against(
+    baseline: &Json,
+    comparable: bool,
+    tolerance: f64,
+    suite_objs: &[(String, Json)],
+) -> usize {
+    let mut violations = 0usize;
+    for (suite_name, configs) in suite_objs {
+        for config in CONFIGS {
+            let current = configs.get(config).expect("fresh sweep present");
+            let base = baseline
+                .get("suites")
+                .and_then(|s| s.get(suite_name))
+                .and_then(|s| s.get(config));
+            let Some(base) = base else {
+                eprintln!("bench_sched: warning: baseline has no entry for {suite_name}/{config}");
+                continue;
+            };
+            for key in EXACT_KEYS {
+                let want = base.get(key).and_then(Json::as_u64);
+                let got = current.get(key).and_then(Json::as_u64);
+                if let (Some(want), Some(got)) = (want, got) {
+                    if want != got {
+                        eprintln!(
+                            "REGRESSION {suite_name}/{config}: {key} changed \
+                             {want} -> {got} (work counters must match exactly)"
+                        );
+                        violations += 1;
+                    }
+                }
+            }
+            if comparable {
+                let base_ms = base.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                let cur_ms = current.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                if base_ms > 0.0 && cur_ms > base_ms * tolerance {
+                    eprintln!(
+                        "REGRESSION {suite_name}/{config}: wall time {cur_ms:.1} ms exceeds \
+                         {tolerance:.2}x the baseline's {base_ms:.1} ms"
+                    );
+                    violations += 1;
+                }
+            }
+        }
+    }
+    violations
+}
+
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
+    let baseline = args.compare.is_some().then(|| load_baseline(&mut args));
     // The churn family climbs long II ladders by design; the other suites
     // use the default cap (identical to the equivalence tests).
     let default_params = SchedulerParams::default().without_schedule();
@@ -161,6 +393,11 @@ fn main() {
         ("churn", churn_suite(args.churn), churn_params),
         ("wide", wide_window_suite(args.wide), default_params),
     ];
+    let telemetry = if args.trace_path.is_some() {
+        Telemetry::new(Verbosity::Silent, DEFAULT_TRACE_CAPACITY)
+    } else {
+        Telemetry::disabled()
+    };
 
     println!("================================================================");
     println!("bench_sched — scheduler wall-time / work-counter trajectory");
@@ -177,7 +414,7 @@ fn main() {
     for (suite_name, loops, params) in &suites {
         let mut config_objs = Vec::new();
         for config in CONFIGS {
-            let sweep = run_sweep(loops, config, *params);
+            let sweep = run_sweep(loops, config, *params, &telemetry);
             println!(
                 "{suite_name:>8} / {config:<8} {:>9.1} ms | {:>9} ejections | {:>5} guard trips \
                  | {:>6} infeasible cutoffs | {:>6} II restarts | {:>5} II skips{}",
@@ -198,6 +435,30 @@ fn main() {
         suite_objs.push((suite_name.to_string(), Json::Obj(config_objs)));
     }
 
+    if let Some(path) = args.trace_path.as_ref() {
+        match telemetry.write_chrome_trace(path) {
+            Ok(events) => println!("trace: {events} events -> {}", path.display()),
+            Err(e) => eprintln!("bench_sched: failed to write trace {}: {e}", path.display()),
+        }
+    }
+
+    if let Some((base, comparable)) = baseline {
+        let violations = compare_against(&base, comparable, args.tolerance, &suite_objs);
+        if violations > 0 {
+            eprintln!("bench_sched: {violations} regression(s) against the baseline");
+            std::process::exit(1);
+        }
+        println!(
+            "compare: green against {} (exact counters{}; tolerance {:.2}x)",
+            args.compare.as_ref().unwrap().display(),
+            if comparable { " + wall time" } else { "" },
+            args.tolerance,
+        );
+        if !args.out_explicit {
+            return;
+        }
+    }
+
     let doc = Json::obj(vec![
         ("harness", Json::str("bench_sched")),
         (
@@ -207,6 +468,7 @@ fn main() {
                  (suite, config); regenerate with `cargo run --release --bin bench_sched`",
             ),
         ),
+        ("meta", meta_json(&args)),
         (
             "suite_sizes",
             Json::obj(vec![

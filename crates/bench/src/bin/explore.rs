@@ -9,7 +9,8 @@
 //! explore [--clusters 1,2,4,8] [--regs 16..128] [--budget 160] [--min-regs 0]
 //!         [--max-bank-ports N] [--scenario ideal|real] [--loops 96]
 //!         [--threads 0] [--top 10] [--cache-dir target/explore/cache]
-//!         [--no-cache] [--json PATH] [--csv PATH] [--quiet]
+//!         [--no-cache] [--json PATH] [--csv PATH] [--quiet] [--verbose]
+//!         [--trace PATH]
 //! ```
 //!
 //! `--regs` accepts either an inclusive range (`16..128`, expanded to the
@@ -18,6 +19,7 @@
 //! count is reported at the end.
 
 use hcrf_explore::prelude::*;
+use hcrf_telemetry::DEFAULT_TRACE_CAPACITY;
 use hcrf_workloads::{suite::suite, SuiteParams};
 use std::path::PathBuf;
 use std::process::exit;
@@ -31,7 +33,8 @@ struct Args {
     cache_dir: Option<PathBuf>,
     json_path: PathBuf,
     csv_path: PathBuf,
-    progress: bool,
+    verbosity: Verbosity,
+    trace_path: Option<PathBuf>,
 }
 
 // Large enough that spills/communication discriminate the organizations,
@@ -43,7 +46,8 @@ fn usage() -> ! {
         "usage: explore [--clusters 1,2,4,8] [--regs 16..128 | --regs 16,32,64] \
          [--budget 160] [--min-regs 0] [--max-bank-ports N] \
          [--scenario ideal|real] [--loops {DEFAULT_LOOPS}] [--threads 0] [--top 10] \
-         [--cache-dir DIR] [--no-cache] [--json PATH] [--csv PATH] [--quiet]"
+         [--cache-dir DIR] [--no-cache] [--json PATH] [--csv PATH] [--quiet] \
+         [--verbose] [--trace PATH]"
     );
     exit(2)
 }
@@ -98,7 +102,8 @@ fn parse_args() -> Args {
         cache_dir: Some(PathBuf::from("target/explore/cache")),
         json_path: PathBuf::from("target/explore/pareto.json"),
         csv_path: PathBuf::from("target/explore/points.csv"),
-        progress: true,
+        verbosity: Verbosity::Progress,
+        trace_path: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -134,7 +139,9 @@ fn parse_args() -> Args {
             "--no-cache" => args.cache_dir = None,
             "--json" => args.json_path = PathBuf::from(value(&mut i)),
             "--csv" => args.csv_path = PathBuf::from(value(&mut i)),
-            "--quiet" => args.progress = false,
+            "--quiet" => args.verbosity = Verbosity::Silent,
+            "--verbose" => args.verbosity = Verbosity::Debug,
+            "--trace" => args.trace_path = Some(PathBuf::from(value(&mut i))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("explore: unknown argument '{other}'");
@@ -202,13 +209,18 @@ fn main() {
         }),
         None => ResultCache::disabled(),
     };
+    let telemetry = if args.trace_path.is_some() {
+        Telemetry::new(args.verbosity, DEFAULT_TRACE_CAPACITY)
+    } else {
+        Telemetry::reporter(args.verbosity)
+    };
     let options = ExploreOptions {
         scenario: args.scenario,
         threads: args.threads,
-        progress: args.progress,
+        progress: args.verbosity >= Verbosity::Progress,
         ..Default::default()
     };
-    let outcome = explore(&orgs, &loops, &options, &mut cache);
+    let outcome = explore_traced(&orgs, &loops, &options, &mut cache, &telemetry);
     let report = build_report(&outcome);
 
     println!();
@@ -237,4 +249,13 @@ fn main() {
     );
     write_report(&args.json_path, report.to_json().to_pretty(), "JSON");
     write_report(&args.csv_path, report.to_csv(), "CSV");
+    if let Some(path) = args.trace_path.as_ref() {
+        match telemetry.write_chrome_trace(path) {
+            Ok(events) => println!("trace: {events} events -> {}", path.display()),
+            Err(e) => eprintln!("explore: failed to write trace {}: {e}", path.display()),
+        }
+    }
+    if args.verbosity >= Verbosity::Debug {
+        print!("{}", telemetry.metrics_snapshot().render_text());
+    }
 }

@@ -6,7 +6,8 @@ use hcrf_machine::{MachineConfig, RfOrganization};
 use hcrf_memsim::CacheConfig;
 use hcrf_perf::{LoopPerformance, SuiteAggregate};
 use hcrf_rfmodel::{evaluate, HardwareEval};
-use hcrf_sched::{IterativeScheduler, ScheduleResult, SchedulerParams};
+use hcrf_sched::{IterativeScheduler, PhaseTimings, ScheduleResult, SchedulerParams};
+use hcrf_telemetry::Telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -123,6 +124,8 @@ pub struct LoopRun {
     pub schedule: ScheduleResult,
     /// Derived performance numbers.
     pub performance: LoopPerformance,
+    /// Where the scheduler's wall time went for this loop.
+    pub phases: PhaseTimings,
 }
 
 /// Outcome of scheduling a whole suite on one configuration.
@@ -136,12 +139,28 @@ pub struct SuiteRun {
     pub aggregate: SuiteAggregate,
     /// Wall-clock seconds spent scheduling (the paper's "Sch. time").
     pub scheduling_seconds: f64,
+    /// Per-phase scheduler wall time summed over every loop of the suite.
+    pub phases: PhaseTimings,
 }
 
 /// Schedule every loop of `suite` for `config`, in parallel, and aggregate.
 pub fn run_suite(config: &ConfiguredMachine, suite: &[Loop], options: &RunOptions) -> SuiteRun {
+    run_suite_traced(config, suite, options, &Telemetry::disabled())
+}
+
+/// [`run_suite`] with a telemetry sink: each loop's schedule publishes its
+/// counters and phase timings, the memory simulation publishes its traffic,
+/// and (when tracing is on) every per-loop shard is recorded as a labeled
+/// `loop` span in the trace ring.
+pub fn run_suite_traced(
+    config: &ConfiguredMachine,
+    suite: &[Loop],
+    options: &RunOptions,
+    telemetry: &Telemetry,
+) -> SuiteRun {
     let started = std::time::Instant::now();
-    let scheduler = IterativeScheduler::new(config.machine.clone(), options.scheduler);
+    let scheduler = IterativeScheduler::new(config.machine.clone(), options.scheduler)
+        .with_telemetry(telemetry.clone());
     let threads = if options.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -152,7 +171,9 @@ pub fn run_suite(config: &ConfiguredMachine, suite: &[Loop], options: &RunOption
     };
     let process = |i: usize| -> LoopRun {
         let l = &suite[i];
-        let schedule = scheduler.schedule(&l.ddg);
+        let mut buf = telemetry.trace_buf();
+        let t0 = buf.now_ns();
+        let (schedule, phases) = scheduler.schedule_with_timings(&l.ddg);
         let stall = if options.real_memory && !schedule.failed {
             let accesses = crate::memory::kernel_accesses(
                 &schedule,
@@ -166,28 +187,52 @@ pub fn run_suite(config: &ConfiguredMachine, suite: &[Loop], options: &RunOption
                 config.cache_config(),
                 options.max_simulated_iterations,
             );
+            sim.publish(telemetry);
             sim.scaled_stalls(l.iterations)
         } else {
             0
         };
         let performance = LoopPerformance::from_schedule(&schedule, l, stall);
+        buf.span_labeled(
+            "loop",
+            "driver",
+            t0,
+            Some(&l.ddg.name),
+            &[
+                ("index", i as i64),
+                ("ii", schedule.ii as i64),
+                ("stall_cycles", stall as i64),
+            ],
+        );
+        telemetry.flush(&mut buf);
         LoopRun {
             index: i,
             schedule,
             performance,
+            phases,
         }
     };
 
     let loops = parallel_map_indexed(suite.len(), threads, process);
     let mut aggregate = SuiteAggregate::new(config.name(), config.hardware.clock_ns);
+    let mut phases = PhaseTimings::default();
     for run in &loops {
         aggregate.add(&run.performance);
+        phases.absorb(&run.phases);
+    }
+    let scheduling_seconds = started.elapsed().as_secs_f64();
+    if telemetry.is_enabled() {
+        telemetry.counter_add("driver.suite_runs", 1);
+        telemetry.counter_add("driver.loops", loops.len() as u64);
+        telemetry.counter_add("driver.failed_loops", aggregate.failed_loops as u64);
+        telemetry.gauge_set("driver.scheduling_seconds", scheduling_seconds);
     }
     SuiteRun {
         config: config.clone(),
         loops,
         aggregate,
-        scheduling_seconds: started.elapsed().as_secs_f64(),
+        scheduling_seconds,
+        phases,
     }
 }
 

@@ -34,12 +34,16 @@ pub mod driver;
 pub mod experiments;
 pub mod memory;
 
-pub use driver::{run_suite, suite_fingerprint, ConfiguredMachine, LoopRun, RunOptions, SuiteRun};
+pub use driver::{
+    run_suite, run_suite_traced, suite_fingerprint, ConfiguredMachine, LoopRun, RunOptions,
+    SuiteRun,
+};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::driver::{
-        run_suite, suite_fingerprint, ConfiguredMachine, LoopRun, RunOptions, SuiteRun,
+        run_suite, run_suite_traced, suite_fingerprint, ConfiguredMachine, LoopRun, RunOptions,
+        SuiteRun,
     };
     pub use hcrf_ir::{Ddg, DdgBuilder, Loop, OpKind, OpLatencies};
     pub use hcrf_machine::{Capacity, MachineConfig, RfOrganization};
@@ -47,4 +51,5 @@ pub mod prelude {
     pub use hcrf_perf::{BoundClass, LoopPerformance, SuiteAggregate};
     pub use hcrf_rfmodel::{evaluate, HardwareEval};
     pub use hcrf_sched::{schedule_loop, ScheduleResult, SchedulerParams};
+    pub use hcrf_telemetry::{Telemetry, Verbosity};
 }

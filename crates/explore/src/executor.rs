@@ -10,10 +10,11 @@
 
 use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache, Scenario};
 use hcrf::driver::{parallel_map_indexed_each, suite_fingerprint, ConfiguredMachine, RunOptions};
-use hcrf::run_suite;
+use hcrf::run_suite_traced;
 use hcrf_ir::Loop;
 use hcrf_machine::RfOrganization;
 use hcrf_sched::SchedulerParams;
+use hcrf_telemetry::{Telemetry, Verbosity};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Options of one exploration run.
@@ -28,7 +29,10 @@ pub struct ExploreOptions {
     pub threads: usize,
     /// Iteration cap of the cache simulation in the real-memory scenario.
     pub max_simulated_iterations: u64,
-    /// Stream per-point progress lines to stderr.
+    /// Stream per-point progress lines to stderr. [`explore`] honors this by
+    /// constructing a [`Telemetry`] reporter at [`Verbosity::Progress`];
+    /// [`explore_traced`] reports at its telemetry handle's own verbosity
+    /// instead.
     pub progress: bool,
 }
 
@@ -106,6 +110,25 @@ pub fn explore(
     options: &ExploreOptions,
     cache: &mut ResultCache,
 ) -> ExploreOutcome {
+    let telemetry = if options.progress {
+        Telemetry::reporter(Verbosity::Progress)
+    } else {
+        Telemetry::disabled()
+    };
+    explore_traced(orgs, suite, options, cache, &telemetry)
+}
+
+/// [`explore`] with a telemetry sink: progress lines go through the handle's
+/// verbosity knob, every design-point evaluation is recorded as a labeled
+/// `design_point` span (cache hits as `cache_hit` instants), and sweep-level
+/// counters land in the metrics registry under the `explore.` prefix.
+pub fn explore_traced(
+    orgs: &[RfOrganization],
+    suite: &[Loop],
+    options: &ExploreOptions,
+    cache: &mut ResultCache,
+    telemetry: &Telemetry,
+) -> ExploreOutcome {
     let started = std::time::Instant::now();
     let stats_at_entry = cache.stats();
     let fingerprint = suite_fingerprint(suite);
@@ -116,6 +139,7 @@ pub fn explore(
     // progress lines of hits and evaluations alike, so the `[n/total]`
     // sequence stays monotonic on a partially warm cache.
     let mut completed = 0usize;
+    let mut hit_buf = telemetry.trace_buf();
     let mut points: Vec<Option<PointResult>> = Vec::with_capacity(total);
     let mut pending: Vec<(usize, ConfiguredMachine, CacheKey)> = Vec::new();
     for (index, rf) in orgs.iter().enumerate() {
@@ -130,9 +154,11 @@ pub fn explore(
         match cache.lookup(&key) {
             Some(cached) => {
                 completed += 1;
-                if options.progress {
-                    eprintln!("[{completed:>3}/{total}] {:<10} cache hit", cached.config);
-                }
+                telemetry.progress(format!(
+                    "[{completed:>3}/{total}] {:<10} cache hit",
+                    cached.config
+                ));
+                hit_buf.instant_labeled("cache_hit", "explore", Some(&cached.config), &[]);
                 points.push(Some(PointResult {
                     rf: *rf,
                     name: cached.config.clone(),
@@ -161,10 +187,13 @@ pub fn explore(
     } else {
         options.threads
     };
+    telemetry.flush(&mut hit_buf);
     let progress = AtomicUsize::new(completed);
     let evaluate = |slot: usize| -> PointResult {
         let (_, configured, _) = &pending[slot];
-        let run = run_suite(configured, suite, &run_options);
+        let mut buf = telemetry.trace_buf();
+        let t0 = buf.now_ns();
+        let run = run_suite_traced(configured, suite, &run_options, telemetry);
         let result = PointResult {
             rf: configured.machine.rf,
             name: configured.name(),
@@ -174,16 +203,23 @@ pub fn explore(
             scheduling_seconds: run.scheduling_seconds,
             from_cache: false,
         };
+        buf.span_labeled(
+            "design_point",
+            "explore",
+            t0,
+            Some(&result.name),
+            &[
+                ("sum_ii", result.aggregate.sum_ii as i64),
+                ("loops", result.aggregate.loops as i64),
+                ("failed", result.aggregate.failed_loops as i64),
+            ],
+        );
+        telemetry.flush(&mut buf);
         let finished = progress.fetch_add(1, Ordering::Relaxed) + 1;
-        if options.progress {
-            eprintln!(
-                "[{finished:>3}/{total}] {:<10} evaluated in {:.2}s (ΣII {}, {} loops)",
-                result.name,
-                result.scheduling_seconds,
-                result.aggregate.sum_ii,
-                result.aggregate.loops,
-            );
-        }
+        telemetry.progress(format!(
+            "[{finished:>3}/{total}] {:<10} evaluated in {:.2}s (ΣII {}, {} loops)",
+            result.name, result.scheduling_seconds, result.aggregate.sum_ii, result.aggregate.loops,
+        ));
         result
     };
     let evaluated = parallel_map_indexed_each(pending.len(), threads, evaluate, |slot, result| {
@@ -195,22 +231,30 @@ pub fn explore(
             scheduling_seconds: result.scheduling_seconds,
         };
         if let Err(e) = cache.store(&pending[slot].2, &cached) {
-            eprintln!("warning: failed to cache {}: {e}", result.name);
+            telemetry.warn(format!("failed to cache {}: {e}", result.name));
         }
     });
     for ((index, _, _), result) in pending.iter().zip(evaluated) {
         points[*index] = Some(result);
     }
 
+    let cache_stats = cache.stats().since(&stats_at_entry);
+    let wall_seconds = started.elapsed().as_secs_f64();
+    if telemetry.is_enabled() {
+        telemetry.counter_add("explore.points", total as u64);
+        telemetry.counter_add("explore.cache_hits", cache_stats.hits);
+        telemetry.counter_add("explore.cache_misses", cache_stats.misses);
+        telemetry.gauge_set("explore.wall_seconds", wall_seconds);
+    }
     ExploreOutcome {
         points: points
             .into_iter()
             .map(|p| p.expect("every design point must have been evaluated"))
             .collect(),
-        cache: cache.stats().since(&stats_at_entry),
+        cache: cache_stats,
         suite_fingerprint: fingerprint,
         suite_loops: suite.len(),
-        wall_seconds: started.elapsed().as_secs_f64(),
+        wall_seconds,
     }
 }
 

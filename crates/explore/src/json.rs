@@ -364,12 +364,20 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 encoded char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run up to the next quote or escape in
+                    // one go. Validating per character from the current
+                    // position to the end of input is quadratic on large
+                    // documents (trace exports run to megabytes); a bulk
+                    // `from_utf8` over just the run is linear. Stopping on
+                    // the raw bytes is safe: UTF-8 continuation bytes never
+                    // equal '"' or '\\'.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }

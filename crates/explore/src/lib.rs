@@ -55,14 +55,17 @@ pub mod report;
 pub mod space;
 
 pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache, Scenario, CACHE_FORMAT_VERSION};
-pub use executor::{explore, ExploreOptions, ExploreOutcome, PointResult};
+pub use executor::{explore, explore_traced, ExploreOptions, ExploreOutcome, PointResult};
 pub use report::{build_report, RankedPoint, Report};
 pub use space::DesignSpace;
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::cache::{CacheKey, CacheStats, ResultCache, Scenario};
-    pub use crate::executor::{explore, ExploreOptions, ExploreOutcome, PointResult};
+    pub use crate::executor::{
+        explore, explore_traced, ExploreOptions, ExploreOutcome, PointResult,
+    };
     pub use crate::report::{build_report, Report};
     pub use crate::space::DesignSpace;
+    pub use hcrf_telemetry::{Telemetry, Verbosity};
 }

@@ -43,6 +43,15 @@ pub struct MemorySimResult {
 }
 
 impl MemorySimResult {
+    /// Publish the simulation counters into the telemetry metrics registry
+    /// under the `memsim.` prefix (no-op on a disabled handle).
+    pub fn publish(&self, telemetry: &hcrf_telemetry::Telemetry) {
+        telemetry.counter_add("memsim.accesses", self.accesses);
+        telemetry.counter_add("memsim.misses", self.misses);
+        telemetry.counter_add("memsim.stall_cycles", self.stall_cycles);
+        telemetry.counter_add("memsim.simulated_iterations", self.simulated_iterations);
+    }
+
     /// Scale the stall cycles linearly to `total_iterations` (used when only
     /// a sample of the iteration space was simulated).
     pub fn scaled_stalls(&self, total_iterations: u64) -> u64 {

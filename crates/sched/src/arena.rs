@@ -37,6 +37,7 @@ use crate::types::SchedulerStats;
 use crate::workgraph::WorkGraph;
 use hcrf_ir::{Ddg, EdgeId, NodeId, OpLatencies};
 use hcrf_machine::MachineConfig;
+use hcrf_telemetry::TraceBuf;
 use std::time::{Duration, Instant};
 
 /// Reusable per-attempt state: working graph, placement store, priority
@@ -82,6 +83,9 @@ pub struct AttemptArena {
     /// and placed neighbours that could need communication for some cluster
     /// choice, reused by the communication-insertion scan.
     pub(crate) comm_cands: Vec<(EdgeId, u32)>,
+    /// Trace buffer the hot paths record into. Disabled (recording nothing)
+    /// unless the scheduler swaps its live buffer in around an attempt.
+    pub(crate) trace: TraceBuf,
 }
 
 impl AttemptArena {
@@ -115,6 +119,7 @@ impl AttemptArena {
             pred_bounds: Vec::new(),
             succ_bounds: Vec::new(),
             comm_cands: Vec::new(),
+            trace: TraceBuf::default(),
         }
     }
 

@@ -727,6 +727,20 @@ impl Mrt {
     pub fn storer_in_row(&self, row: u32, cluster: u32) -> u16 {
         self.sp[row as usize * self.caps.clusters as usize + cluster as usize]
     }
+
+    /// Publish a table-occupancy snapshot into the telemetry metrics
+    /// registry under the `mrt.` prefix (no-op on a disabled handle):
+    /// the current II and the total/free FU slots over all clusters.
+    pub fn publish_metrics(&self, telemetry: &hcrf_telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.gauge_set("mrt.ii", self.ii as f64);
+        let free: u32 = (0..self.caps.clusters).map(|c| self.free_fu_slots(c)).sum();
+        let total = self.ii * self.caps.fus_per_cluster * self.caps.clusters;
+        telemetry.gauge_set("mrt.fu_slots_free", free as f64);
+        telemetry.gauge_set("mrt.fu_slots_total", total as f64);
+    }
 }
 
 #[cfg(test)]

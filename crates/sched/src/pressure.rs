@@ -601,6 +601,19 @@ impl PressureTracker {
         }
         None
     }
+
+    /// Publish a pressure snapshot into the telemetry metrics registry under
+    /// the `pressure.` prefix (no-op on a disabled handle): live-value count,
+    /// the worst cluster-bank MaxLive and the shared-bank MaxLive.
+    pub fn publish_metrics(&self, telemetry: &hcrf_telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.gauge_set("pressure.live_values", self.live_lifetimes().count() as f64);
+        let worst = (0..self.clusters).map(|c| self.cluster_live(c)).max();
+        telemetry.gauge_set("pressure.cluster_live_max", worst.unwrap_or(0) as f64);
+        telemetry.gauge_set("pressure.shared_live", self.shared_live() as f64);
+    }
 }
 
 impl PressureQuery for PressureTracker {

@@ -38,6 +38,7 @@ use crate::types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, S
 use crate::workgraph::WorkGraph;
 use hcrf_ir::{mii as mii_mod, Ddg, DepKind, NodeId, OpKind, OpLatencies};
 use hcrf_machine::MachineConfig;
+use hcrf_telemetry::{Telemetry, TraceBuf};
 use std::time::{Duration, Instant};
 
 /// Hard bound on the eject-and-retry iterations spent forcing a single slot
@@ -85,6 +86,7 @@ pub struct IterativeScheduler {
     fresh_arena: bool,
     per_victim_ejection: bool,
     unit_ladder: bool,
+    telemetry: Telemetry,
 }
 
 /// Wall time the scheduler spent per phase across one `schedule()` call,
@@ -103,6 +105,37 @@ pub struct PhaseTimings {
     pub resets: Duration,
     /// The II attempts themselves (worklist loop).
     pub attempts: Duration,
+}
+
+impl PhaseTimings {
+    /// Fold another timing report into this one, phase by phase.
+    pub fn absorb(&mut self, other: &PhaseTimings) {
+        self.graph_build += other.graph_build;
+        self.order += other.order;
+        self.resets += other.resets;
+        self.attempts += other.attempts;
+    }
+
+    /// Total wall time across all four phases.
+    pub fn total(&self) -> Duration {
+        self.graph_build + self.order + self.resets + self.attempts
+    }
+
+    /// Publish each phase's wall time (milliseconds) as a histogram sample
+    /// under the `sched.phase.` prefix (no-op on a disabled handle).
+    pub fn publish(&self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.histogram_record("sched.phase.graph_build_ms", ms(self.graph_build));
+        telemetry.histogram_record("sched.phase.order_ms", ms(self.order));
+        telemetry.histogram_record("sched.phase.resets_ms", ms(self.resets));
+        telemetry.histogram_record("sched.phase.attempts_ms", ms(self.attempts));
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
 }
 
 /// Outcome of one II attempt; the attempt's counters stay in the arena.
@@ -144,7 +177,19 @@ impl IterativeScheduler {
             fresh_arena: false,
             per_victim_ejection: false,
             unit_ladder: false,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink: scheduling publishes its work counters and
+    /// phase timings into the metrics registry and, when tracing is on,
+    /// records II attempts, skips, arena resets, budget exhausts and
+    /// ejection cascades as trace events. The instrumentation is
+    /// decision-invisible — `tests/telemetry_equivalence.rs` asserts results
+    /// bit-identical to a disabled sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Answer every register-pressure query by recomputing the batch
@@ -235,6 +280,8 @@ impl IterativeScheduler {
         let mut timings = PhaseTimings::default();
         let mut stats = SchedulerStats::default();
         let mut arena: Option<AttemptArena> = None;
+        let mut trace = self.telemetry.trace_buf();
+        let sched_start = trace.now_ns();
         let mut ii = mii.max(1);
         // Budget-aware ladder state: the last failed II (low end of a
         // potential skip gap) and the streak of consecutive budget-limited
@@ -243,7 +290,15 @@ impl IterativeScheduler {
         let mut streak = 0u32;
         let mut found: Option<ScheduleResult> = None;
         while ii <= max_ii {
-            match self.run_attempt(&mut arena, ddg, ii, &lat, &mut stats, &mut timings) {
+            match self.run_attempt(
+                &mut arena,
+                ddg,
+                ii,
+                &lat,
+                &mut stats,
+                &mut timings,
+                &mut trace,
+            ) {
                 AttemptOutcome::Success => {
                     let a = arena.as_ref().expect("attempt ran");
                     let mut best = self.finalize(ddg, a, mii);
@@ -264,6 +319,7 @@ impl IterativeScheduler {
                                 &lat,
                                 &mut stats,
                                 &mut timings,
+                                &mut trace,
                             );
                             match o {
                                 AttemptOutcome::Success => {
@@ -326,6 +382,17 @@ impl IterativeScheduler {
                     }
                     if next <= max_ii {
                         stats.ii_skips += next - ii - 1;
+                        if next > ii + 1 {
+                            trace.instant(
+                                "ii_skip",
+                                "sched",
+                                &[
+                                    ("from", (ii + 1) as i64),
+                                    ("to", (next - 1) as i64),
+                                    ("stride", stride as i64),
+                                ],
+                            );
+                        }
                     }
                     ii = next;
                 }
@@ -333,12 +400,39 @@ impl IterativeScheduler {
         }
         let mut result = found.unwrap_or_else(|| self.failed_result(ddg, mii));
         result.stats = stats;
+        if self.telemetry.is_enabled() {
+            trace.span_labeled(
+                "schedule",
+                "sched",
+                sched_start,
+                Some(&result.loop_name),
+                &[
+                    ("ii", result.ii as i64),
+                    ("mii", result.mii as i64),
+                    ("restarts", result.stats.ii_restarts as i64),
+                    ("ejections", result.stats.ejections as i64),
+                ],
+            );
+            self.telemetry.flush(&mut trace);
+            self.telemetry.counter_add("sched.loops", 1);
+            self.telemetry
+                .counter_add("sched.failed_loops", u64::from(result.failed));
+            result.stats.publish(&self.telemetry);
+            timings.publish(&self.telemetry);
+            if let Some(a) = arena.as_ref() {
+                a.store.mrt().publish_metrics(&self.telemetry);
+                if !self.batch_pressure {
+                    a.store.tracker().publish_metrics(&self.telemetry);
+                }
+            }
+        }
         (result, timings)
     }
 
     /// Prepare the arena (reset, or build under the fresh-build oracle) and
     /// run one attempt at `ii`, folding its counters and phase times into
     /// the ladder accumulators.
+    #[allow(clippy::too_many_arguments)]
     fn run_attempt(
         &self,
         arena: &mut Option<AttemptArena>,
@@ -347,15 +441,19 @@ impl IterativeScheduler {
         lat: &OpLatencies,
         stats: &mut SchedulerStats,
         timings: &mut PhaseTimings,
+        trace: &mut TraceBuf,
     ) -> AttemptOutcome {
         if arena.is_none() || self.fresh_arena {
             let t = Instant::now();
+            let t0 = trace.now_ns();
             *arena = Some(AttemptArena::new(ddg, &self.machine, !self.batch_pressure));
             timings.graph_build += t.elapsed();
+            trace.span("arena_build", "sched", t0, &[]);
         }
         let a = arena.as_mut().expect("just ensured");
         if stats.ii_restarts > 0 {
             stats.arena_resets += 1;
+            trace.instant("arena_reset", "sched", &[("ii", ii as i64)]);
         }
         stats.ii_restarts += 1;
         let t = Instant::now();
@@ -363,9 +461,35 @@ impl IterativeScheduler {
         timings.order += order_time;
         timings.resets += t.elapsed().saturating_sub(order_time);
         let t = Instant::now();
+        let t0 = trace.now_ns();
+        // The attempt records its cascade events through the arena's buffer;
+        // swap the live one in for its duration (the arena's own stays a
+        // recording-nothing default otherwise).
+        std::mem::swap(&mut a.trace, trace);
         let outcome = self.attempt(a, lat);
+        std::mem::swap(&mut a.trace, trace);
         timings.attempts += t.elapsed();
         stats.absorb_attempt(&a.stats);
+        if trace.enabled() {
+            let (ok, budget_limited) = match outcome {
+                AttemptOutcome::Success => (1, false),
+                AttemptOutcome::Exhausted { budget_limited } => (0, budget_limited),
+            };
+            trace.span(
+                "ii_attempt",
+                "sched",
+                t0,
+                &[
+                    ("ii", ii as i64),
+                    ("ok", ok),
+                    ("attempts", a.stats.attempts as i64),
+                    ("ejections", a.stats.ejections as i64),
+                ],
+            );
+            if budget_limited {
+                trace.instant("budget_exhaust", "sched", &[("ii", ii as i64)]);
+            }
+        }
         outcome
     }
 
@@ -862,6 +986,7 @@ impl IterativeScheduler {
         // tracker touches and worklist re-insertions); the per-victim loop
         // below is the decision-identical oracle, also used when the linear
         // victim scan is selected (the snapshot ranking is the index's).
+        let mut cascade_ejections = 0u64;
         if self.per_victim_ejection || self.linear_victim {
             let mut guard = 0u32;
             while !state.store.mrt().can_place(kind, force_at, cluster, lat) {
@@ -884,7 +1009,9 @@ impl IterativeScheduler {
                     // longer than the II); abandon the attempt.
                     return false;
                 };
-                state.stats.ejections += state.store.eject(&mut state.w, victim, lat);
+                let ejected = state.store.eject(&mut state.w, victim, lat);
+                state.stats.ejections += ejected;
+                cascade_ejections += ejected;
                 if !state.w.is_active(u) {
                     // The ejection cascade removed the chain `u` belongs to;
                     // there is nothing left to place.
@@ -902,6 +1029,7 @@ impl IterativeScheduler {
                 EJECTION_GUARD_LIMIT,
             );
             state.stats.ejections += report.ejections;
+            cascade_ejections += report.ejections;
             match report.outcome {
                 RowEjectOutcome::Freed => {}
                 RowEjectOutcome::GuardTripped => {
@@ -956,10 +1084,27 @@ impl IterativeScheduler {
         violators.dedup();
         for &v in &violators {
             if v != u {
-                state.stats.ejections += state.store.eject(&mut state.w, v, lat);
+                let ejected = state.store.eject(&mut state.w, v, lat);
+                state.stats.ejections += ejected;
+                cascade_ejections += ejected;
             }
         }
         state.violators = violators;
+        // Cascade instants fire once per forced placement — orders of
+        // magnitude more often than any ladder event — so they are debug
+        // detail, not standard capture (the overhead bench holds standard
+        // capture under its budget).
+        if state.trace.detail_enabled() && cascade_ejections > 0 {
+            state.trace.instant(
+                "eject_cascade",
+                "sched",
+                &[
+                    ("node", u.index() as i64),
+                    ("cycle", force_at),
+                    ("victims", cascade_ejections as i64),
+                ],
+            );
+        }
         true
     }
 

@@ -1,6 +1,7 @@
 //! Public parameter and result types of the schedulers.
 
 use hcrf_ir::Ddg;
+use hcrf_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Which register bank a value lives in.
@@ -140,6 +141,19 @@ impl SchedulerStats {
         self.ejections += attempt.ejections;
         self.guard_trips += attempt.guard_trips;
         self.infeasible_cutoffs += attempt.infeasible_cutoffs;
+    }
+
+    /// Publish every counter into the telemetry metrics registry under the
+    /// `sched.` prefix (no-op on a disabled handle).
+    pub fn publish(&self, telemetry: &Telemetry) {
+        telemetry.counter_add("sched.attempts", self.attempts);
+        telemetry.counter_add("sched.ejections", self.ejections);
+        telemetry.counter_add("sched.ii_restarts", self.ii_restarts as u64);
+        telemetry.counter_add("sched.ii_skips", self.ii_skips as u64);
+        telemetry.counter_add("sched.arena_resets", self.arena_resets as u64);
+        telemetry.counter_add("sched.budget_exhausts", self.budget_exhausts as u64);
+        telemetry.counter_add("sched.guard_trips", self.guard_trips);
+        telemetry.counter_add("sched.infeasible_cutoffs", self.infeasible_cutoffs);
     }
 }
 

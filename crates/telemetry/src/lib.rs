@@ -1,0 +1,312 @@
+//! Zero-overhead-when-disabled instrumentation for the HCRF workspace.
+//!
+//! One [`Telemetry`] handle bundles the three observability surfaces the
+//! scheduler and explore stacks share:
+//!
+//! * a hierarchical **metrics registry** ([`MetricsRegistry`]) of counters,
+//!   gauges and histograms under dotted keys (`"sched.ejections"`,
+//!   `"memsim.misses"`, …) that `SchedulerStats`, `PhaseTimings`, the
+//!   pressure tracker, the MRT and the memory simulator publish into;
+//! * a **structured trace sink**: hot paths record spans and instants into a
+//!   lock-free local [`TraceBuf`] and flush it once per unit of work into a
+//!   bounded ring, exported as Chrome trace-event JSON (Perfetto-loadable)
+//!   or a human text timeline;
+//! * a **verbosity knob** ([`Verbosity`]) centralizing the progress/warning
+//!   lines that used to be raw `eprintln!` calls in the explore executor.
+//!
+//! The handle is a clonable `Option<Arc<…>>`: [`Telemetry::disabled`] (the
+//! `Default`) carries no allocation, and every operation on it is a no-op
+//! that never reads the clock or takes a lock — the equivalence suites run
+//! with tracing on to prove the *enabled* sink changes no scheduling
+//! decision either, and `benches/telemetry_overhead.rs` bounds its cost.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use trace::{chrome_trace_json, text_timeline, TraceBuf, TraceEvent, DEFAULT_TRACE_CAPACITY};
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use trace::TraceRing;
+
+/// How chatty the human-facing progress reporting is. Ordered: each level
+/// includes everything below it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// No progress output (warnings still print).
+    #[default]
+    Silent,
+    /// Per-unit-of-work progress lines (one per design point / sweep).
+    Progress,
+    /// Everything, including diagnostics meant for debugging runs. Also
+    /// opts trace buffers into the high-frequency detail event class (see
+    /// [`TraceBuf::detail_enabled`]).
+    Debug,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    verbosity: Verbosity,
+    metrics: MetricsRegistry,
+    trace: Mutex<TraceRing>,
+    trace_capacity: usize,
+}
+
+/// A shared instrumentation handle (cheaply clonable; clones share the same
+/// registry and trace ring). See the crate docs for the overall design.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The no-op handle: every operation does nothing and costs nothing.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with the default trace-ring capacity and silent
+    /// progress reporting.
+    pub fn enabled() -> Self {
+        Self::new(Verbosity::Silent, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A handle that reports progress at `verbosity` but records no trace
+    /// events (capacity 0) — for CLI progress without tracing overhead.
+    pub fn reporter(verbosity: Verbosity) -> Self {
+        Self::new(verbosity, 0)
+    }
+
+    /// An enabled handle with an explicit verbosity and trace-ring capacity
+    /// (`0` disables tracing while keeping the metrics registry and the
+    /// verbosity knob).
+    pub fn new(verbosity: Verbosity, trace_capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                verbosity,
+                metrics: MetricsRegistry::new(),
+                trace: Mutex::new(TraceRing::new(trace_capacity)),
+                trace_capacity,
+            })),
+        }
+    }
+
+    /// Whether this handle carries a sink at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether trace events are recorded (enabled with nonzero capacity).
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace_capacity > 0)
+    }
+
+    /// The configured verbosity ([`Verbosity::Silent`] when disabled).
+    pub fn verbosity(&self) -> Verbosity {
+        self.inner
+            .as_ref()
+            .map_or(Verbosity::Silent, |i| i.verbosity)
+    }
+
+    /// Whether output at `level` should be emitted.
+    pub fn wants(&self, level: Verbosity) -> bool {
+        self.verbosity() >= level
+    }
+
+    /// Emit a progress line (stderr) when verbosity is at least
+    /// [`Verbosity::Progress`].
+    pub fn progress(&self, line: impl AsRef<str>) {
+        if self.wants(Verbosity::Progress) {
+            eprintln!("{}", line.as_ref());
+        }
+    }
+
+    /// Emit a debug line (stderr) when verbosity is [`Verbosity::Debug`].
+    pub fn debug(&self, line: impl AsRef<str>) {
+        if self.wants(Verbosity::Debug) {
+            eprintln!("{}", line.as_ref());
+        }
+    }
+
+    /// Emit a warning line (stderr). Warnings print at every verbosity, and
+    /// even on a disabled handle — suppressing errors is never the job of a
+    /// no-op sink.
+    pub fn warn(&self, line: impl AsRef<str>) {
+        eprintln!("warning: {}", line.as_ref());
+    }
+
+    // --- metrics -----------------------------------------------------------
+
+    /// The metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|i| &i.metrics)
+    }
+
+    /// Add `delta` to a counter (no-op when disabled).
+    pub fn counter_add(&self, key: &str, delta: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.counter_add(key, delta);
+        }
+    }
+
+    /// Set a gauge (no-op when disabled).
+    pub fn gauge_set(&self, key: &str, value: f64) {
+        if let Some(i) = &self.inner {
+            i.metrics.gauge_set(key, value);
+        }
+    }
+
+    /// Record a histogram sample (no-op when disabled).
+    pub fn histogram_record(&self, key: &str, value: f64) {
+        if let Some(i) = &self.inner {
+            i.metrics.histogram_record(key, value);
+        }
+    }
+
+    /// Snapshot the registry (empty when disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .as_ref()
+            .map(|i| i.metrics.snapshot())
+            .unwrap_or_default()
+    }
+
+    // --- tracing -----------------------------------------------------------
+
+    /// Hand out a local trace buffer: enabled (sharing this sink's epoch)
+    /// when tracing is on, a recording-nothing buffer otherwise. Flush it
+    /// back with [`Telemetry::flush`] once per unit of work.
+    pub fn trace_buf(&self) -> TraceBuf {
+        match &self.inner {
+            Some(i) if i.trace_capacity > 0 => {
+                TraceBuf::enabled_at(i.epoch, i.verbosity >= Verbosity::Debug)
+            }
+            _ => TraceBuf::default(),
+        }
+    }
+
+    /// Move a local buffer's events into the shared ring (no-op for empty
+    /// or disabled buffers).
+    pub fn flush(&self, buf: &mut TraceBuf) {
+        if !buf.enabled() || buf.is_empty() {
+            return;
+        }
+        let (events, dropped) = buf.drain();
+        if let Some(i) = &self.inner {
+            i.trace
+                .lock()
+                .expect("trace ring poisoned")
+                .absorb(events, dropped);
+        }
+    }
+
+    /// Copy the ring contents out, sorted by timestamp.
+    pub fn trace_snapshot(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| i.trace.lock().expect("trace ring poisoned").snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Events dropped by the bounded ring (and over-full local buffers).
+    pub fn dropped_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.trace.lock().expect("trace ring poisoned").dropped())
+            .unwrap_or(0)
+    }
+
+    /// Render the ring as Chrome trace-event JSON (see
+    /// [`trace::chrome_trace_json`]).
+    pub fn chrome_trace_json(&self) -> String {
+        chrome_trace_json(&self.trace_snapshot(), self.dropped_events())
+    }
+
+    /// Write the Chrome trace-event JSON to `path`; returns the number of
+    /// events exported.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let events = self.trace_snapshot();
+        std::fs::write(path, chrome_trace_json(&events, self.dropped_events()))?;
+        Ok(events.len())
+    }
+
+    /// Render the ring as a human text timeline (see
+    /// [`trace::text_timeline`]).
+    pub fn text_timeline(&self) -> String {
+        text_timeline(&self.trace_snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.tracing_enabled());
+        t.counter_add("a", 1);
+        t.gauge_set("b", 2.0);
+        t.histogram_record("c", 3.0);
+        assert_eq!(t.metrics_snapshot(), MetricsSnapshot::default());
+        let mut buf = t.trace_buf();
+        assert!(!buf.enabled());
+        buf.instant("x", "t", &[]);
+        t.flush(&mut buf);
+        assert!(t.trace_snapshot().is_empty());
+        assert_eq!(t.verbosity(), Verbosity::Silent);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Telemetry::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        u.counter_add("shared.key", 5);
+        assert_eq!(t.metrics_snapshot().counter("shared.key"), Some(5));
+        let mut buf = u.trace_buf();
+        buf.instant("ev", "t", &[]);
+        u.flush(&mut buf);
+        assert_eq!(t.trace_snapshot().len(), 1);
+    }
+
+    #[test]
+    fn reporter_reports_without_tracing() {
+        let t = Telemetry::reporter(Verbosity::Progress);
+        assert!(t.is_enabled());
+        assert!(!t.tracing_enabled());
+        assert!(t.wants(Verbosity::Progress));
+        assert!(!t.wants(Verbosity::Debug));
+        assert!(!t.trace_buf().enabled());
+        // The metrics registry still works at capacity 0.
+        t.counter_add("k", 1);
+        assert_eq!(t.metrics_snapshot().counter("k"), Some(1));
+    }
+
+    #[test]
+    fn chrome_export_round_trips_events() {
+        let t = Telemetry::enabled();
+        let mut buf = t.trace_buf();
+        let t0 = buf.now_ns();
+        buf.instant("hit", "cat", &[("n", 1)]);
+        buf.span_labeled("sweep", "cat", t0, Some("S128"), &[("ii", 4)]);
+        t.flush(&mut buf);
+        let json = t.chrome_trace_json();
+        assert!(json.contains("\"name\":\"hit\""));
+        assert!(json.contains("\"name\":\"sweep\""));
+        assert!(json.contains("\"label\":\"S128\""));
+        let timeline = t.text_timeline();
+        assert_eq!(timeline.lines().count(), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! The hierarchical metrics registry: counters, gauges and histograms under
+//! dotted string keys (`"sched.ejections"`, `"memsim.misses"`, …).
+//!
+//! The registry is the *one* place instrumented subsystems publish their
+//! numbers into — `SchedulerStats`, `PhaseTimings`, the pressure tracker,
+//! the MRT and the memory simulator all write here instead of each growing a
+//! bespoke reporting struct. Keys are dotted paths whose first segment names
+//! the subsystem, so a rendered snapshot groups naturally.
+//!
+//! All three instrument kinds live behind one mutex; publishers write a
+//! handful of keys once per scheduled loop (never per event), so contention
+//! is negligible even across a 16-thread suite run.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A latency/size distribution: count, sum and min/max plus power-of-two
+/// buckets (`buckets[i]` counts samples in `[2^(i-1), 2^i)`, with bucket 0
+/// taking everything below 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`f64::INFINITY` while empty).
+    pub min: f64,
+    /// Largest sample (`f64::NEG_INFINITY` while empty).
+    pub max: f64,
+    /// Power-of-two buckets (see module docs).
+    pub buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let idx = if value < 1.0 {
+            0
+        } else {
+            // 64 - leading_zeros(v) = index of the highest set bit + 1, so
+            // values in [2^(i-1), 2^i) land in bucket i (capped at 63).
+            let v = value as u64;
+            (64 - v.leading_zeros() as usize).min(63)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Mean of the recorded samples (0 while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of the registry contents, sorted by key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<(String, f64)>,
+    /// Distributions.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by key.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge by key.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram by key.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, h)| h)
+    }
+
+    /// Human-readable rendering, one instrument per line, sorted by key.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} = {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge   {k} = {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist    {k}: count={} mean={:.3} min={:.3} max={:.3}\n",
+                h.count,
+                h.mean(),
+                if h.count == 0 { 0.0 } else { h.min },
+                if h.count == 0 { 0.0 } else { h.max },
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Mutex-guarded registry of counters, gauges and histograms.
+///
+/// Cheap enough to write from many threads when publishers batch (one
+/// publish per loop / design point, never per event).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    store: Mutex<Store>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter at `key` (created at zero on first use).
+    pub fn counter_add(&self, key: &str, delta: u64) {
+        let mut s = self.store.lock().expect("metrics poisoned");
+        match s.counters.get_mut(key) {
+            Some(v) => *v += delta,
+            None => {
+                s.counters.insert(key.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set the gauge at `key` (last write wins).
+    pub fn gauge_set(&self, key: &str, value: f64) {
+        let mut s = self.store.lock().expect("metrics poisoned");
+        match s.gauges.get_mut(key) {
+            Some(v) => *v = value,
+            None => {
+                s.gauges.insert(key.to_string(), value);
+            }
+        }
+    }
+
+    /// Record one sample into the histogram at `key`.
+    pub fn histogram_record(&self, key: &str, value: f64) {
+        let mut s = self.store.lock().expect("metrics poisoned");
+        match s.histograms.get_mut(key) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                s.histograms.insert(key.to_string(), h);
+            }
+        }
+    }
+
+    /// Copy the current contents out, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let s = self.store.lock().expect("metrics poisoned");
+        MetricsSnapshot {
+            counters: s.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: s.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: s
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = MetricsRegistry::new();
+        r.counter_add("sched.attempts", 3);
+        r.counter_add("sched.attempts", 4);
+        r.gauge_set("driver.seconds", 1.5);
+        r.gauge_set("driver.seconds", 2.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("sched.attempts"), Some(7));
+        assert_eq!(snap.gauge("driver.seconds"), Some(2.5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        h.record(0.5);
+        h.record(1.0);
+        h.record(3.0);
+        h.record(1000.0);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.buckets[0], 1); // 0.5
+        assert_eq!(h.buckets[1], 1); // 1.0 in [1, 2)
+        assert_eq!(h.buckets[2], 1); // 3.0 in [2, 4)
+        assert_eq!(h.buckets[10], 1); // 1000 in [512, 1024)
+        assert!((h.mean() - 251.125).abs() < 1e-9);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 1000.0);
+    }
+
+    #[test]
+    fn snapshot_renders_sorted_text() {
+        let r = MetricsRegistry::new();
+        r.counter_add("b.second", 1);
+        r.counter_add("a.first", 1);
+        r.histogram_record("c.hist", 2.0);
+        let text = r.snapshot().render_text();
+        let a = text.find("a.first").unwrap();
+        let b = text.find("b.second").unwrap();
+        assert!(a < b, "keys must render sorted:\n{text}");
+        assert!(text.contains("c.hist"));
+    }
+}

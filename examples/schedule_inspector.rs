@@ -3,14 +3,36 @@
 //! machine, showing where the LoadR/StoreR communication operations land.
 //!
 //! Run with `cargo run --example schedule_inspector [kernel-name]`.
+//! Pass `--trace PATH` to also export the scheduling run as a Chrome
+//! trace-event JSON file (loadable in Perfetto / `chrome://tracing`) along
+//! with a text timeline and the metrics-registry snapshot; the written JSON
+//! is parsed back as a smoke check.
 
 use hcrf::prelude::*;
+use hcrf_sched::IterativeScheduler;
+use hcrf_telemetry::DEFAULT_TRACE_CAPACITY;
 use hcrf_workloads::all_kernels;
+use std::path::PathBuf;
 
 fn main() {
-    let which = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "lk1_hydro".to_string());
+    let mut which = "lk1_hydro".to_string();
+    let mut trace_path: Option<PathBuf> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--trace" => {
+                i += 1;
+                let Some(path) = argv.get(i) else {
+                    eprintln!("schedule_inspector: missing value for --trace");
+                    std::process::exit(2);
+                };
+                trace_path = Some(PathBuf::from(path));
+            }
+            other => which = other.to_string(),
+        }
+        i += 1;
+    }
     let kernels = all_kernels();
     let Some(kernel) = kernels.iter().find(|k| k.ddg.name == which) else {
         eprintln!("unknown kernel '{which}'. Available kernels:");
@@ -21,7 +43,14 @@ fn main() {
     };
 
     let config = ConfiguredMachine::from_name("4C16S64").expect("valid configuration");
-    let result = schedule_loop(&kernel.ddg, &config.machine, &SchedulerParams::default());
+    let telemetry = if trace_path.is_some() {
+        Telemetry::new(Verbosity::Debug, DEFAULT_TRACE_CAPACITY)
+    } else {
+        Telemetry::disabled()
+    };
+    let result = IterativeScheduler::new(config.machine.clone(), SchedulerParams::default())
+        .with_telemetry(telemetry.clone())
+        .schedule(&kernel.ddg);
     println!(
         "kernel '{}' on 4C16S64: II={} (MII={}), {} stages, {} ops ({} original)\n",
         which, result.ii, result.mii, result.sc, result.total_ops, result.original_ops
@@ -69,4 +98,43 @@ fn main() {
         "ladder: {} II values skipped, {} arena resets, {} budget-limited attempts",
         result.stats.ii_skips, result.stats.arena_resets, result.stats.budget_exhausts
     );
+
+    if let Some(path) = trace_path {
+        println!("\ntrace timeline:");
+        print!("{}", telemetry.text_timeline());
+        println!("\nmetrics snapshot:");
+        print!("{}", telemetry.metrics_snapshot().render_text());
+        let events = match telemetry.write_chrome_trace(&path) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!(
+                    "schedule_inspector: failed to write trace {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        // Parse the file back to prove the export is well-formed JSON with
+        // the expected trace-event shape (the CI smoke relies on this).
+        let text = std::fs::read_to_string(&path).expect("trace file readable");
+        let doc = hcrf_explore::json::Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("schedule_inspector: exported trace is not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        let parsed = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .unwrap_or_else(|| {
+                eprintln!("schedule_inspector: exported trace has no traceEvents array");
+                std::process::exit(1);
+            })
+            .len();
+        if parsed != events {
+            eprintln!(
+                "schedule_inspector: trace round-trip mismatch ({events} written, {parsed} parsed)"
+            );
+            std::process::exit(1);
+        }
+        println!("trace ok: {events} events -> {}", path.display());
+    }
 }

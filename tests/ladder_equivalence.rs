@@ -17,6 +17,7 @@
 use hcrf::driver::ConfiguredMachine;
 use hcrf_perf::{LoopPerformance, SuiteAggregate};
 use hcrf_sched::{IterativeScheduler, SchedulerParams};
+use hcrf_telemetry::Telemetry;
 use hcrf_workloads::{churn_suite, small_suite, wide_window_suite};
 
 const CONFIGS: [&str; 4] = ["S128", "4C32S16", "8C16S16", "4C16S64"];
@@ -30,7 +31,10 @@ fn assert_bit_identical(
 ) {
     for name in CONFIGS {
         let cfg = ConfiguredMachine::from_name(name).unwrap();
-        let default = IterativeScheduler::new(cfg.machine.clone(), params);
+        // The default side runs with live tracing so every equivalence
+        // suite also proves enabled-vs-disabled telemetry bit-identity.
+        let default = IterativeScheduler::new(cfg.machine.clone(), params)
+            .with_telemetry(Telemetry::enabled());
         let oracle = oracle_of(IterativeScheduler::new(cfg.machine.clone(), params));
         let mut agg_def = SuiteAggregate::new(name, cfg.hardware.clock_ns);
         let mut agg_ora = SuiteAggregate::new(name, cfg.hardware.clock_ns);
@@ -156,7 +160,8 @@ fn skipping_ladder_never_lands_on_higher_final_ii() {
     for (suite_name, loops, params) in &suites {
         for name in CONFIGS {
             let cfg = ConfiguredMachine::from_name(name).unwrap();
-            let skipping = IterativeScheduler::new(cfg.machine.clone(), *params);
+            let skipping = IterativeScheduler::new(cfg.machine.clone(), *params)
+                .with_telemetry(Telemetry::enabled());
             let unit = IterativeScheduler::new(cfg.machine.clone(), *params).with_unit_ladder();
             for l in loops {
                 let s = skipping.schedule(&l.ddg);

@@ -6,6 +6,7 @@
 use hcrf::driver::ConfiguredMachine;
 use hcrf_perf::{LoopPerformance, SuiteAggregate};
 use hcrf_sched::{IterativeScheduler, SchedulerParams};
+use hcrf_telemetry::Telemetry;
 use hcrf_workloads::small_suite;
 
 #[test]
@@ -14,7 +15,10 @@ fn suite_aggregates_bit_identical_between_pressure_engines() {
     let params = SchedulerParams::default();
     for name in ["S128", "4C32S16", "8C16S16"] {
         let cfg = ConfiguredMachine::from_name(name).unwrap();
-        let incremental = IterativeScheduler::new(cfg.machine.clone(), params);
+        // Tracing on the default side: equivalence doubles as proof that
+        // an enabled telemetry sink is decision-invisible.
+        let incremental = IterativeScheduler::new(cfg.machine.clone(), params)
+            .with_telemetry(Telemetry::enabled());
         let batch =
             IterativeScheduler::new(cfg.machine.clone(), params).with_batch_pressure_oracle();
         let mut agg_inc = SuiteAggregate::new(name, cfg.hardware.clock_ns);

@@ -1,0 +1,139 @@
+//! `SchedulerStats` bookkeeping invariants across skip gaps and arena
+//! resets. The budget-aware ladder skips rungs, the success-side gap
+//! re-scan converts skips back into restarts, and the persistent arena
+//! counts resets per attempted rung — the counters must stay consistent
+//! through all of it:
+//!
+//! * every attempt beyond a loop's first resets the arena, so
+//!   `arena_resets == ii_restarts - 1` exactly (including gap re-scan
+//!   attempts, and identically under the fresh-arena oracle);
+//! * the ladder covers every rung from the MII to the final II either by
+//!   attempting it or by skipping it, so
+//!   `ii_restarts + ii_skips >= ii - mii + 1` for scheduled loops;
+//! * `budget_exhausts` counts a subset of attempted rungs;
+//! * the unit-ladder oracle never skips and attempts each rung exactly
+//!   once.
+
+use hcrf::driver::ConfiguredMachine;
+use hcrf_sched::{IterativeScheduler, ScheduleResult, SchedulerParams};
+use hcrf_workloads::{churn_suite, small_suite};
+
+const CONFIGS: [&str; 4] = ["S128", "4C32S16", "8C16S16", "4C16S64"];
+
+fn churn_params() -> SchedulerParams {
+    SchedulerParams {
+        max_ii: 256,
+        ..SchedulerParams::default().without_schedule()
+    }
+}
+
+fn assert_invariants(r: &ScheduleResult, tag: &str) {
+    let s = &r.stats;
+    assert!(s.ii_restarts >= 1, "{tag}: no II was ever attempted");
+    assert_eq!(
+        s.arena_resets,
+        s.ii_restarts - 1,
+        "{tag}: every attempt beyond the first must reset the arena \
+         (restarts {}, resets {})",
+        s.ii_restarts,
+        s.arena_resets
+    );
+    assert!(
+        s.budget_exhausts <= s.ii_restarts,
+        "{tag}: budget exhausts ({}) exceed attempted rungs ({})",
+        s.budget_exhausts,
+        s.ii_restarts
+    );
+    if !r.failed {
+        // Every rung in [mii, ii] was either attempted or skipped; the gap
+        // re-scan moves rungs from the skip column to the restart column
+        // without losing any.
+        let rungs = (r.ii - r.mii.max(1)) as u64 + 1;
+        assert!(
+            s.ii_restarts as u64 + s.ii_skips as u64 >= rungs,
+            "{tag}: {} restarts + {} skips cannot cover the {} ladder rungs \
+             from MII {} to II {}",
+            s.ii_restarts,
+            s.ii_skips,
+            rungs,
+            r.mii,
+            r.ii
+        );
+    }
+}
+
+#[test]
+fn counters_stay_consistent_under_skip_gaps() {
+    let mut skipping_seen = 0u32;
+    let mut exhausts_seen = 0u32;
+    for name in CONFIGS {
+        let cfg = ConfiguredMachine::from_name(name).unwrap();
+        let sched = IterativeScheduler::new(cfg.machine.clone(), churn_params());
+        for l in churn_suite(8) {
+            let r = sched.schedule(&l.ddg);
+            assert_invariants(&r, &format!("churn / {name} / {}", l.ddg.name));
+            skipping_seen += r.stats.ii_skips;
+            exhausts_seen += r.stats.budget_exhausts;
+        }
+    }
+    // The churn family exists to storm the ladder: if it no longer skips or
+    // exhausts budgets anywhere, the invariants above test nothing.
+    assert!(skipping_seen > 0, "churn suite exercised no skip gaps");
+    assert!(
+        exhausts_seen > 0,
+        "churn suite exercised no budget exhausts"
+    );
+}
+
+#[test]
+fn counters_stay_consistent_on_the_standard_suite() {
+    let params = SchedulerParams::default().without_schedule();
+    for name in CONFIGS {
+        let cfg = ConfiguredMachine::from_name(name).unwrap();
+        let sched = IterativeScheduler::new(cfg.machine.clone(), params);
+        for l in small_suite(8) {
+            let r = sched.schedule(&l.ddg);
+            assert_invariants(&r, &format!("standard / {name} / {}", l.ddg.name));
+        }
+    }
+}
+
+#[test]
+fn fresh_arena_oracle_counts_resets_identically() {
+    let cfg = ConfiguredMachine::from_name("4C16S64").unwrap();
+    let reused = IterativeScheduler::new(cfg.machine.clone(), churn_params());
+    let fresh = IterativeScheduler::new(cfg.machine.clone(), churn_params()).with_fresh_arena();
+    for l in churn_suite(8) {
+        let a = reused.schedule(&l.ddg);
+        let b = fresh.schedule(&l.ddg);
+        assert_eq!(
+            a.stats, b.stats,
+            "{}: arena reuse changed the recorded stats",
+            l.ddg.name
+        );
+        assert_invariants(&b, &format!("fresh / {}", l.ddg.name));
+    }
+}
+
+#[test]
+fn unit_ladder_never_skips_and_walks_every_rung() {
+    let cfg = ConfiguredMachine::from_name("4C16S64").unwrap();
+    let unit = IterativeScheduler::new(cfg.machine.clone(), churn_params()).with_unit_ladder();
+    for l in churn_suite(8) {
+        let r = unit.schedule(&l.ddg);
+        assert_eq!(
+            r.stats.ii_skips, 0,
+            "{}: the unit ladder must not skip",
+            l.ddg.name
+        );
+        if !r.failed {
+            assert_eq!(
+                r.stats.ii_restarts as u64,
+                (r.ii - r.mii.max(1)) as u64 + 1,
+                "{}: the unit ladder attempts each rung exactly once",
+                l.ddg.name
+            );
+        }
+        assert_invariants(&r, &format!("unit / {}", l.ddg.name));
+    }
+}

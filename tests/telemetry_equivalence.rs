@@ -1,0 +1,158 @@
+//! The telemetry sink must be decision-invisible and faithful:
+//!
+//! * scheduling entire suites with live tracing + metrics enabled produces
+//!   `ScheduleResult`s bit-identical to the disabled-handle default, across
+//!   the four standard machine configurations and the churn suite whose
+//!   ejection storms exercise every instrumented seam;
+//! * the trace ring records one `schedule` span per loop, the Chrome
+//!   trace-event export is valid JSON with a `traceEvents` array matching
+//!   the snapshot, and the text timeline renders every event;
+//! * the metrics registry's `sched.*` counters agree exactly with the
+//!   per-loop `SchedulerStats` the same run returned.
+
+use hcrf::driver::ConfiguredMachine;
+use hcrf_explore::json::Json;
+use hcrf_sched::{IterativeScheduler, SchedulerParams, SchedulerStats};
+use hcrf_telemetry::{Telemetry, Verbosity, DEFAULT_TRACE_CAPACITY};
+use hcrf_workloads::{churn_suite, small_suite};
+
+const CONFIGS: [&str; 4] = ["S128", "4C32S16", "8C16S16", "4C16S64"];
+
+fn assert_enabled_matches_disabled(loops: &[hcrf_ir::Loop], params: SchedulerParams, tag: &str) {
+    for name in CONFIGS {
+        let cfg = ConfiguredMachine::from_name(name).unwrap();
+        let plain = IterativeScheduler::new(cfg.machine.clone(), params);
+        let traced = IterativeScheduler::new(cfg.machine.clone(), params)
+            .with_telemetry(Telemetry::new(Verbosity::Debug, DEFAULT_TRACE_CAPACITY));
+        for l in loops {
+            let a = plain.schedule(&l.ddg);
+            let b = traced.schedule(&l.ddg);
+            assert_eq!(
+                a, b,
+                "{tag} / {name} / {}: tracing changed the schedule",
+                l.ddg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_is_decision_invisible_on_the_standard_suite() {
+    let params = SchedulerParams::default().without_schedule();
+    assert_enabled_matches_disabled(&small_suite(8), params, "standard");
+}
+
+#[test]
+fn tracing_is_decision_invisible_on_the_churn_suite() {
+    let params = SchedulerParams {
+        max_ii: 256,
+        ..SchedulerParams::default().without_schedule()
+    };
+    assert_enabled_matches_disabled(&churn_suite(8), params, "churn");
+}
+
+#[test]
+fn trace_ring_records_one_schedule_span_per_loop() {
+    // Debug verbosity opts into the high-frequency detail class (the
+    // eject_cascade instants asserted below).
+    let telemetry = Telemetry::new(Verbosity::Debug, DEFAULT_TRACE_CAPACITY);
+    let cfg = ConfiguredMachine::from_name("4C16S64").unwrap();
+    let params = SchedulerParams {
+        max_ii: 256,
+        ..SchedulerParams::default().without_schedule()
+    };
+    let sched =
+        IterativeScheduler::new(cfg.machine.clone(), params).with_telemetry(telemetry.clone());
+    let loops = churn_suite(6);
+    for l in &loops {
+        sched.schedule(&l.ddg);
+    }
+    let events = telemetry.trace_snapshot();
+    assert!(!events.is_empty(), "tracing produced no events");
+    let schedule_spans = events
+        .iter()
+        .filter(|e| e.name == "schedule" && !e.is_instant())
+        .count();
+    assert_eq!(
+        schedule_spans,
+        loops.len(),
+        "expected one schedule span per loop"
+    );
+    // Every scheduling span carries the loop name as its label.
+    for e in &events {
+        if e.name == "schedule" {
+            let label = e.label.as_deref().expect("schedule span labeled");
+            assert!(
+                loops.iter().any(|l| l.ddg.name == label),
+                "unknown loop label '{label}'"
+            );
+        }
+    }
+    // The churn family forces ejection storms and budget-limited ladders;
+    // the corresponding instants must have been captured.
+    assert!(
+        events.iter().any(|e| e.name == "ii_attempt"),
+        "no ii_attempt spans captured"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "eject_cascade"),
+        "churn suite produced no eject_cascade instants"
+    );
+
+    // Chrome export round-trip.
+    let doc = Json::parse(&telemetry.chrome_trace_json()).expect("chrome trace is valid JSON");
+    let exported = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array")
+        .len();
+    assert_eq!(exported, events.len(), "export dropped or invented events");
+
+    // The text timeline renders one line per event.
+    let timeline = telemetry.text_timeline();
+    assert_eq!(timeline.lines().count(), events.len());
+}
+
+#[test]
+fn metrics_counters_agree_with_scheduler_stats() {
+    let telemetry = Telemetry::new(Verbosity::Silent, DEFAULT_TRACE_CAPACITY);
+    let cfg = ConfiguredMachine::from_name("4C16S64").unwrap();
+    let params = SchedulerParams {
+        max_ii: 256,
+        ..SchedulerParams::default().without_schedule()
+    };
+    let sched =
+        IterativeScheduler::new(cfg.machine.clone(), params).with_telemetry(telemetry.clone());
+    let loops = churn_suite(6);
+    let mut sum = SchedulerStats::default();
+    let mut failed = 0u64;
+    for l in &loops {
+        let r = sched.schedule(&l.ddg);
+        sum.attempts += r.stats.attempts;
+        sum.ejections += r.stats.ejections;
+        sum.ii_restarts += r.stats.ii_restarts;
+        sum.ii_skips += r.stats.ii_skips;
+        sum.arena_resets += r.stats.arena_resets;
+        sum.budget_exhausts += r.stats.budget_exhausts;
+        sum.guard_trips += r.stats.guard_trips;
+        sum.infeasible_cutoffs += r.stats.infeasible_cutoffs;
+        failed += u64::from(r.failed);
+    }
+    let snap = telemetry.metrics_snapshot();
+    let counter = |key: &str| snap.counter(key).unwrap_or(0);
+    assert_eq!(counter("sched.loops"), loops.len() as u64);
+    assert_eq!(counter("sched.failed_loops"), failed);
+    assert_eq!(counter("sched.attempts"), sum.attempts);
+    assert_eq!(counter("sched.ejections"), sum.ejections);
+    assert_eq!(counter("sched.ii_restarts"), sum.ii_restarts as u64);
+    assert_eq!(counter("sched.ii_skips"), sum.ii_skips as u64);
+    assert_eq!(counter("sched.arena_resets"), sum.arena_resets as u64);
+    assert_eq!(counter("sched.budget_exhausts"), sum.budget_exhausts as u64);
+    assert_eq!(counter("sched.guard_trips"), sum.guard_trips);
+    assert_eq!(counter("sched.infeasible_cutoffs"), sum.infeasible_cutoffs);
+    // Phase histograms saw one sample per loop.
+    let hist = snap
+        .histogram("sched.phase.attempts_ms")
+        .expect("attempts-phase histogram");
+    assert_eq!(hist.count, loops.len() as u64);
+}

@@ -7,12 +7,16 @@
 use hcrf::driver::ConfiguredMachine;
 use hcrf_perf::{LoopPerformance, SuiteAggregate};
 use hcrf_sched::{IterativeScheduler, SchedulerParams};
+use hcrf_telemetry::Telemetry;
 use hcrf_workloads::{churn_suite, small_suite};
 
 fn assert_equivalent(loops: &[hcrf_ir::Loop], params: SchedulerParams, suite_name: &str) {
     for name in ["S128", "4C32S16", "8C16S16", "4C16S64"] {
         let cfg = ConfiguredMachine::from_name(name).unwrap();
-        let indexed = IterativeScheduler::new(cfg.machine.clone(), params);
+        // Tracing on the default side: equivalence doubles as proof that
+        // an enabled telemetry sink is decision-invisible.
+        let indexed = IterativeScheduler::new(cfg.machine.clone(), params)
+            .with_telemetry(Telemetry::enabled());
         let linear = IterativeScheduler::new(cfg.machine.clone(), params).with_linear_victim_scan();
         let mut agg_idx = SuiteAggregate::new(name, cfg.hardware.clock_ns);
         let mut agg_lin = SuiteAggregate::new(name, cfg.hardware.clock_ns);
