@@ -9,22 +9,32 @@
 //! scheduler-perf PR gives the next PR a baseline to compare against
 //! without re-running the old code.
 //!
+//! Each sweep runs on the work-stealing [`hcrf_engine::Engine`] with pooled
+//! `AttemptArena`s (`--threads N`, 0 = auto). Work counters are folded in
+//! loop-index order and are bit-identical for any thread count; only wall
+//! time depends on parallelism, so the resolved thread count is recorded in
+//! the `meta` header and wall-time comparison across differing thread counts
+//! is refused.
+//!
 //! With `--compare BASELINE.json` the harness becomes a regression gate: it
 //! re-runs the sweeps at the baseline's suite sizes, requires every work
 //! counter to match the baseline exactly (the scheduler is deterministic),
 //! and requires wall time to stay within `--tolerance` (default 2.0×) of the
 //! baseline when the recorded machine looks comparable (same logical core
-//! count). Any violation exits nonzero.
+//! count, same resolved thread count — a thread-count mismatch is a hard
+//! conflict, exit 2, because the wall-time trajectory would be meaningless).
 //!
 //! ```text
-//! bench_sched [--loops N] [--churn N] [--wide N] [--out BENCH_sched.json]
-//!             [--compare BASELINE.json] [--tolerance 2.0] [--trace PATH]
+//! bench_sched [--loops N] [--churn N] [--wide N] [--threads 0]
+//!             [--out BENCH_sched.json] [--compare BASELINE.json]
+//!             [--tolerance 2.0] [--trace PATH]
 //! ```
 
+use hcrf_engine::Engine;
 use hcrf_explore::json::Json;
 use hcrf_ir::Loop;
 use hcrf_machine::{MachineConfig, RfOrganization};
-use hcrf_sched::{IterativeScheduler, PhaseTimings, SchedulerParams, SchedulerStats};
+use hcrf_sched::{ArenaPool, IterativeScheduler, PhaseTimings, SchedulerParams, SchedulerStats};
 use hcrf_telemetry::{Telemetry, Verbosity, DEFAULT_TRACE_CAPACITY};
 use hcrf_workloads::{churn_suite, suite::suite, wide_window_suite, SuiteParams};
 use std::path::PathBuf;
@@ -37,6 +47,7 @@ struct Args {
     churn: usize,
     wide: usize,
     sizes_explicit: bool,
+    threads: usize,
     out: PathBuf,
     out_explicit: bool,
     compare: Option<PathBuf>,
@@ -50,6 +61,7 @@ fn parse_args() -> Args {
         churn: 16,
         wide: 8,
         sizes_explicit: false,
+        threads: 0,
         out: PathBuf::from("BENCH_sched.json"),
         out_explicit: false,
         compare: None,
@@ -79,6 +91,7 @@ fn parse_args() -> Args {
                 args.wide = value(&mut i).parse().expect("--wide N");
                 args.sizes_explicit = true;
             }
+            "--threads" => args.threads = value(&mut i).parse().expect("--threads N"),
             "--out" => {
                 args.out = PathBuf::from(value(&mut i));
                 args.out_explicit = true;
@@ -88,8 +101,8 @@ fn parse_args() -> Args {
             "--trace" => args.trace_path = Some(PathBuf::from(value(&mut i))),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bench_sched [--loops N] [--churn N] [--wide N] [--out PATH] \
-                     [--compare BASELINE.json] [--tolerance 2.0] [--trace PATH]"
+                    "usage: bench_sched [--loops N] [--churn N] [--wide N] [--threads 0] \
+                     [--out PATH] [--compare BASELINE.json] [--tolerance 2.0] [--trace PATH]"
                 );
                 std::process::exit(0);
             }
@@ -115,6 +128,7 @@ struct Sweep {
 }
 
 fn run_sweep(
+    engine: &Engine,
     loops: &[Loop],
     config: &str,
     params: SchedulerParams,
@@ -122,10 +136,17 @@ fn run_sweep(
 ) -> Sweep {
     let machine = MachineConfig::paper_baseline(RfOrganization::parse(config).unwrap());
     let sched = IterativeScheduler::new(machine, params).with_telemetry(telemetry.clone());
-    let mut sweep = Sweep::default();
     let start = Instant::now();
-    for l in loops {
-        let (r, phases) = sched.schedule_with_timings(&l.ddg);
+    // Loops scheduled on the work-stealing engine with a pooled arena per
+    // worker; the fold below walks the index-ordered results, so every
+    // counter is bit-identical regardless of thread count.
+    let run = engine.map_indexed(
+        loops.len(),
+        |_| ArenaPool::new(),
+        |pool, ctx| sched.schedule_with_timings_pooled(&loops[ctx.group].ddg, pool),
+    );
+    let mut sweep = Sweep::default();
+    for (r, phases) in &run.results {
         sweep.loops += 1;
         sweep.failed += u64::from(r.failed);
         sweep.sum_ii += r.ii as u64;
@@ -137,7 +158,7 @@ fn run_sweep(
         sweep.stats.ii_skips += r.stats.ii_skips;
         sweep.stats.arena_resets += r.stats.arena_resets;
         sweep.stats.budget_exhausts += r.stats.budget_exhausts;
-        sweep.phases.absorb(&phases);
+        sweep.phases.absorb(phases);
     }
     sweep.wall_ms = start.elapsed().as_secs_f64() * 1e3;
     sweep
@@ -214,10 +235,11 @@ fn core_count() -> u64 {
         .unwrap_or(0)
 }
 
-fn meta_json(args: &Args) -> Json {
+fn meta_json(args: &Args, threads: usize) -> Json {
     Json::obj(vec![
         ("git_commit", Json::str(git_commit())),
         ("core_count", Json::u64(core_count())),
+        ("threads", Json::usize(threads)),
         (
             "profile",
             Json::str(if cfg!(debug_assertions) {
@@ -238,8 +260,10 @@ fn meta_json(args: &Args) -> Json {
 }
 
 /// Load the baseline, reconcile suite sizes, and describe machine
-/// comparability. Exits on malformed baselines or explicit size conflicts.
-fn load_baseline(args: &mut Args) -> (Json, bool) {
+/// comparability. Exits on malformed baselines, explicit size conflicts,
+/// or a thread-count mismatch (wall time at N threads cannot be compared
+/// against a trajectory recorded at M threads).
+fn load_baseline(args: &mut Args, threads: usize) -> (Json, bool) {
     let path = args.compare.clone().expect("compare mode");
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("bench_sched: cannot read baseline {}: {e}", path.display());
@@ -296,6 +320,15 @@ fn load_baseline(args: &mut Args) -> (Json, bool) {
                      this one has {here}; skipping the wall-time check"
                 );
                 comparable = false;
+            }
+            let base_threads = meta.get("threads").and_then(Json::as_u64).unwrap_or(0);
+            if base_threads != 0 && base_threads != threads as u64 {
+                eprintln!(
+                    "bench_sched: baseline recorded at {base_threads} thread(s), this run \
+                     resolves to {threads}; wall-time comparison would be meaningless. \
+                     Re-run with --threads {base_threads} or regenerate the baseline."
+                );
+                std::process::exit(2);
             }
             let base_profile = meta.get("profile").and_then(Json::as_str).unwrap_or("");
             let profile = if cfg!(debug_assertions) {
@@ -373,7 +406,12 @@ fn compare_against(
 
 fn main() {
     let mut args = parse_args();
-    let baseline = args.compare.is_some().then(|| load_baseline(&mut args));
+    let engine = Engine::new(args.threads);
+    let threads = engine.workers();
+    let baseline = args
+        .compare
+        .is_some()
+        .then(|| load_baseline(&mut args, threads));
     // The churn family climbs long II ladders by design; the other suites
     // use the default cap (identical to the equivalence tests).
     let default_params = SchedulerParams::default().without_schedule();
@@ -402,7 +440,7 @@ fn main() {
     println!("================================================================");
     println!("bench_sched — scheduler wall-time / work-counter trajectory");
     println!(
-        "suites: standard({}) churn({}) wide({}) | configs: {}",
+        "suites: standard({}) churn({}) wide({}) | configs: {} | threads: {threads}",
         args.loops,
         args.churn,
         args.wide,
@@ -414,7 +452,7 @@ fn main() {
     for (suite_name, loops, params) in &suites {
         let mut config_objs = Vec::new();
         for config in CONFIGS {
-            let sweep = run_sweep(loops, config, *params, &telemetry);
+            let sweep = run_sweep(&engine, loops, config, *params, &telemetry);
             println!(
                 "{suite_name:>8} / {config:<8} {:>9.1} ms | {:>9} ejections | {:>5} guard trips \
                  | {:>6} infeasible cutoffs | {:>6} II restarts | {:>5} II skips{}",
@@ -468,7 +506,7 @@ fn main() {
                  (suite, config); regenerate with `cargo run --release --bin bench_sched`",
             ),
         ),
-        ("meta", meta_json(&args)),
+        ("meta", meta_json(&args, threads)),
         (
             "suite_sizes",
             Json::obj(vec![

@@ -1,15 +1,20 @@
 //! Parallel scheduling of a loop suite for one machine configuration.
+//!
+//! The suite sweep runs on the [`hcrf_engine`] work-stealing engine: one
+//! task per loop, one pooled [`ArenaPool`] per worker (so consecutive loops
+//! rebind one `AttemptArena` instead of rebuilding), and the aggregation
+//! folds the index-ordered results so the [`SuiteRun`] is bit-identical for
+//! any thread count.
 
+use hcrf_engine::Engine;
 use hcrf_ir::Loop;
 use hcrf_machine::stable::StableHasher;
 use hcrf_machine::{MachineConfig, RfOrganization};
 use hcrf_memsim::CacheConfig;
 use hcrf_perf::{LoopPerformance, SuiteAggregate};
 use hcrf_rfmodel::{evaluate, HardwareEval};
-use hcrf_sched::{IterativeScheduler, PhaseTimings, ScheduleResult, SchedulerParams};
+use hcrf_sched::{ArenaPool, IterativeScheduler, PhaseTimings, ScheduleResult, SchedulerParams};
 use hcrf_telemetry::Telemetry;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// A machine configuration together with its hardware evaluation
 /// (clock cycle, per-configuration latencies, area).
@@ -161,71 +166,33 @@ pub fn run_suite_traced(
     let started = std::time::Instant::now();
     let scheduler = IterativeScheduler::new(config.machine.clone(), options.scheduler)
         .with_telemetry(telemetry.clone());
-    let threads = if options.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(16)
-    } else {
-        options.threads
-    };
-    let process = |i: usize| -> LoopRun {
-        let l = &suite[i];
-        let mut buf = telemetry.trace_buf();
-        let t0 = buf.now_ns();
-        let (schedule, phases) = scheduler.schedule_with_timings(&l.ddg);
-        let stall = if options.real_memory && !schedule.failed {
-            let accesses = crate::memory::kernel_accesses(
-                &schedule,
-                &config.machine,
-                options.scheduler.binding_prefetch,
-            );
-            let sim = hcrf_memsim::simulate_kernel(
-                &accesses,
-                schedule.ii,
-                l.iterations,
-                config.cache_config(),
-                options.max_simulated_iterations,
-            );
-            sim.publish(telemetry);
-            sim.scaled_stalls(l.iterations)
-        } else {
-            0
-        };
-        let performance = LoopPerformance::from_schedule(&schedule, l, stall);
-        buf.span_labeled(
-            "loop",
-            "driver",
-            t0,
-            Some(&l.ddg.name),
-            &[
-                ("index", i as i64),
-                ("ii", schedule.ii as i64),
-                ("stall_cycles", stall as i64),
-            ],
-        );
-        telemetry.flush(&mut buf);
-        LoopRun {
-            index: i,
-            schedule,
-            performance,
-            phases,
-        }
-    };
-
-    let loops = parallel_map_indexed(suite.len(), threads, process);
-    let mut aggregate = SuiteAggregate::new(config.name(), config.hardware.clock_ns);
-    let mut phases = PhaseTimings::default();
-    for run in &loops {
-        aggregate.add(&run.performance);
-        phases.absorb(&run.phases);
-    }
+    let engine = Engine::new(options.threads).with_telemetry(telemetry.clone());
+    let run = engine.map_indexed(
+        suite.len(),
+        |_| ArenaPool::new(),
+        |pool, ctx| {
+            run_loop_traced(
+                &scheduler,
+                config,
+                &suite[ctx.group],
+                ctx.group,
+                options,
+                telemetry,
+                pool,
+                ctx.worker,
+            )
+        },
+    );
+    let loops = run.results;
+    let (aggregate, phases) = fold_suite_aggregate(config, &loops);
     let scheduling_seconds = started.elapsed().as_secs_f64();
     if telemetry.is_enabled() {
         telemetry.counter_add("driver.suite_runs", 1);
         telemetry.counter_add("driver.loops", loops.len() as u64);
         telemetry.counter_add("driver.failed_loops", aggregate.failed_loops as u64);
         telemetry.gauge_set("driver.scheduling_seconds", scheduling_seconds);
+        let rebinds: u64 = run.states.iter().map(|p| p.rebinds()).sum();
+        telemetry.counter_add("engine.arena_rebinds", rebinds);
     }
     SuiteRun {
         config: config.clone(),
@@ -236,68 +203,79 @@ pub fn run_suite_traced(
     }
 }
 
-/// Run `f` over `0..count` across `threads` workers and return the results
-/// in index order.
-///
-/// Workers claim indices from a shared atomic counter and send
-/// `(index, result)` over a channel into per-index slots, so no lock is ever
-/// contended and the output order is deterministic. A worker panic
-/// propagates when the thread scope joins. With `threads <= 1` the map runs
-/// inline on the caller's thread.
-pub fn parallel_map_indexed<T: Send>(
-    count: usize,
-    threads: usize,
-    f: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
-    parallel_map_indexed_each(count, threads, f, |_, _| {})
+/// Schedule (and, in the real-memory scenario, simulate) ONE loop of a
+/// suite: the engine's inner task, shared by [`run_suite_traced`] and the
+/// explore executor's point-decomposed sweeps. The `worker` id labels the
+/// `loop` trace span; the pooled arena in `pool` makes consecutive calls on
+/// one worker rebind allocations instead of rebuilding them.
+#[allow(clippy::too_many_arguments)]
+pub fn run_loop_traced(
+    scheduler: &IterativeScheduler,
+    config: &ConfiguredMachine,
+    l: &Loop,
+    index: usize,
+    options: &RunOptions,
+    telemetry: &Telemetry,
+    pool: &mut ArenaPool,
+    worker: usize,
+) -> LoopRun {
+    let mut buf = telemetry.trace_buf();
+    let t0 = buf.now_ns();
+    let (schedule, phases) = scheduler.schedule_with_timings_pooled(&l.ddg, pool);
+    let stall = if options.real_memory && !schedule.failed {
+        let accesses = crate::memory::kernel_accesses(
+            &schedule,
+            &config.machine,
+            options.scheduler.binding_prefetch,
+        );
+        let sim = hcrf_memsim::simulate_kernel(
+            &accesses,
+            schedule.ii,
+            l.iterations,
+            config.cache_config(),
+            options.max_simulated_iterations,
+        );
+        sim.publish(telemetry);
+        sim.scaled_stalls(l.iterations)
+    } else {
+        0
+    };
+    let performance = LoopPerformance::from_schedule(&schedule, l, stall);
+    buf.span_labeled(
+        "loop",
+        "driver",
+        t0,
+        Some(&l.ddg.name),
+        &[
+            ("index", index as i64),
+            ("worker", worker as i64),
+            ("ii", schedule.ii as i64),
+            ("stall_cycles", stall as i64),
+        ],
+    );
+    telemetry.flush(&mut buf);
+    LoopRun {
+        index,
+        schedule,
+        performance,
+        phases,
+    }
 }
 
-/// [`parallel_map_indexed`] with a hook invoked on the caller's thread as
-/// each result lands (in completion order, not index order) — used to stream
-/// results to disk while the sweep is still running.
-pub fn parallel_map_indexed_each<T: Send>(
-    count: usize,
-    threads: usize,
-    f: impl Fn(usize) -> T + Sync,
-    mut on_result: impl FnMut(usize, &T),
-) -> Vec<T> {
-    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    if threads <= 1 || count <= 1 {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            let value = f(i);
-            on_result(i, &value);
-            *slot = Some(value);
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
-        std::thread::scope(|s| {
-            for _ in 0..threads.min(count) {
-                let tx = tx.clone();
-                let next = &next;
-                let f = &f;
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
-                    }
-                    let value = f(i);
-                    if tx.send((i, value)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            for (i, value) in rx {
-                on_result(i, &value);
-                slots[i] = Some(value);
-            }
-        });
+/// Fold index-ordered per-loop results into the suite aggregate and the
+/// summed phase timings. The fold order is fixed (suite order), which is
+/// what makes [`SuiteRun::aggregate`] bit-identical for any thread count.
+pub fn fold_suite_aggregate(
+    config: &ConfiguredMachine,
+    loops: &[LoopRun],
+) -> (SuiteAggregate, PhaseTimings) {
+    let mut aggregate = SuiteAggregate::new(config.name(), config.hardware.clock_ns);
+    let mut phases = PhaseTimings::default();
+    for run in loops {
+        aggregate.add(&run.performance);
+        phases.absorb(&run.phases);
     }
-    slots
-        .into_iter()
-        .map(|v| v.expect("every index must have been processed"))
-        .collect()
+    (aggregate, phases)
 }
 
 /// Stable, content-addressed fingerprint of a loop suite.

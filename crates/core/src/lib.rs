@@ -35,15 +35,15 @@ pub mod experiments;
 pub mod memory;
 
 pub use driver::{
-    run_suite, run_suite_traced, suite_fingerprint, ConfiguredMachine, LoopRun, RunOptions,
-    SuiteRun,
+    fold_suite_aggregate, run_loop_traced, run_suite, run_suite_traced, suite_fingerprint,
+    ConfiguredMachine, LoopRun, RunOptions, SuiteRun,
 };
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::driver::{
-        run_suite, run_suite_traced, suite_fingerprint, ConfiguredMachine, LoopRun, RunOptions,
-        SuiteRun,
+        fold_suite_aggregate, run_loop_traced, run_suite, run_suite_traced, suite_fingerprint,
+        ConfiguredMachine, LoopRun, RunOptions, SuiteRun,
     };
     pub use hcrf_ir::{Ddg, DdgBuilder, Loop, OpKind, OpLatencies};
     pub use hcrf_machine::{Capacity, MachineConfig, RfOrganization};

@@ -1,0 +1,686 @@
+//! Work-stealing execution engine for the HCRF workspace.
+//!
+//! Every compute surface of the repository — suite sweeps
+//! (`hcrf::run_suite`), design-space exploration (`hcrf_explore::explore`)
+//! and the bench binaries — funnels its parallelism through this crate
+//! instead of rolling its own thread pool. The engine provides three things
+//! the flat atomic-counter loops it replaced could not:
+//!
+//! * **Work stealing across heterogeneous tasks.** Each worker owns a
+//!   Chase–Lev-style deque (owner pops the front, thieves batch-steal the
+//!   back half; implemented in safe code with short mutex critical
+//!   sections). Tasks are *two-level*: callers submit groups (design
+//!   points) that decompose into inner tasks (loops), and idle workers
+//!   steal loop tasks from a slow point instead of idling behind it.
+//!
+//! * **A deterministic reduction contract.** Inner results land in
+//!   index-ordered slots; the worker finishing a group's last task folds
+//!   that index-ordered vector; group results land in group-ordered slots.
+//!   Aggregates are therefore **bit-identical for any worker count** —
+//!   `tests/engine_equivalence.rs` proves it across 1/2/4/8 workers on
+//!   every standard suite × configuration.
+//!
+//! * **Streaming that survives panics.** Group results are sent to the
+//!   *caller's* thread as they complete and handed to the `on_group` hook
+//!   there (the explore executor persists them to its result cache). The
+//!   channel drains fully before worker panics propagate, so a crash in one
+//!   design point can never lose the completed points before it.
+//!
+//! Workers also own caller-defined per-worker state (created by an `init`
+//! hook) — the schedulers park a pooled `AttemptArena` there so consecutive
+//! loops rebind one allocation instead of rebuilding per loop. The states
+//! are returned to the caller, which harvests pool counters into the
+//! `engine.arena_rebinds` telemetry counter.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use hcrf_telemetry::Telemetry;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Default cap on auto-resolved workers (`threads == 0`). Sweeps are
+/// memory-bandwidth-bound well before 16 schedulers run concurrently, and
+/// an uncapped resolution on a large shared host oversubscribes it for no
+/// wall-time gain. Explicit `threads` requests are never capped; callers
+/// needing a different auto cap use [`resolve_workers_capped`].
+pub const DEFAULT_WORKER_CAP: usize = 16;
+
+/// Resolve a requested thread count to a concrete worker count: `0` means
+/// one worker per available CPU, capped at [`DEFAULT_WORKER_CAP`]; any
+/// explicit request is honored verbatim. This is the single home of the
+/// resolution logic that used to be copy-pasted across the driver and the
+/// explore executor.
+pub fn resolve_workers(requested: usize) -> usize {
+    resolve_workers_capped(requested, DEFAULT_WORKER_CAP)
+}
+
+/// [`resolve_workers`] with an explicit cap on the auto-resolved count.
+pub fn resolve_workers_capped(requested: usize, cap: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cap.max(1))
+}
+
+/// Identity of one inner task as the engine hands it to the work function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskCtx {
+    /// Worker executing the task (`0..workers`). Useful as a trace label;
+    /// never use it to influence *results* — which worker runs a task is
+    /// scheduling-dependent.
+    pub worker: usize,
+    /// Group the task belongs to.
+    pub group: usize,
+    /// Index of the task within its group.
+    pub index: usize,
+}
+
+/// Execution counters of one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Workers the run executed on.
+    pub workers: usize,
+    /// Inner tasks executed.
+    pub tasks: u64,
+    /// Successful batch steals (a thief moving the back half of another
+    /// worker's deque into its own).
+    pub steals: u64,
+}
+
+/// Everything one engine run produced.
+#[derive(Debug)]
+pub struct EngineRun<R, S> {
+    /// Per-group results, in group order (deterministic for any worker
+    /// count).
+    pub results: Vec<R>,
+    /// The per-worker states, in worker order.
+    pub states: Vec<S>,
+    /// Execution counters.
+    pub report: EngineReport,
+}
+
+/// The execution engine: a worker count plus a telemetry sink. Construct
+/// once per run site; the engine itself holds no threads (workers live only
+/// for the duration of one `run_two_level` call).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    workers: usize,
+    telemetry: Telemetry,
+}
+
+/// Sets the poison flag when dropped during a panic, so sibling workers
+/// stop spinning for tasks that will never complete and the scope can join
+/// (propagating the panic) instead of hanging.
+struct PoisonGuard<'a>(&'a AtomicBool);
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Engine {
+    /// An engine with `threads` workers (`0` = auto, see
+    /// [`resolve_workers`]) and no telemetry.
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            workers: resolve_workers(threads),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry sink: the run publishes `engine.tasks` /
+    /// `engine.steals` / `engine.runs` counters and records one labeled
+    /// `worker` span per worker.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run a two-level task set: `group_sizes[g]` inner tasks per group
+    /// `g`, each executed by `inner` with a per-worker state from `init`,
+    /// folded per group by `fold` over the index-ordered inner results, and
+    /// streamed to `on_group` on the caller's thread in completion order.
+    ///
+    /// The determinism contract: `results` holds `fold`'s output in group
+    /// order, each fold sees its group's inner results in index order, and
+    /// neither depends on the worker count — only `on_group`'s *call order*
+    /// (and which worker ran which task) varies between runs.
+    ///
+    /// Groups are seeded round-robin across the worker deques with their
+    /// inner tasks contiguous, so stealing (which moves the back half of a
+    /// deque) redistributes a slow group's tail across idle workers.
+    ///
+    /// If a task panics, completed groups still stream to `on_group`, then
+    /// the panic resumes on the caller's thread.
+    pub fn run_two_level<S, T, R>(
+        &self,
+        group_sizes: &[usize],
+        init: impl Fn(usize) -> S + Sync,
+        inner: impl Fn(&mut S, TaskCtx) -> T + Sync,
+        fold: impl Fn(usize, Vec<T>) -> R + Sync,
+        mut on_group: impl FnMut(usize, &R),
+    ) -> EngineRun<R, S>
+    where
+        S: Send,
+        T: Send,
+        R: Send,
+    {
+        let total_tasks: usize = group_sizes.iter().sum();
+        let workers = self.workers.min(total_tasks).max(1);
+        let mut results: Vec<Option<R>> = group_sizes.iter().map(|_| None).collect();
+
+        // Empty groups fold immediately (in group order) on this thread:
+        // they have no tasks to schedule and must not hold up the drain.
+        for (g, &size) in group_sizes.iter().enumerate() {
+            if size == 0 {
+                let r = fold(g, Vec::new());
+                on_group(g, &r);
+                results[g] = Some(r);
+            }
+        }
+
+        let run = if workers <= 1 {
+            self.run_inline(group_sizes, &mut results, init, inner, fold, &mut on_group)
+        } else {
+            self.run_stealing(
+                workers,
+                group_sizes,
+                &mut results,
+                init,
+                inner,
+                fold,
+                &mut on_group,
+            )
+        };
+        let (states, report) = run;
+
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("engine.runs", 1);
+            self.telemetry.counter_add("engine.tasks", report.tasks);
+            self.telemetry.counter_add("engine.steals", report.steals);
+        }
+        EngineRun {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every group must have folded"))
+                .collect(),
+            states,
+            report,
+        }
+    }
+
+    /// The `workers <= 1` path: everything runs on the caller's thread, in
+    /// group and index order (tests pin the streaming hook's inline
+    /// ordering to exactly this sequence).
+    #[allow(clippy::too_many_arguments)]
+    fn run_inline<S, T, R>(
+        &self,
+        group_sizes: &[usize],
+        results: &mut [Option<R>],
+        init: impl Fn(usize) -> S,
+        inner: impl Fn(&mut S, TaskCtx) -> T,
+        fold: impl Fn(usize, Vec<T>) -> R,
+        on_group: &mut impl FnMut(usize, &R),
+    ) -> (Vec<S>, EngineReport) {
+        let mut state = init(0);
+        let mut tasks = 0u64;
+        for (g, &size) in group_sizes.iter().enumerate() {
+            if size == 0 {
+                continue; // already folded
+            }
+            let inners: Vec<T> = (0..size)
+                .map(|index| {
+                    tasks += 1;
+                    inner(
+                        &mut state,
+                        TaskCtx {
+                            worker: 0,
+                            group: g,
+                            index,
+                        },
+                    )
+                })
+                .collect();
+            let r = fold(g, inners);
+            on_group(g, &r);
+            results[g] = Some(r);
+        }
+        (
+            vec![state],
+            EngineReport {
+                workers: 1,
+                tasks,
+                steals: 0,
+            },
+        )
+    }
+
+    /// The work-stealing path. See the crate docs for the worker model.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stealing<S, T, R>(
+        &self,
+        workers: usize,
+        group_sizes: &[usize],
+        results: &mut [Option<R>],
+        init: impl Fn(usize) -> S + Sync,
+        inner: impl Fn(&mut S, TaskCtx) -> T + Sync,
+        fold: impl Fn(usize, Vec<T>) -> R + Sync,
+        on_group: &mut impl FnMut(usize, &R),
+    ) -> (Vec<S>, EngineReport)
+    where
+        S: Send,
+        T: Send,
+        R: Send,
+    {
+        // Seed the deques: groups round-robin across workers, each group's
+        // inner tasks contiguous and in index order.
+        let mut seeded: Vec<VecDeque<(u32, u32)>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let mut nonempty = 0usize;
+        for (g, &size) in group_sizes.iter().enumerate() {
+            if size == 0 {
+                continue;
+            }
+            let q = &mut seeded[nonempty % workers];
+            for index in 0..size {
+                q.push_back((g as u32, index as u32));
+            }
+            nonempty += 1;
+        }
+        let deques: Vec<Mutex<VecDeque<(u32, u32)>>> = seeded.into_iter().map(Mutex::new).collect();
+
+        // Per-group reduction state: index-ordered slots + a countdown the
+        // last finisher trips to fold and send.
+        let slots: Vec<Mutex<Vec<Option<T>>>> = group_sizes
+            .iter()
+            .map(|&size| Mutex::new((0..size).map(|_| None).collect()))
+            .collect();
+        let group_left: Vec<AtomicUsize> =
+            group_sizes.iter().map(|&s| AtomicUsize::new(s)).collect();
+        let remaining = AtomicUsize::new(group_sizes.iter().sum());
+        let poisoned = AtomicBool::new(false);
+        let steals = AtomicU64::new(0);
+        let tasks_run = AtomicU64::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+        let mut states: Vec<Option<S>> = (0..workers).map(|_| None).collect();
+        let mut panic_payload = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    let tx = tx.clone();
+                    let deques = &deques;
+                    let slots = &slots;
+                    let group_left = &group_left;
+                    let remaining = &remaining;
+                    let poisoned = &poisoned;
+                    let steals = &steals;
+                    let tasks_run = &tasks_run;
+                    let init = &init;
+                    let inner = &inner;
+                    let fold = &fold;
+                    let telemetry = self.telemetry.clone();
+                    scope.spawn(move || {
+                        let _guard = PoisonGuard(poisoned);
+                        let mut trace = telemetry.trace_buf();
+                        let t0 = trace.now_ns();
+                        let mut state = init(me);
+                        let mut my_tasks = 0u64;
+                        let mut my_steals = 0u64;
+                        'work: loop {
+                            // Drain own deque from the front.
+                            let task = deques[me].lock().expect("deque poisoned").pop_front();
+                            let (g, index) = match task {
+                                Some(t) => t,
+                                None => {
+                                    // Steal the back half of the first
+                                    // non-empty sibling deque.
+                                    let mut stolen = false;
+                                    for k in 1..workers {
+                                        let victim = (me + k) % workers;
+                                        let mut q = deques[victim].lock().expect("deque poisoned");
+                                        let n = q.len();
+                                        if n == 0 {
+                                            continue;
+                                        }
+                                        // Back half, rounded up (n == 1
+                                        // takes the lone task).
+                                        let batch = q.split_off(n / 2);
+                                        drop(q);
+                                        if !batch.is_empty() {
+                                            *deques[me].lock().expect("deque poisoned") = batch;
+                                            my_steals += 1;
+                                            stolen = true;
+                                            break;
+                                        }
+                                    }
+                                    if stolen {
+                                        continue 'work;
+                                    }
+                                    if remaining.load(Ordering::SeqCst) == 0
+                                        || poisoned.load(Ordering::SeqCst)
+                                    {
+                                        break 'work;
+                                    }
+                                    // Tasks are in flight on other workers;
+                                    // re-scan after yielding.
+                                    std::thread::yield_now();
+                                    continue 'work;
+                                }
+                            };
+                            let (g, index) = (g as usize, index as usize);
+                            let value = inner(
+                                &mut state,
+                                TaskCtx {
+                                    worker: me,
+                                    group: g,
+                                    index,
+                                },
+                            );
+                            my_tasks += 1;
+                            slots[g].lock().expect("slots poisoned")[index] = Some(value);
+                            if group_left[g].fetch_sub(1, Ordering::SeqCst) == 1 {
+                                // Last task of the group: fold the
+                                // index-ordered slots and stream the result.
+                                let inners: Vec<T> = slots[g]
+                                    .lock()
+                                    .expect("slots poisoned")
+                                    .iter_mut()
+                                    .map(|s| s.take().expect("group complete"))
+                                    .collect();
+                                let r = fold(g, inners);
+                                let _ = tx.send((g, r));
+                            }
+                            remaining.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        steals.fetch_add(my_steals, Ordering::Relaxed);
+                        tasks_run.fetch_add(my_tasks, Ordering::Relaxed);
+                        trace.span_labeled(
+                            "worker",
+                            "engine",
+                            t0,
+                            Some(&format!("w{me}")),
+                            &[("tasks", my_tasks as i64), ("steals", my_steals as i64)],
+                        );
+                        telemetry.flush(&mut trace);
+                        state
+                    })
+                })
+                .collect();
+            drop(tx);
+
+            // Drain on the caller's thread until every sender is gone. A
+            // worker panic drops its sender mid-run, so this loop always
+            // terminates — after delivering every group that *did* complete
+            // (the flush-before-panic guarantee `on_group` relies on).
+            for (g, r) in rx {
+                on_group(g, &r);
+                results[g] = Some(r);
+            }
+            for (me, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(state) => states[me] = Some(state),
+                    Err(payload) => panic_payload = Some(payload),
+                }
+            }
+        });
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        (
+            states
+                .into_iter()
+                .map(|s| s.expect("worker joined"))
+                .collect(),
+            EngineReport {
+                workers,
+                tasks: tasks_run.load(Ordering::Relaxed),
+                steals: steals.load(Ordering::Relaxed),
+            },
+        )
+    }
+
+    /// Flat map over `0..count` (size-1 groups): `f(state, index)` lands in
+    /// index-ordered results. The degenerate two-level run every
+    /// single-level caller (the suite driver, `bench_sched`) uses.
+    pub fn map_indexed<S, T>(
+        &self,
+        count: usize,
+        init: impl Fn(usize) -> S + Sync,
+        f: impl Fn(&mut S, TaskCtx) -> T + Sync,
+    ) -> EngineRun<T, S>
+    where
+        S: Send,
+        T: Send,
+    {
+        self.map_indexed_each(count, init, f, |_, _| {})
+    }
+
+    /// [`Engine::map_indexed`] with a streaming hook invoked on the
+    /// caller's thread as each result completes (completion order; index
+    /// order on the inline path).
+    pub fn map_indexed_each<S, T>(
+        &self,
+        count: usize,
+        init: impl Fn(usize) -> S + Sync,
+        f: impl Fn(&mut S, TaskCtx) -> T + Sync,
+        on_result: impl FnMut(usize, &T),
+    ) -> EngineRun<T, S>
+    where
+        S: Send,
+        T: Send,
+    {
+        let sizes = vec![1usize; count];
+        self.run_two_level(
+            &sizes,
+            init,
+            f,
+            |_, mut inners: Vec<T>| inners.pop().expect("size-1 group"),
+            on_result,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[test]
+    fn resolve_workers_honors_explicit_and_caps_auto() {
+        assert_eq!(resolve_workers(3), 3);
+        assert_eq!(resolve_workers(64), 64); // explicit requests uncapped
+        let auto = resolve_workers(0);
+        assert!((1..=DEFAULT_WORKER_CAP).contains(&auto));
+        assert_eq!(resolve_workers_capped(0, 1), 1);
+        assert!(resolve_workers_capped(0, 0) >= 1); // cap floor
+    }
+
+    #[test]
+    fn inline_path_runs_in_index_order() {
+        let engine = Engine::new(1);
+        let mut seen = Vec::new();
+        let run = engine.map_indexed_each(
+            5,
+            |w| w,
+            |state, ctx| {
+                assert_eq!(*state, 0);
+                assert_eq!(ctx.worker, 0);
+                ctx.group * 10
+            },
+            |i, r| seen.push((i, *r)),
+        );
+        // The inline hook fires in exact index order.
+        assert_eq!(seen, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+        assert_eq!(run.results, vec![0, 10, 20, 30, 40]);
+        assert_eq!(run.states.len(), 1);
+        assert_eq!(run.report.tasks, 5);
+        assert_eq!(run.report.steals, 0);
+    }
+
+    #[test]
+    fn parallel_results_are_index_ordered_and_complete() {
+        let engine = Engine::new(4);
+        let mut seen = Vec::new();
+        let run = engine.map_indexed_each(
+            32,
+            |w| w,
+            |_, ctx| {
+                // Uneven task costs exercise out-of-order completion.
+                if ctx.group % 7 == 0 {
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                ctx.group as u64 * 2
+            },
+            |i, r| seen.push((i, *r)),
+        );
+        assert_eq!(run.results, (0..32).map(|i| i * 2).collect::<Vec<u64>>());
+        // The hook saw every result exactly once (in whatever order)...
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..32usize).map(|i| (i, i as u64 * 2)).collect::<Vec<_>>()
+        );
+        // ...and every worker state came back.
+        let mut states = run.states.clone();
+        states.sort_unstable();
+        assert_eq!(states, vec![0, 1, 2, 3]);
+        assert_eq!(run.report.tasks, 32);
+    }
+
+    #[test]
+    fn two_level_folds_index_ordered_groups_identically_for_any_worker_count() {
+        let sizes = [3usize, 0, 5, 1, 4];
+        let run_with = |workers: usize| {
+            Engine::new(workers).run_two_level(
+                &sizes,
+                |_| (),
+                |_, ctx| format!("{}:{}", ctx.group, ctx.index),
+                |g, inners| (g, inners.join(",")),
+                |_, _| {},
+            )
+        };
+        let one = run_with(1);
+        for workers in [2, 4, 8] {
+            let many = run_with(workers);
+            assert_eq!(one.results, many.results, "workers={workers}");
+            assert_eq!(many.report.tasks, 13);
+        }
+        assert_eq!(one.results[2], (2, "2:0,2:1,2:2,2:3,2:4".to_string()));
+        assert_eq!(one.results[1], (1, String::new()));
+    }
+
+    #[test]
+    fn idle_workers_steal_from_loaded_deques() {
+        // One group holds every task, so it seeds a single deque; the other
+        // workers have nothing and must steal to participate.
+        let engine = Engine::new(4);
+        let run = engine.run_two_level(
+            &[16usize],
+            |w| w,
+            |_, ctx| {
+                std::thread::sleep(Duration::from_millis(5));
+                ctx.index
+            },
+            |_, inners| inners,
+            |_, _| {},
+        );
+        assert_eq!(run.results[0], (0..16).collect::<Vec<usize>>());
+        assert!(
+            run.report.steals > 0,
+            "expected at least one steal, report: {:?}",
+            run.report
+        );
+    }
+
+    #[test]
+    fn completed_groups_stream_before_a_panic_propagates() {
+        // Two single-task groups on two workers. Group 1's task blocks
+        // until the caller-side hook has delivered group 0, then panics:
+        // the hook *must* have fired for group 0 even though the run dies.
+        let g0_flushed = AtomicBool::new(false);
+        let flushed = Mutex::new(Vec::new());
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Engine::new(2).run_two_level(
+                &[1usize, 1],
+                |_| (),
+                |_, ctx| {
+                    if ctx.group == 1 {
+                        // Bounded wait so a broken streaming path fails the
+                        // test instead of hanging it.
+                        for _ in 0..5000 {
+                            if g0_flushed.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        panic!("design point exploded");
+                    }
+                    ctx.group
+                },
+                |g, _| g,
+                |g, _| {
+                    flushed.lock().unwrap().push(g);
+                    if g == 0 {
+                        g0_flushed.store(true, Ordering::SeqCst);
+                    }
+                },
+            );
+        }));
+        let err = caught.expect_err("the task panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "design point exploded");
+        assert_eq!(*flushed.lock().unwrap(), vec![0], "group 0 streamed first");
+    }
+
+    #[test]
+    fn inline_panic_propagates_too() {
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Engine::new(1).map_indexed(
+                2,
+                |_| (),
+                |_, ctx| {
+                    if ctx.group == 1 {
+                        panic!("inline boom");
+                    }
+                },
+            );
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn empty_run_returns_no_results() {
+        let run = Engine::new(4).map_indexed(0, |w| w, |_, ctx| ctx.group);
+        assert!(run.results.is_empty());
+        assert_eq!(run.report.tasks, 0);
+        assert_eq!(run.states.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_counters_record_tasks() {
+        let telemetry = Telemetry::enabled();
+        let engine = Engine::new(2).with_telemetry(telemetry.clone());
+        engine.map_indexed(6, |_| (), |_, ctx| ctx.group);
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("engine.tasks"), Some(6));
+        assert_eq!(snap.counter("engine.runs"), Some(1));
+    }
+}

@@ -2,18 +2,25 @@
 //!
 //! The executor turns a list of register-file organizations into evaluated
 //! points: it fingerprints the suite once, probes the [`ResultCache`] for
-//! every point, then shards only the uncached points across worker threads
-//! (each reusing [`hcrf::run_suite`] single-threaded, so point-level
-//! parallelism does not oversubscribe the machine) and streams progress as
-//! results land. Fresh results are persisted back to the cache before the
-//! outcome is returned.
+//! every point, then submits the uncached points to the
+//! [`hcrf_engine::Engine`] as *two-level* tasks — each design point
+//! decomposes into one task per loop, so idle workers steal loops from a
+//! slow point (the paper's large-II S128 sweeps) instead of serializing
+//! behind it. Completed points stream back to the caller's thread, where
+//! they are persisted to the cache as they land — *before* any later
+//! worker panic propagates, so an interrupted sweep keeps every finished
+//! point. Results fold in fixed loop order per point and land in input
+//! order, making every [`PointResult`]'s aggregate bit-identical for any
+//! thread count.
 
 use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache, Scenario};
-use hcrf::driver::{parallel_map_indexed_each, suite_fingerprint, ConfiguredMachine, RunOptions};
-use hcrf::run_suite_traced;
+use hcrf::driver::{
+    fold_suite_aggregate, run_loop_traced, suite_fingerprint, ConfiguredMachine, RunOptions,
+};
+use hcrf_engine::Engine;
 use hcrf_ir::Loop;
 use hcrf_machine::RfOrganization;
-use hcrf_sched::SchedulerParams;
+use hcrf_sched::{ArenaPool, IterativeScheduler, SchedulerParams};
 use hcrf_telemetry::{Telemetry, Verbosity};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -49,10 +56,11 @@ impl Default for ExploreOptions {
 }
 
 impl ExploreOptions {
-    /// The `RunOptions` actually fed to the driver for one point.
+    /// The `RunOptions` a point's loops are scheduled under.
     ///
-    /// Points are parallelized across workers, so each individual suite run
-    /// stays single-threaded.
+    /// The executor decomposes points into per-loop engine tasks itself, so
+    /// the `threads` field here is fixed at 1 — parallelism is owned by the
+    /// sweep-level [`Engine`], not by nested suite runs.
     pub fn run_options(&self) -> RunOptions {
         let mut options = RunOptions {
             scheduler: self.scheduler,
@@ -82,7 +90,10 @@ pub struct PointResult {
     pub clock_ns: f64,
     /// Total register-file area (Mλ²).
     pub total_area: f64,
-    /// Seconds the scheduling run took (0-cost when served from cache).
+    /// Seconds of scheduler time the point cost: the summed per-loop phase
+    /// totals (CPU time, not wall time — the point's loops interleave with
+    /// other points' on the engine workers). Cached points report the value
+    /// their original evaluation stored.
     pub scheduling_seconds: f64,
     /// Whether this point was served from the result cache.
     pub from_cache: bool,
@@ -176,37 +187,47 @@ pub fn explore_traced(
         }
     }
 
-    // Evaluate the misses in parallel, one point per worker at a time,
-    // persisting each result as it lands so an interrupted sweep keeps its
-    // partial progress.
-    let threads = if options.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(16)
-    } else {
-        options.threads
-    };
+    // Evaluate the misses on the work-stealing engine: every pending point
+    // is a task group whose inner tasks are the suite's loops, each result
+    // is persisted to the cache on this thread as it lands (before any
+    // worker panic would propagate), and the per-point folds run over
+    // index-ordered loop results so aggregates are thread-count-invariant.
+    let engine = Engine::new(options.threads).with_telemetry(telemetry.clone());
+    let sweep_t0 = hit_buf.now_ns();
     telemetry.flush(&mut hit_buf);
     let progress = AtomicUsize::new(completed);
-    let evaluate = |slot: usize| -> PointResult {
-        let (_, configured, _) = &pending[slot];
-        let mut buf = telemetry.trace_buf();
-        let t0 = buf.now_ns();
-        let run = run_suite_traced(configured, suite, &run_options, telemetry);
+    let evaluate_loop = |pool: &mut ArenaPool, ctx: hcrf_engine::TaskCtx| {
+        let (_, configured, _) = &pending[ctx.group];
+        let scheduler = IterativeScheduler::new(configured.machine.clone(), run_options.scheduler)
+            .with_telemetry(telemetry.clone());
+        run_loop_traced(
+            &scheduler,
+            configured,
+            &suite[ctx.index],
+            ctx.index,
+            &run_options,
+            telemetry,
+            pool,
+            ctx.worker,
+        )
+    };
+    let fold_point = |g: usize, loops: Vec<hcrf::LoopRun>| -> PointResult {
+        let (_, configured, _) = &pending[g];
+        let (aggregate, phases) = fold_suite_aggregate(configured, &loops);
         let result = PointResult {
             rf: configured.machine.rf,
             name: configured.name(),
-            aggregate: run.aggregate,
+            aggregate,
             clock_ns: configured.hardware.clock_ns,
             total_area: configured.hardware.total_area,
-            scheduling_seconds: run.scheduling_seconds,
+            scheduling_seconds: phases.total().as_secs_f64(),
             from_cache: false,
         };
+        let mut buf = telemetry.trace_buf();
         buf.span_labeled(
             "design_point",
             "explore",
-            t0,
+            sweep_t0,
             Some(&result.name),
             &[
                 ("sum_ii", result.aggregate.sum_ii as i64),
@@ -222,19 +243,30 @@ pub fn explore_traced(
         ));
         result
     };
-    let evaluated = parallel_map_indexed_each(pending.len(), threads, evaluate, |slot, result| {
-        let cached = CachedResult {
-            config: result.name.clone(),
-            aggregate: result.aggregate.clone(),
-            clock_ns: result.clock_ns,
-            total_area: result.total_area,
-            scheduling_seconds: result.scheduling_seconds,
-        };
-        if let Err(e) = cache.store(&pending[slot].2, &cached) {
-            telemetry.warn(format!("failed to cache {}: {e}", result.name));
-        }
-    });
-    for ((index, _, _), result) in pending.iter().zip(evaluated) {
+    let group_sizes = vec![suite.len(); pending.len()];
+    let run = engine.run_two_level(
+        &group_sizes,
+        |_| ArenaPool::new(),
+        evaluate_loop,
+        fold_point,
+        |g, result| {
+            let cached = CachedResult {
+                config: result.name.clone(),
+                aggregate: result.aggregate.clone(),
+                clock_ns: result.clock_ns,
+                total_area: result.total_area,
+                scheduling_seconds: result.scheduling_seconds,
+            };
+            if let Err(e) = cache.store(&pending[g].2, &cached) {
+                telemetry.warn(format!("failed to cache {}: {e}", result.name));
+            }
+        },
+    );
+    if telemetry.is_enabled() {
+        let rebinds: u64 = run.states.iter().map(|p| p.rebinds()).sum();
+        telemetry.counter_add("engine.arena_rebinds", rebinds);
+    }
+    for ((index, _, _), result) in pending.iter().zip(run.results) {
         points[*index] = Some(result);
     }
 

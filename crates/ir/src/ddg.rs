@@ -147,7 +147,7 @@ impl Edge {
 
 /// A data dependence graph for one innermost loop, together with the loop
 /// level metadata needed by the performance model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Ddg {
     /// Human readable loop name (kernel name or synthetic id).
     pub name: String,
@@ -155,6 +155,31 @@ pub struct Ddg {
     edges: Vec<Edge>,
     succs: Vec<Vec<EdgeId>>,
     preds: Vec<Vec<EdgeId>>,
+}
+
+impl Clone for Ddg {
+    fn clone(&self) -> Self {
+        Ddg {
+            name: self.name.clone(),
+            nodes: self.nodes.clone(),
+            edges: self.edges.clone(),
+            succs: self.succs.clone(),
+            preds: self.preds.clone(),
+        }
+    }
+
+    /// Clone `source` into `self` reusing every existing allocation
+    /// (`Vec::clone_from` truncates and refills rather than reallocating,
+    /// including the per-node adjacency vectors). The scheduler's pooled
+    /// attempt arenas lean on this to re-target a working graph at a new
+    /// loop without paying a fresh graph allocation per loop.
+    fn clone_from(&mut self, source: &Self) {
+        self.name.clone_from(&source.name);
+        self.nodes.clone_from(&source.nodes);
+        self.edges.clone_from(&source.edges);
+        self.succs.clone_from(&source.succs);
+        self.preds.clone_from(&source.preds);
+    }
 }
 
 impl Ddg {

@@ -123,6 +123,35 @@ impl AttemptArena {
         }
     }
 
+    /// Re-target a used arena at a *different* loop (and possibly a
+    /// different machine), reusing every allocation it has grown:
+    /// [`WorkGraph::rebind`] refills the working graph in place,
+    /// [`PlacementStore::rebind`] re-shapes the MRT/slot-index/tracker for
+    /// the new capacities, the priority-order buffers are recomputed into by
+    /// the next [`AttemptArena::reset`], and the scheduler scratch vectors
+    /// keep their capacity. Semantically equivalent to
+    /// [`AttemptArena::new`]: `tests/engine_equivalence.rs` proves suite
+    /// results are bit-identical whether arenas are pooled across loops,
+    /// reused within one loop, or rebuilt per attempt
+    /// ([`crate::IterativeScheduler::with_fresh_arena`]).
+    pub fn rebind(&mut self, ddg: &Ddg, machine: &MachineConfig, track_pressure: bool) {
+        self.w.rebind(ddg, machine);
+        self.w.mark_pristine();
+        let caps = ResourceCaps::from_machine(machine);
+        self.pristine_nodes = self.w.ddg.num_nodes();
+        self.order_ii_sensitive = self.w.has_loop_carried_deps();
+        self.order_ready = false;
+        self.store.rebind(caps, self.pristine_nodes, track_pressure);
+        self.budget = 0;
+        self.stats = SchedulerStats::default();
+        self.ii = 1;
+        self.violators.clear();
+        self.pred_bounds.clear();
+        self.succ_bounds.clear();
+        self.comm_cands.clear();
+        self.trace = TraceBuf::default();
+    }
+
     /// Prepare the arena for an attempt at `ii`: restore the pristine graph
     /// (undoing the previous attempt's communication/spill insertions),
     /// recompute the priority order in place (skipped when the order is
@@ -178,6 +207,72 @@ impl AttemptArena {
     /// resets.
     pub fn parts_mut(&mut self) -> (&mut WorkGraph, &mut PlacementStore) {
         (&mut self.w, &mut self.store)
+    }
+}
+
+/// A reusable slot holding one worker's [`AttemptArena`] *across* loops.
+///
+/// PR 5 made the arena persistent across the II restarts of one
+/// `schedule()` call; the pool extends its lifetime across an entire suite:
+/// each execution-engine worker owns one `ArenaPool`, and
+/// [`crate::IterativeScheduler::schedule_with_timings_pooled`] takes the
+/// arena out ([`ArenaPool::take`] rebinds it to the new loop instead of
+/// allocating) and returns it when the ladder finishes. The first loop a
+/// worker ever schedules pays the one fresh build.
+///
+/// The pool deliberately counts its rebinds *outside*
+/// [`crate::types::SchedulerStats`]: whether a given loop's arena was
+/// rebound or freshly built depends on which worker picked the task up, and
+/// schedule results must stay bit-identical for any thread count. Callers
+/// harvest [`ArenaPool::rebinds`] into the `engine.arena_rebinds` telemetry
+/// counter instead.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    arena: Option<AttemptArena>,
+    rebinds: u64,
+    builds: u64,
+}
+
+impl ArenaPool {
+    /// An empty pool (first take builds fresh).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take an arena bound to `(ddg, machine)`: rebind the pooled one when
+    /// present, build a fresh one otherwise.
+    pub fn take(
+        &mut self,
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        track_pressure: bool,
+    ) -> AttemptArena {
+        match self.arena.take() {
+            Some(mut a) => {
+                a.rebind(ddg, machine, track_pressure);
+                self.rebinds += 1;
+                a
+            }
+            None => {
+                self.builds += 1;
+                AttemptArena::new(ddg, machine, track_pressure)
+            }
+        }
+    }
+
+    /// Return an arena for the next loop to reuse.
+    pub fn put(&mut self, arena: AttemptArena) {
+        self.arena = Some(arena);
+    }
+
+    /// How many takes re-targeted a pooled arena instead of building.
+    pub fn rebinds(&self) -> u64 {
+        self.rebinds
+    }
+
+    /// How many takes had to build a fresh arena.
+    pub fn builds(&self) -> u64 {
+        self.builds
     }
 }
 
@@ -249,6 +344,105 @@ mod tests {
         assert_eq!(arena.store().placements().len(), pristine_nodes);
         assert!(arena.workgraph().active_nodes().count() == pristine_nodes);
         assert!(validate_store(arena.store(), arena.workgraph(), &lat()).is_ok());
+    }
+
+    /// A second kernel with a different shape (loop-carried recurrence,
+    /// fewer nodes) for the rebind tests to re-target an arena at.
+    fn recurrence_kernel() -> Ddg {
+        let mut b = DdgBuilder::new("recurrence");
+        let l = b.load(0, 8);
+        let m = b.op(OpKind::FMul);
+        let a = b.op(OpKind::FAdd);
+        let s = b.store(1, 8);
+        b.flow(l, m, 0);
+        b.flow(m, a, 0);
+        b.flow(a, a, 1);
+        b.flow(a, s, 0);
+        b.build()
+    }
+
+    /// Rebinding a dirty arena (spill chains inserted, nodes placed) to a
+    /// different loop on a different machine — including a cluster-count
+    /// change, which reshapes the slot index and pressure tracker — must
+    /// leave it indistinguishable from a freshly built arena: same graph
+    /// shape, a store that validates, and a clean pristine snapshot the next
+    /// reset restores.
+    #[test]
+    fn rebind_to_new_loop_and_machine_matches_fresh_build() {
+        let m1 = MachineConfig::paper_baseline(RfOrganization::parse("S16").unwrap());
+        let mut arena = AttemptArena::new(&spill_heavy(), &m1, true);
+        arena.reset(3, &lat());
+        // Dirty the arena exactly like a failing attempt would.
+        let (w, store) = arena.parts_mut();
+        let (edge_id, edge) = w
+            .ddg
+            .edges()
+            .find(|(id, e)| w.edge_is_active(*id) && e.kind == DepKind::Flow)
+            .map(|(id, e)| (id, *e))
+            .expect("flow edge");
+        let new_nodes = w.insert_spill_to_memory(edge.dst, edge_id);
+        store.grow(w.ddg.num_nodes());
+        for (k, n) in new_nodes.iter().enumerate() {
+            store.place(w, *n, k as i64, 0, &lat());
+        }
+
+        // Re-target at a clustered-hierarchical machine and a new loop.
+        let g2 = recurrence_kernel();
+        let m2 = MachineConfig::paper_baseline(RfOrganization::parse("4C16S64").unwrap());
+        arena.rebind(&g2, &m2, true);
+        let fresh = {
+            let mut f = AttemptArena::new(&g2, &m2, true);
+            f.reset(2, &lat());
+            f
+        };
+        arena.reset(2, &lat());
+        assert_eq!(
+            arena.workgraph().ddg.num_nodes(),
+            fresh.workgraph().ddg.num_nodes()
+        );
+        assert_eq!(
+            arena.workgraph().ddg.num_edges(),
+            fresh.workgraph().ddg.num_edges()
+        );
+        assert_eq!(
+            arena.workgraph().active_nodes().count(),
+            fresh.workgraph().active_nodes().count()
+        );
+        assert_eq!(
+            arena.store().placements().len(),
+            fresh.store().placements().len()
+        );
+        assert!(validate_store(arena.store(), arena.workgraph(), &lat()).is_ok());
+
+        // The rebound arena survives its own dirty-attempt/reset cycle.
+        arena.reset(3, &lat());
+        assert!(validate_store(arena.store(), arena.workgraph(), &lat()).is_ok());
+    }
+
+    /// End-to-end oracle for the pool: scheduling a sequence of different
+    /// loops across different machines through ONE pool (every loop after
+    /// the first rebinds a used arena) must produce bit-identical results to
+    /// pool-less scheduling.
+    #[test]
+    fn pooled_scheduling_across_loops_is_bit_identical() {
+        use crate::scheduler::IterativeScheduler;
+        use crate::types::SchedulerParams;
+        let loops = [spill_heavy(), recurrence_kernel(), spill_heavy()];
+        let params = SchedulerParams::default();
+        let mut pool = ArenaPool::new();
+        let mut scheduled = 0u64;
+        for name in ["S16", "4C16S64", "8C16S16"] {
+            let machine = MachineConfig::paper_baseline(RfOrganization::parse(name).unwrap());
+            let sched = IterativeScheduler::new(machine, params);
+            for g in &loops {
+                let pooled = sched.schedule_with_timings_pooled(g, &mut pool).0;
+                let fresh = sched.schedule(g);
+                assert_eq!(pooled, fresh, "{name}/{}", g.name);
+                scheduled += 1;
+            }
+        }
+        assert_eq!(pool.builds(), 1, "only the first loop builds");
+        assert_eq!(pool.rebinds(), scheduled - 1);
     }
 
     /// End-to-end on the spill-heavy kernel: the reused arena must schedule

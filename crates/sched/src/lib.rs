@@ -59,7 +59,7 @@ pub mod types;
 pub mod validate;
 pub mod workgraph;
 
-pub use arena::AttemptArena;
+pub use arena::{ArenaPool, AttemptArena};
 pub use port_profile::{port_requirements, PortRequirement};
 pub use pressure::{Pressure, PressureQuery, PressureTracker, ValueLifetime};
 pub use scheduler::{

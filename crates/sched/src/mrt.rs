@@ -292,6 +292,15 @@ impl Mrt {
         self.init_masks();
     }
 
+    /// Re-target the table at a new machine's capacities and clear it for an
+    /// attempt at `ii` — equivalent to [`Mrt::new`] but reusing every row
+    /// vector and availability-mask allocation. The pooled attempt arena
+    /// calls this when re-binding its store to a new (loop, machine) pair.
+    pub fn rebind(&mut self, ii: u32, caps: ResourceCaps) {
+        self.caps = caps;
+        self.reset_for_ii(ii);
+    }
+
     /// The II of the table.
     pub fn ii(&self) -> u32 {
         self.ii

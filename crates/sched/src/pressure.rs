@@ -309,6 +309,20 @@ impl PressureTracker {
         self.scratch.clear();
     }
 
+    /// Re-target the tracker at a new machine's cluster count and clear it
+    /// for an attempt at `ii` — equivalent to [`PressureTracker::new`] but
+    /// reusing the row-vector allocations of the clusters both machines
+    /// have. Called by [`crate::store::PlacementStore::rebind`].
+    pub fn rebind(&mut self, ii: u32, clusters: u32, num_nodes: usize) {
+        let c = clusters as usize;
+        self.clusters = clusters;
+        self.rows_cluster.truncate(c);
+        self.rows_cluster.resize_with(c, Vec::new);
+        self.invariant_cluster.resize(c, 0);
+        self.max_cluster.resize(c, Cell::new((0, true)));
+        self.reset_for_ii(ii, num_nodes);
+    }
+
     /// Keep the per-node arrays in sync with a growing graph.
     pub fn grow(&mut self, num_nodes: usize) {
         if num_nodes > self.lifetimes.len() {

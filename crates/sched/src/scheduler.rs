@@ -28,7 +28,7 @@
 //! before their ejection cascade, counted in
 //! [`SchedulerStats::infeasible_cutoffs`].
 
-use crate::arena::AttemptArena;
+use crate::arena::{ArenaPool, AttemptArena};
 use crate::cluster::select_cluster_recording;
 use crate::pressure::{
     pick_spill_candidate, pick_spill_candidate_from, pressure, Pressure, PressureQuery,
@@ -274,6 +274,23 @@ impl IterativeScheduler {
     /// probes sit outside the attempt loop, so the schedule itself is
     /// bit-identical to `schedule()`'s.
     pub fn schedule_with_timings(&self, ddg: &Ddg) -> (ScheduleResult, PhaseTimings) {
+        self.schedule_with_timings_pooled(ddg, &mut ArenaPool::new())
+    }
+
+    /// [`IterativeScheduler::schedule_with_timings`] drawing the
+    /// [`AttemptArena`] from (and returning it to) a caller-owned
+    /// [`ArenaPool`], so consecutive loops scheduled through the same pool
+    /// rebind one arena's allocations instead of rebuilding per loop. The
+    /// execution engine gives each worker its own pool. Pooling is
+    /// decision-invisible: results are bit-identical to an empty pool's
+    /// (which this method degenerates to under the
+    /// [`IterativeScheduler::with_fresh_arena`] oracle — fresh builds never
+    /// touch the pool).
+    pub fn schedule_with_timings_pooled(
+        &self,
+        ddg: &Ddg,
+        pool: &mut ArenaPool,
+    ) -> (ScheduleResult, PhaseTimings) {
         let lat = self.machine.latencies;
         let mii = self.mii(ddg);
         let max_ii = self.params.max_ii;
@@ -292,6 +309,7 @@ impl IterativeScheduler {
         while ii <= max_ii {
             match self.run_attempt(
                 &mut arena,
+                pool,
                 ddg,
                 ii,
                 &lat,
@@ -314,6 +332,7 @@ impl IterativeScheduler {
                             stats.ii_skips -= 1;
                             let o = self.run_attempt(
                                 &mut arena,
+                                pool,
                                 ddg,
                                 g,
                                 &lat,
@@ -426,6 +445,13 @@ impl IterativeScheduler {
                 }
             }
         }
+        // Hand the arena back for the pool's next loop. Fresh-arena oracle
+        // runs never pooled their builds, so they return nothing either.
+        if !self.fresh_arena {
+            if let Some(a) = arena {
+                pool.put(a);
+            }
+        }
         (result, timings)
     }
 
@@ -436,6 +462,7 @@ impl IterativeScheduler {
     fn run_attempt(
         &self,
         arena: &mut Option<AttemptArena>,
+        pool: &mut ArenaPool,
         ddg: &Ddg,
         ii: u32,
         lat: &OpLatencies,
@@ -446,9 +473,28 @@ impl IterativeScheduler {
         if arena.is_none() || self.fresh_arena {
             let t = Instant::now();
             let t0 = trace.now_ns();
-            *arena = Some(AttemptArena::new(ddg, &self.machine, !self.batch_pressure));
+            let track = !self.batch_pressure;
+            // The fresh-arena oracle rebuilds per attempt and must stay a
+            // true from-scratch baseline, so it never draws from the pool.
+            let (a, rebound) = if self.fresh_arena {
+                (AttemptArena::new(ddg, &self.machine, track), false)
+            } else {
+                let before = pool.rebinds();
+                let a = pool.take(ddg, &self.machine, track);
+                (a, pool.rebinds() > before)
+            };
+            *arena = Some(a);
             timings.graph_build += t.elapsed();
-            trace.span("arena_build", "sched", t0, &[]);
+            trace.span(
+                if rebound {
+                    "arena_rebind"
+                } else {
+                    "arena_build"
+                },
+                "sched",
+                t0,
+                &[],
+            );
         }
         let a = arena.as_mut().expect("just ensured");
         if stats.ii_restarts > 0 {

@@ -101,6 +101,16 @@ impl SlotIndex {
         reshape(&mut self.sp, rows * c);
     }
 
+    /// Re-shape the index for a new machine's capacities (cluster count and
+    /// memory-port sharing can both change) and clear it for an attempt at
+    /// `ii` — equivalent to [`SlotIndex::new`] but reusing the occupancy-list
+    /// allocations. Called by [`PlacementStore::rebind`].
+    pub fn rebind(&mut self, ii: u32, caps: &ResourceCaps) {
+        self.clusters = caps.clusters;
+        self.memory_shared = caps.memory_is_shared();
+        self.reset_for_ii(ii);
+    }
+
     /// Whether a resource class conflicts regardless of cluster.
     fn is_global(&self, class: ResourceClass) -> bool {
         match class {
@@ -312,6 +322,30 @@ impl PlacementStore {
         self.prev_cycle.clear();
         self.prev_cycle.resize(num_nodes, None);
         self.tracker.reset_for_ii(ii, num_nodes);
+        self.worklist.clear();
+        debug_assert!(!self.batch_active);
+        self.batch_touched.clear();
+        self.batch_requeue.clear();
+        self.batch_cands.clear();
+    }
+
+    /// Re-target the store at a new machine's capacities (and pressure
+    /// mode) and clear it for a fresh II ladder — equivalent to
+    /// [`PlacementStore::new`] with an empty order but reusing the MRT,
+    /// slot-index, tracker and per-node array allocations. `num_nodes` is
+    /// the pristine node count of the newly bound working graph. The
+    /// priority order is recomputed separately by the arena's first reset
+    /// (via [`PlacementStore::order_mut`]), exactly as after `new`.
+    pub fn rebind(&mut self, caps: ResourceCaps, num_nodes: usize, track_pressure: bool) {
+        self.ii = 1;
+        self.mrt.rebind(1, caps);
+        self.index.rebind(1, &caps);
+        self.placements.clear();
+        self.placements.resize(num_nodes, None);
+        self.prev_cycle.clear();
+        self.prev_cycle.resize(num_nodes, None);
+        self.tracker.rebind(1, caps.clusters, num_nodes);
+        self.track_pressure = track_pressure;
         self.worklist.clear();
         debug_assert!(!self.batch_active);
         self.batch_touched.clear();

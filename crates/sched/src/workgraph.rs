@@ -163,15 +163,84 @@ impl WorkGraph {
     /// construction, before any communication/spill insertion: the pristine
     /// graph is the loop body plus the permanent memory-interface chains.
     pub fn mark_pristine(&mut self) {
-        self.pristine = Some(PristineMark {
-            nodes: self.ddg.num_nodes(),
-            edges: self.ddg.num_edges(),
-            chains: self.chains.len(),
-            edge_active: self.edge_active.clone(),
-            succ_active_edges: self.succ_active_edges.clone(),
-            pred_active_edges: self.pred_active_edges.clone(),
-            next_spill_base: self.next_spill_base,
-        });
+        match &mut self.pristine {
+            // Re-marking (after a rebind) refills the existing snapshot in
+            // place: `clone_from` reuses the mark's vectors, including the
+            // per-node adjacency allocations.
+            Some(mark) => {
+                mark.nodes = self.ddg.num_nodes();
+                mark.edges = self.ddg.num_edges();
+                mark.chains = self.chains.len();
+                mark.edge_active.clone_from(&self.edge_active);
+                mark.succ_active_edges.clone_from(&self.succ_active_edges);
+                mark.pred_active_edges.clone_from(&self.pred_active_edges);
+                mark.next_spill_base = self.next_spill_base;
+            }
+            None => {
+                self.pristine = Some(PristineMark {
+                    nodes: self.ddg.num_nodes(),
+                    edges: self.ddg.num_edges(),
+                    chains: self.chains.len(),
+                    edge_active: self.edge_active.clone(),
+                    succ_active_edges: self.succ_active_edges.clone(),
+                    pred_active_edges: self.pred_active_edges.clone(),
+                    next_spill_base: self.next_spill_base,
+                });
+            }
+        }
+    }
+
+    /// Re-target this working graph at a *different* loop (and possibly a
+    /// different machine), reusing every allocation the previous binding
+    /// grew: the cloned dependence graph, the activity vectors, the sorted
+    /// active-adjacency lists and the per-node chain indices. Semantically
+    /// equivalent to `WorkGraph::new(original, machine)` — the pooled
+    /// [`crate::arena::AttemptArena`] calls this once per loop instead of
+    /// building a fresh graph, then re-marks the pristine snapshot.
+    ///
+    /// The existing pristine mark (if any) describes the *previous* binding
+    /// and is left untouched; callers must call [`WorkGraph::mark_pristine`]
+    /// before the first reset, exactly as after `new`.
+    pub fn rebind(&mut self, original: &Ddg, machine: &MachineConfig) {
+        let hierarchical = machine.rf.is_hierarchical();
+        let clustered = matches!(machine.rf, RfOrganization::Clustered { .. });
+        self.ddg.clone_from(original);
+        let n = original.num_nodes();
+        fn refill_lists<T>(lists: &mut Vec<Vec<T>>, len: usize) {
+            lists.truncate(len);
+            for l in lists.iter_mut() {
+                l.clear();
+            }
+            lists.resize_with(len, Vec::new);
+        }
+        refill_lists(&mut self.succ_active_edges, n);
+        refill_lists(&mut self.pred_active_edges, n);
+        for (id, list) in original.node_ids().zip(self.succ_active_edges.iter_mut()) {
+            list.extend(original.succ_edges(id).map(|(e, _)| e));
+        }
+        for (id, list) in original.node_ids().zip(self.pred_active_edges.iter_mut()) {
+            list.extend(original.pred_edges(id).map(|(e, _)| e));
+        }
+        self.node_active.clear();
+        self.node_active.resize(n, true);
+        self.edge_active.clear();
+        self.edge_active.resize(original.num_edges(), true);
+        self.spill_reload.clear();
+        self.spill_reload.resize(n, false);
+        self.chains.clear();
+        self.original_nodes = n;
+        self.original_mem_ops = original.memory_ops();
+        self.hierarchical = hierarchical;
+        self.clustered = clustered;
+        self.next_spill_base = 1 << 16;
+        self.pressure_dirty.clear();
+        self.chain_of_node.clear();
+        self.chain_of_node.resize(n, None);
+        refill_lists(&mut self.chains_touching, n);
+        self.topo_version += 1;
+        if hierarchical {
+            self.insert_memory_interface();
+        }
     }
 
     /// Number of nodes of the pristine graph (panics if never marked).
