@@ -24,10 +24,17 @@
 //! count, same resolved thread count — a thread-count mismatch is a hard
 //! conflict, exit 2, because the wall-time trajectory would be meaningless).
 //!
+//! `--only <suite>[/<config>]` narrows a run to one suite (or one sweep)
+//! for quick iteration on a hot spot. A narrowed `--compare` gates only the
+//! sweeps that actually ran — absent suites and configs are *skipped*, not
+//! reported as regressions — and a narrowed run never overwrites the
+//! default trajectory file (pass `--out` explicitly to write a partial
+//! document).
+//!
 //! ```text
 //! bench_sched [--loops N] [--churn N] [--wide N] [--threads 0]
-//!             [--out BENCH_sched.json] [--compare BASELINE.json]
-//!             [--tolerance 2.0] [--trace PATH]
+//!             [--only SUITE[/CONFIG]] [--out BENCH_sched.json]
+//!             [--compare BASELINE.json] [--tolerance 2.0] [--trace PATH]
 //! ```
 
 use hcrf_engine::Engine;
@@ -47,6 +54,7 @@ struct Args {
     churn: usize,
     wide: usize,
     sizes_explicit: bool,
+    only: Option<(String, Option<String>)>,
     threads: usize,
     out: PathBuf,
     out_explicit: bool,
@@ -61,6 +69,7 @@ fn parse_args() -> Args {
         churn: 16,
         wide: 8,
         sizes_explicit: false,
+        only: None,
         threads: 0,
         out: PathBuf::from("BENCH_sched.json"),
         out_explicit: false,
@@ -91,6 +100,24 @@ fn parse_args() -> Args {
                 args.wide = value(&mut i).parse().expect("--wide N");
                 args.sizes_explicit = true;
             }
+            "--only" => {
+                let v = value(&mut i);
+                let (suite, config) = match v.split_once('/') {
+                    Some((s, c)) => (s.to_string(), Some(c.to_string())),
+                    None => (v, None),
+                };
+                if !["standard", "churn", "wide"].contains(&suite.as_str()) {
+                    eprintln!("bench_sched: --only: unknown suite '{suite}'");
+                    std::process::exit(2);
+                }
+                if let Some(c) = &config {
+                    if !CONFIGS.contains(&c.as_str()) {
+                        eprintln!("bench_sched: --only: unknown config '{c}'");
+                        std::process::exit(2);
+                    }
+                }
+                args.only = Some((suite, config));
+            }
             "--threads" => args.threads = value(&mut i).parse().expect("--threads N"),
             "--out" => {
                 args.out = PathBuf::from(value(&mut i));
@@ -102,7 +129,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench_sched [--loops N] [--churn N] [--wide N] [--threads 0] \
-                     [--out PATH] [--compare BASELINE.json] [--tolerance 2.0] [--trace PATH]"
+                     [--only SUITE[/CONFIG]] [--out PATH] [--compare BASELINE.json] \
+                     [--tolerance 2.0] [--trace PATH]"
                 );
                 std::process::exit(0);
             }
@@ -158,6 +186,8 @@ fn run_sweep(
         sweep.stats.ii_skips += r.stats.ii_skips;
         sweep.stats.arena_resets += r.stats.arena_resets;
         sweep.stats.budget_exhausts += r.stats.budget_exhausts;
+        sweep.stats.warm_starts += r.stats.warm_starts;
+        sweep.stats.warm_nodes_retained += r.stats.warm_nodes_retained;
         sweep.phases.absorb(phases);
     }
     sweep.wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -171,7 +201,7 @@ fn ms(d: std::time::Duration) -> Json {
 /// Work counters whose values must be bit-identical run-to-run (and hence
 /// across compared runs at equal suite sizes): the scheduler is
 /// deterministic, so any drift means the algorithm changed behaviour.
-const EXACT_KEYS: [&str; 11] = [
+const EXACT_KEYS: [&str; 13] = [
     "loops",
     "failed",
     "sum_ii",
@@ -183,6 +213,8 @@ const EXACT_KEYS: [&str; 11] = [
     "ii_skips",
     "arena_resets",
     "budget_exhausts",
+    "warm_starts",
+    "warm_nodes_retained",
 ];
 
 fn sweep_json(sweep: &Sweep) -> Json {
@@ -205,11 +237,17 @@ fn sweep_json(sweep: &Sweep) -> Json {
             "budget_exhausts",
             Json::u64(sweep.stats.budget_exhausts as u64),
         ),
+        ("warm_starts", Json::u64(sweep.stats.warm_starts as u64)),
+        (
+            "warm_nodes_retained",
+            Json::u64(sweep.stats.warm_nodes_retained),
+        ),
         (
             "phase_ms",
             Json::obj(vec![
                 ("graph_build", ms(sweep.phases.graph_build)),
                 ("order", ms(sweep.phases.order)),
+                ("warm_start", ms(sweep.phases.warm_start)),
                 ("resets", ms(sweep.phases.resets)),
                 ("attempts", ms(sweep.phases.attempts)),
             ]),
@@ -357,6 +395,8 @@ fn load_baseline(args: &mut Args, threads: usize) -> (Json, bool) {
 
 /// Compare the fresh sweeps against a baseline document. Returns the number
 /// of violations (exact-counter mismatches plus wall-time regressions).
+/// Sweeps absent from either side — a run narrowed with `--only`, or a
+/// baseline predating a suite — are skipped, never counted as regressions.
 fn compare_against(
     baseline: &Json,
     comparable: bool,
@@ -366,7 +406,9 @@ fn compare_against(
     let mut violations = 0usize;
     for (suite_name, configs) in suite_objs {
         for config in CONFIGS {
-            let current = configs.get(config).expect("fresh sweep present");
+            let Some(current) = configs.get(config) else {
+                continue;
+            };
             let base = baseline
                 .get("suites")
                 .and_then(|s| s.get(suite_name))
@@ -450,18 +492,30 @@ fn main() {
 
     let mut suite_objs = Vec::new();
     for (suite_name, loops, params) in &suites {
+        if let Some((only_suite, _)) = &args.only {
+            if only_suite != suite_name {
+                continue;
+            }
+        }
         let mut config_objs = Vec::new();
         for config in CONFIGS {
+            if let Some((_, Some(only_config))) = &args.only {
+                if only_config != config {
+                    continue;
+                }
+            }
             let sweep = run_sweep(&engine, loops, config, *params, &telemetry);
             println!(
                 "{suite_name:>8} / {config:<8} {:>9.1} ms | {:>9} ejections | {:>5} guard trips \
-                 | {:>6} infeasible cutoffs | {:>6} II restarts | {:>5} II skips{}",
+                 | {:>6} infeasible cutoffs | {:>6} II restarts | {:>5} II skips \
+                 | {:>5} warm starts{}",
                 sweep.wall_ms,
                 sweep.stats.ejections,
                 sweep.stats.guard_trips,
                 sweep.stats.infeasible_cutoffs,
                 sweep.stats.ii_restarts,
                 sweep.stats.ii_skips,
+                sweep.stats.warm_starts,
                 if sweep.failed > 0 {
                     format!(" | {} failed", sweep.failed)
                 } else {
@@ -495,6 +549,11 @@ fn main() {
         if !args.out_explicit {
             return;
         }
+    }
+
+    if args.only.is_some() && !args.out_explicit {
+        println!("narrowed run (--only); trajectory not written — pass --out to force");
+        return;
     }
 
     let doc = Json::obj(vec![

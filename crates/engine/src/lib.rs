@@ -159,9 +159,13 @@ impl Engine {
     /// neither depends on the worker count — only `on_group`'s *call order*
     /// (and which worker ran which task) varies between runs.
     ///
-    /// Groups are seeded round-robin across the worker deques with their
-    /// inner tasks contiguous, so stealing (which moves the back half of a
-    /// deque) redistributes a slow group's tail across idle workers.
+    /// The task stream (groups in order, each group's inner tasks
+    /// contiguous and in index order) is seeded across the worker deques in
+    /// balanced contiguous shares *by task count*, so every worker starts
+    /// with work even when a few large groups dominate — seeding whole
+    /// groups round-robin used to leave `workers - groups` deques empty
+    /// behind steal chains. Stealing (which moves the back half of a deque)
+    /// still redistributes a slow share's tail across idle workers.
     ///
     /// If a task panics, completed groups still stream to `on_group`, then
     /// the panic resumes on the caller's thread.
@@ -285,19 +289,18 @@ impl Engine {
         T: Send,
         R: Send,
     {
-        // Seed the deques: groups round-robin across workers, each group's
-        // inner tasks contiguous and in index order.
+        // Seed the deques: the task stream (groups in order, inner tasks in
+        // index order) splits into balanced contiguous shares by *task*
+        // count — `workers <= total` (the caller clamps), so every worker
+        // starts with at least one task no matter how few groups there are.
+        let total: usize = group_sizes.iter().sum();
         let mut seeded: Vec<VecDeque<(u32, u32)>> = (0..workers).map(|_| VecDeque::new()).collect();
-        let mut nonempty = 0usize;
+        let mut t = 0usize;
         for (g, &size) in group_sizes.iter().enumerate() {
-            if size == 0 {
-                continue;
-            }
-            let q = &mut seeded[nonempty % workers];
             for index in 0..size {
-                q.push_back((g as u32, index as u32));
+                seeded[t * workers / total].push_back((g as u32, index as u32));
+                t += 1;
             }
-            nonempty += 1;
         }
         let deques: Vec<Mutex<VecDeque<(u32, u32)>>> = seeded.into_iter().map(Mutex::new).collect();
 
@@ -586,14 +589,17 @@ mod tests {
 
     #[test]
     fn idle_workers_steal_from_loaded_deques() {
-        // One group holds every task, so it seeds a single deque; the other
-        // workers have nothing and must steal to participate.
+        // Worker 0's seeded share (tasks 0..4) is slow and everything else
+        // is instant: the other workers drain their own shares long before
+        // the slow share finishes and must steal its tail to participate.
         let engine = Engine::new(4);
         let run = engine.run_two_level(
             &[16usize],
             |w| w,
             |_, ctx| {
-                std::thread::sleep(Duration::from_millis(5));
+                if ctx.index < 4 {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
                 ctx.index
             },
             |_, inners| inners,
@@ -605,6 +611,45 @@ mod tests {
             "expected at least one steal, report: {:?}",
             run.report
         );
+    }
+
+    #[test]
+    fn task_balanced_seeding_gives_every_worker_work() {
+        // Two groups of 16 tasks on 8 workers: seeding whole groups
+        // round-robin would fill only two deques and leave six workers
+        // queueing behind steal chains; the task-balanced shares seed all
+        // eight deques with four tasks each. Every task holds until every
+        // worker has reported in — a worker cannot go idle (and so cannot
+        // steal) before its first pop, which comes from its own deque, so
+        // the all-workers-participate assertion is deterministic.
+        let seen: Vec<AtomicBool> = (0..8).map(|_| AtomicBool::new(false)).collect();
+        let run = Engine::new(8).run_two_level(
+            &[16usize, 16],
+            |w| w,
+            |_, ctx| {
+                seen[ctx.worker].store(true, Ordering::SeqCst);
+                // Bounded wait so a scheduling pathology fails the test
+                // instead of hanging it.
+                for _ in 0..5000 {
+                    if seen.iter().all(|b| b.load(Ordering::SeqCst)) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                (ctx.group, ctx.index)
+            },
+            |g, inners| (g, inners),
+            |_, _| {},
+        );
+        assert!(
+            seen.iter().all(|b| b.load(Ordering::SeqCst)),
+            "a worker never saw a task, report: {:?}",
+            run.report
+        );
+        for (g, (group, inners)) in run.results.iter().enumerate() {
+            assert_eq!(*group, g);
+            assert_eq!(inners, &(0..16).map(|i| (g, i)).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct AttemptArena {
     pristine_nodes: usize,
     /// Scheduling budget of the current attempt (set by the scheduler).
     pub(crate) budget: i64,
+    /// Whether the current attempt is a warm probe: it only places into
+    /// free slots and hands the rung to the cold retry at the first forced
+    /// ejection (set per attempt by the scheduler).
+    pub(crate) warm_probe: bool,
     /// Work counters of the current attempt only (the ladder accumulates
     /// them across restarts).
     pub(crate) stats: SchedulerStats,
@@ -83,6 +87,9 @@ pub struct AttemptArena {
     /// and placed neighbours that could need communication for some cluster
     /// choice, reused by the communication-insertion scan.
     pub(crate) comm_cands: Vec<(EdgeId, u32)>,
+    /// Scratch for the nodes of one inserted communication/spill chain,
+    /// reused across every insertion of the attempt.
+    pub(crate) chain_nodes: Vec<NodeId>,
     /// Trace buffer the hot paths record into. Disabled (recording nothing)
     /// unless the scheduler swaps its live buffer in around an attempt.
     pub(crate) trace: TraceBuf,
@@ -113,12 +120,14 @@ impl AttemptArena {
             order_ready: false,
             pristine_nodes,
             budget: 0,
+            warm_probe: false,
             stats: SchedulerStats::default(),
             ii: 1,
             violators: Vec::new(),
             pred_bounds: Vec::new(),
             succ_bounds: Vec::new(),
             comm_cands: Vec::new(),
+            chain_nodes: Vec::new(),
             trace: TraceBuf::default(),
         }
     }
@@ -149,6 +158,7 @@ impl AttemptArena {
         self.pred_bounds.clear();
         self.succ_bounds.clear();
         self.comm_cands.clear();
+        self.chain_nodes.clear();
         self.trace = TraceBuf::default();
     }
 
@@ -187,6 +197,76 @@ impl AttemptArena {
         order_time
     }
 
+    /// Snapshot the surviving placements of the current (failed) attempt
+    /// for a warm-started restart: one `(node, cycle, cluster)` triple per
+    /// placed *original* node, in ascending node id. Placements of inserted
+    /// communication/spill nodes are deliberately excluded — the restart
+    /// truncates those chains exactly like a cold reset, and their owners
+    /// re-insert what the new II still needs.
+    pub fn capture_warm_snapshot(&self, buf: &mut Vec<(NodeId, i64, u32)>) {
+        buf.clear();
+        for i in 0..self.pristine_nodes {
+            let n = NodeId(i as u32);
+            if let Some((cycle, cluster)) = self.store.placement(n) {
+                buf.push((n, cycle, cluster));
+            }
+        }
+    }
+
+    /// [`AttemptArena::reset`] for a warm-started attempt: the cold reset
+    /// runs first (pristine graph, re-shaped store, priority order), then
+    /// [`PlacementStore::warm_remap`] modulo-remaps the snapshot's surviving
+    /// placements into the new MRT, and only the nodes it could not retain
+    /// are requeued. In debug builds every remap is cross-checked against
+    /// [`PlacementStore::check_consistency`].
+    pub fn reset_warm(
+        &mut self,
+        ii: u32,
+        lat: &OpLatencies,
+        snapshot: &[(NodeId, i64, u32)],
+        binding_prefetch: bool,
+    ) -> WarmReset {
+        let ii = ii.max(1);
+        self.w.reset_to_pristine();
+        self.store.reset_for_ii(ii, self.pristine_nodes);
+        let order_time = if self.order_ii_sensitive || !self.order_ready {
+            let t = Instant::now();
+            priority_order_into(
+                &self.w,
+                lat,
+                ii,
+                self.store.order_mut(),
+                &mut self.order_scratch,
+            );
+            self.order_ready = true;
+            t.elapsed()
+        } else {
+            Duration::ZERO
+        };
+        let t = Instant::now();
+        let retained = self
+            .store
+            .warm_remap(&mut self.w, snapshot, lat, binding_prefetch);
+        for n in self.w.active_nodes() {
+            if !self.store.is_placed(n) {
+                self.store.requeue(n);
+            }
+        }
+        let remap_time = t.elapsed();
+        self.ii = ii;
+        self.budget = 0;
+        self.stats = SchedulerStats::default();
+        #[cfg(debug_assertions)]
+        if let Some(err) = self.store.check_consistency(&self.w, lat) {
+            panic!("warm remap corrupted the store at II {ii}: {err}");
+        }
+        WarmReset {
+            order_time,
+            remap_time,
+            retained,
+        }
+    }
+
     /// Read access to the working graph.
     pub fn workgraph(&self) -> &WorkGraph {
         &self.w
@@ -208,6 +288,18 @@ impl AttemptArena {
     pub fn parts_mut(&mut self) -> (&mut WorkGraph, &mut PlacementStore) {
         (&mut self.w, &mut self.store)
     }
+}
+
+/// What one [`AttemptArena::reset_warm`] did: the order/remap split of its
+/// wall time and how many snapshot placements survived the remap.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmReset {
+    /// Time spent recomputing the priority order (zero when skipped).
+    pub order_time: Duration,
+    /// Time spent remapping and requeueing.
+    pub remap_time: Duration,
+    /// Snapshot placements retained at the new II.
+    pub retained: u32,
 }
 
 /// A reusable slot holding one worker's [`AttemptArena`] *across* loops.

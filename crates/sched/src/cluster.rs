@@ -6,7 +6,7 @@
 //! clusters and (c) balance register pressure.
 
 use crate::mrt::Mrt;
-use crate::pressure::PressureQuery;
+use crate::pressure::{PlacementView, PressureQuery};
 use crate::workgraph::WorkGraph;
 use hcrf_ir::{EdgeId, NodeId, OpKind, ResourceClass};
 
@@ -28,11 +28,11 @@ pub struct ClusterChoice {
 /// * `LoadR` nodes go to the cluster of their (placed or unplaced) FU
 ///   consumers; `StoreR` nodes to the cluster of their producer.
 /// * Every other node is scored against each cluster.
-pub fn select_cluster(
+pub fn select_cluster<P: PlacementView + ?Sized>(
     u: NodeId,
     w: &WorkGraph,
     mrt: &Mrt,
-    placements: &[Option<(i64, u32)>],
+    placements: &P,
     pressure: &dyn PressureQuery,
 ) -> ClusterChoice {
     let mut cands = Vec::new();
@@ -49,11 +49,11 @@ pub fn select_cluster(
 /// a re-walk of the whole neighbourhood. A returned `false` flag means a
 /// fast path skipped the scoring walk and the caller must fall back to the
 /// full scan.
-pub fn select_cluster_recording(
+pub fn select_cluster_recording<P: PlacementView + ?Sized>(
     u: NodeId,
     w: &WorkGraph,
     mrt: &Mrt,
-    placements: &[Option<(i64, u32)>],
+    placements: &P,
     pressure: &dyn PressureQuery,
     comm_candidates: &mut Vec<(EdgeId, u32)>,
 ) -> (ClusterChoice, bool) {
@@ -117,7 +117,7 @@ pub fn select_cluster_recording(
     if fast {
         let other = |nc: u32| if nc == 0 { 1 } else { 0 };
         for (id, e) in w.active_pred_edges(u) {
-            if let Some((_, pc)) = placements[e.src.index()] {
+            if let Some((_, pc)) = placements.placement_of(e.src) {
                 let same = w.needs_communication(e, pc, pc);
                 let diff = w.needs_communication(e, pc, other(pc));
                 if same == diff {
@@ -134,7 +134,7 @@ pub fn select_cluster_recording(
             }
         }
         for (id, e) in w.active_succ_edges(u) {
-            if let Some((_, sc)) = placements[e.dst.index()] {
+            if let Some((_, sc)) = placements.placement_of(e.dst) {
                 let same = w.needs_communication(e, sc, sc);
                 let diff = w.needs_communication(e, other(sc), sc);
                 if same == diff {
@@ -188,9 +188,9 @@ enum Direction {
     Consumers,
 }
 
-fn placed_neighbor_cluster(
+fn placed_neighbor_cluster<P: PlacementView + ?Sized>(
     w: &WorkGraph,
-    placements: &[Option<(i64, u32)>],
+    placements: &P,
     u: NodeId,
     dir: Direction,
 ) -> Option<u32> {
@@ -201,7 +201,7 @@ fn placed_neighbor_cluster(
     let mut fu_cluster = None;
     let mut any_cluster = None;
     let mut visit = |n: NodeId| {
-        let Some((_, c)) = placements[n.index()] else {
+        let Some((_, c)) = placements.placement_of(n) else {
             return;
         };
         if w.ddg.node(n).kind.resource_class() == ResourceClass::Fu {
@@ -233,22 +233,22 @@ fn placed_neighbor_cluster(
 /// Number of placed flow neighbours of `u` that would sit in a different
 /// cluster if `u` were placed on cluster `c` (and would therefore require a
 /// communication chain).
-pub fn communication_cost(
+pub fn communication_cost<P: PlacementView + ?Sized>(
     w: &WorkGraph,
-    placements: &[Option<(i64, u32)>],
+    placements: &P,
     u: NodeId,
     c: u32,
 ) -> u32 {
     let mut cost = 0u32;
     for (_, e) in w.active_pred_edges(u) {
-        if let Some((_, pc)) = placements[e.src.index()] {
+        if let Some((_, pc)) = placements.placement_of(e.src) {
             if w.needs_communication(e, pc, c) {
                 cost += 1;
             }
         }
     }
     for (_, e) in w.active_succ_edges(u) {
-        if let Some((_, sc)) = placements[e.dst.index()] {
+        if let Some((_, sc)) = placements.placement_of(e.dst) {
             if w.needs_communication(e, c, sc) {
                 cost += 1;
             }

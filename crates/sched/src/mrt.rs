@@ -395,7 +395,7 @@ impl Mrt {
     /// Number of FU-slot copies an operation with total occupancy `occ`
     /// needs in relative row `k` of the table (it keeps a unit busy in every
     /// row for `ceil(occ / ii)` overlapped iterations when `occ >= ii`).
-    fn fu_copies(&self, occ: u32, k: u32) -> u16 {
+    pub(crate) fn fu_copies(&self, occ: u32, k: u32) -> u16 {
         let copies = (occ / self.ii) + u32::from(k < occ % self.ii);
         copies.max(1).min(occ) as u16
     }
@@ -652,36 +652,61 @@ impl Mrt {
     }
 
     fn adjust(&mut self, kind: OpKind, cycle: i64, cluster: u32, lat: &OpLatencies, delta: i32) {
+        match kind.resource_class() {
+            ResourceClass::Fu => {
+                let occ = Self::occupancy(kind, lat);
+                let span = occ.min(self.ii);
+                for k in 0..span {
+                    let copies = self.fu_copies(occ, k);
+                    let row = (cycle + k as i64).rem_euclid(self.ii as i64) as u32;
+                    self.fu_adjust_row(row, copies, cluster, delta);
+                }
+            }
+            class => self.adjust_single(class, cycle, cluster, delta),
+        }
+    }
+
+    /// One row of an FU reservation: the row count, the incremental
+    /// free-slot total and the availability bit all move together. `copies`
+    /// is the per-row unit-copy count ([`Mrt::fu_copies`]). Exposed so the
+    /// store's fused place/eject transaction can interleave these updates
+    /// with the slot-index row lists in one walk over the occupancy span.
+    pub(crate) fn fu_adjust_row(&mut self, row: u32, copies: u16, cluster: u32, delta: i32) {
+        let words = self.words();
+        let cap = self.caps.fus_per_cluster as i64;
+        let i = row as usize * self.caps.clusters as usize + cluster as usize;
+        let old = self.fu[i];
+        self.fu[i] = (old as i32 + delta * copies as i32).max(0) as u16;
+        // Free slots clamp at 0 on (transient) over-subscription, mirroring
+        // what the O(II) recount would see.
+        let free_delta = (cap - self.fu[i] as i64).max(0) - (cap - old as i64).max(0);
+        let free = &mut self.fu_free[cluster as usize];
+        *free = (*free as i64 + free_delta).max(0) as u32;
+        let avail = row_avail(self.fu[i], self.caps.fus_per_cluster);
+        let base = cluster as usize * words;
+        write_bit(&mut self.fu_avail[base..][..words], row as usize, avail);
+    }
+
+    /// Single-row count+mask adjustment for the non-FU classes (their
+    /// reservations pin the class resource only in the issue row; the slot
+    /// index still lists the node across its whole occupancy span). The
+    /// other half of the fused-transaction surface next to
+    /// [`Mrt::fu_adjust_row`].
+    pub(crate) fn adjust_single(
+        &mut self,
+        class: ResourceClass,
+        cycle: i64,
+        cluster: u32,
+        delta: i32,
+    ) {
         let apply = |v: &mut u16| {
             let nv = (*v as i32 + delta).max(0);
             *v = nv as u16;
         };
         let words = self.words();
         let block = |cluster: u32| cluster as usize * words;
-        match kind.resource_class() {
-            ResourceClass::Fu => {
-                let occ = Self::occupancy(kind, lat);
-                let span = occ.min(self.ii);
-                let cap = self.caps.fus_per_cluster as i64;
-                let mut free_delta = 0i64;
-                let base = block(cluster);
-                for k in 0..span {
-                    let copies = self.fu_copies(occ, k);
-                    let row = (cycle + k as i64).rem_euclid(self.ii as i64) as usize;
-                    let i = row * self.caps.clusters as usize + cluster as usize;
-                    let old = self.fu[i];
-                    for _ in 0..copies {
-                        apply(&mut self.fu[i]);
-                    }
-                    // Free slots clamp at 0 on (transient) over-subscription,
-                    // mirroring what the O(II) recount would see.
-                    free_delta += (cap - self.fu[i] as i64).max(0) - (cap - old as i64).max(0);
-                    let avail = row_avail(self.fu[i], self.caps.fus_per_cluster);
-                    write_bit(&mut self.fu_avail[base..][..words], row, avail);
-                }
-                let free = &mut self.fu_free[cluster as usize];
-                *free = (*free as i64 + free_delta).max(0) as u32;
-            }
+        match class {
+            ResourceClass::Fu => unreachable!("FU reservations go through fu_adjust_row"),
             ResourceClass::MemPort => {
                 if self.caps.memory_is_shared() {
                     let r = self.row_of(cycle);

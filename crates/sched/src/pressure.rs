@@ -93,6 +93,30 @@ impl PressureQuery for Pressure {
     }
 }
 
+/// Read-only view of the per-node placements a pressure or cluster query
+/// walks. Implemented by the plain `Option<(cycle, cluster)>` slices the
+/// batch oracle and the tests build, and by the store's contiguous SoA hot
+/// block ([`crate::store::NodeHot`]), so the exact same generic code runs
+/// over either layout — the two engines cannot diverge on representation.
+pub trait PlacementView {
+    /// Placement of node `n`: `(cycle, cluster)`, or `None` when unplaced.
+    fn placement_of(&self, n: NodeId) -> Option<(i64, u32)>;
+}
+
+impl PlacementView for [Option<(i64, u32)>] {
+    #[inline]
+    fn placement_of(&self, n: NodeId) -> Option<(i64, u32)> {
+        self[n.index()]
+    }
+}
+
+impl PlacementView for Vec<Option<(i64, u32)>> {
+    #[inline]
+    fn placement_of(&self, n: NodeId) -> Option<(i64, u32)> {
+        self[n.index()]
+    }
+}
+
 /// Compute the register pressure of the (possibly partial) schedule held in
 /// `placements` (`None` = not yet scheduled).
 ///
@@ -100,9 +124,9 @@ impl PressureQuery for Pressure {
 /// yet placed are ignored (their future contribution will be re-checked when
 /// they are scheduled, which is when the paper's `Check_&_Insert_Spill`
 /// runs again).
-pub fn pressure(
+pub fn pressure<P: PlacementView + ?Sized>(
     w: &WorkGraph,
-    placements: &[Option<(i64, u32)>],
+    placements: &P,
     ii: u32,
     clusters: u32,
     lat: &OpLatencies,
@@ -119,7 +143,7 @@ pub fn pressure(
     let mut invariant_shared = 0u32;
 
     for def in w.active_nodes() {
-        let Some((def_cycle, def_cluster)) = placements[def.index()] else {
+        let Some((def_cycle, def_cluster)) = placements.placement_of(def) else {
             continue;
         };
         let node = w.ddg.node(def);
@@ -148,7 +172,7 @@ pub fn pressure(
             if !w.is_active(e.dst) {
                 continue;
             }
-            let Some((use_cycle, _)) = placements[e.dst.index()] else {
+            let Some((use_cycle, _)) = placements.placement_of(e.dst) else {
                 continue;
             };
             let read = use_cycle + (ii as i64) * e.distance as i64;
@@ -343,47 +367,74 @@ impl PressureTracker {
     /// of `last_consumer` must be reproduced); an *ejection* of `node`
     /// leaves every producer whose recorded `last_consumer` is a different
     /// node untouched — removing a non-final consumer cannot move the end.
-    pub fn touch(&mut self, w: &WorkGraph, placements: &[Option<(i64, u32)>], node: NodeId) {
-        self.refresh(w, placements, node);
-        let placed = placements[node.index()];
+    pub fn touch<P: PlacementView + ?Sized>(
+        &mut self,
+        w: &WorkGraph,
+        placements: &P,
+        node: NodeId,
+    ) {
+        self.touch_all(w, placements, std::slice::from_ref(&node));
+    }
+
+    /// [`PressureTracker::touch`] over a whole ejection batch: the producer
+    /// rescans every member demands are collected across the batch and
+    /// deduplicated before running, so a def feeding several victims is
+    /// re-derived once instead of once per victim. Refreshing is idempotent
+    /// and depends only on the current graph and placements, so the deferred,
+    /// id-ordered rescans converge to the exact tracker state the per-victim
+    /// eager rescans reach.
+    pub fn touch_all<P: PlacementView + ?Sized>(
+        &mut self,
+        w: &WorkGraph,
+        placements: &P,
+        nodes: &[NodeId],
+    ) {
         let mut preds = std::mem::take(&mut self.scratch);
         preds.clear();
-        for (_, e) in w
-            .active_pred_edges(node)
-            .filter(|(_, e)| e.kind == DepKind::Flow && e.src != node)
-        {
-            let p = e.src;
-            match (placed, self.lifetimes[p.index()]) {
-                (Some((use_cycle, _)), Some(lt)) => {
-                    let read = use_cycle + (self.ii as i64) * e.distance as i64;
-                    if read + 1 > lt.end {
-                        // The new consumer strictly extends the lifetime: a
-                        // rescan would find `node` as the unique maximum.
-                        let new_lt = ValueLifetime {
-                            end: read + 1,
-                            last_consumer: Some(node),
-                            ..lt
-                        };
-                        self.delta_apply(Some(&lt), Some(&new_lt));
-                        self.lifetimes[p.index()] = Some(new_lt);
-                    } else if read + 1 == lt.end {
-                        // Tie with the current end: `last_consumer` follows
-                        // edge order, which only the rescan knows.
-                        preds.push(p);
+        for &node in nodes {
+            self.refresh(w, placements, node);
+            let placed = placements.placement_of(node);
+            for (_, e) in w
+                .active_pred_edges(node)
+                .filter(|(_, e)| e.kind == DepKind::Flow && e.src != node)
+            {
+                let p = e.src;
+                match (placed, self.lifetimes[p.index()]) {
+                    (Some((use_cycle, _)), Some(lt)) => {
+                        let read = use_cycle + (self.ii as i64) * e.distance as i64;
+                        if read + 1 > lt.end {
+                            // The new consumer strictly extends the lifetime:
+                            // a rescan would find `node` as the unique
+                            // maximum.
+                            let new_lt = ValueLifetime {
+                                end: read + 1,
+                                last_consumer: Some(node),
+                                ..lt
+                            };
+                            self.delta_apply(Some(&lt), Some(&new_lt));
+                            self.lifetimes[p.index()] = Some(new_lt);
+                        } else if read + 1 == lt.end {
+                            // Tie with the current end: `last_consumer`
+                            // follows edge order, which only the rescan
+                            // knows.
+                            preds.push(p);
+                        }
                     }
-                }
-                (None, Some(lt)) => {
-                    if lt.last_consumer == Some(node) {
-                        preds.push(p);
+                    (None, Some(lt)) => {
+                        if lt.last_consumer == Some(node) {
+                            preds.push(p);
+                        }
+                        // Ejecting a non-final consumer cannot move the end.
                     }
-                    // Ejecting a non-final consumer cannot move the end.
+                    // No stored lifetime: the producer is unplaced, inactive
+                    // or defines no value — the rescan is already cheap, and
+                    // it also covers a first-ever contribution.
+                    _ => preds.push(p),
                 }
-                // No stored lifetime: the producer is unplaced, inactive or
-                // defines no value — the rescan is already cheap, and it
-                // also covers a first-ever contribution.
-                _ => preds.push(p),
             }
         }
+        preds.sort_unstable_by_key(|n| n.index());
+        preds.dedup();
         for &p in &preds {
             self.refresh(w, placements, p);
         }
@@ -401,14 +452,19 @@ impl PressureTracker {
     /// graph rewiring, and most of those calls end with an unchanged (or
     /// only slightly stretched) lifetime — the old clear-and-rebuild paid
     /// O(II) row writes and a cache invalidation for every one of them.
-    pub fn refresh(&mut self, w: &WorkGraph, placements: &[Option<(i64, u32)>], node: NodeId) {
+    pub fn refresh<P: PlacementView + ?Sized>(
+        &mut self,
+        w: &WorkGraph,
+        placements: &P,
+        node: NodeId,
+    ) {
         let i = node.index();
         self.grow(i + 1);
         // Derive the node's current contributions.
         let mut new_invariant = None;
         let mut new_lt = None;
         if w.is_active(node) {
-            if let Some((def_cycle, def_cluster)) = placements[i] {
+            if let Some((def_cycle, def_cluster)) = placements.placement_of(node) {
                 let n = w.ddg.node(node);
                 if n.reads_invariant {
                     new_invariant = Some(match w.def_bank(node, def_cluster) {
@@ -425,7 +481,7 @@ impl PressureTracker {
                             if e.kind != DepKind::Flow || !w.is_active(e.dst) {
                                 continue;
                             }
-                            let Some((use_cycle, _)) = placements[e.dst.index()] else {
+                            let Some((use_cycle, _)) = placements.placement_of(e.dst) else {
                                 continue;
                             };
                             let read = use_cycle + (self.ii as i64) * e.distance as i64;
@@ -482,6 +538,13 @@ impl PressureTracker {
     /// footprint (only the `last_consumer` moved) touch nothing at all and
     /// keep the cached bank maximum valid; same-start stretches touch only
     /// the `|rem₂ - rem₁|` rows the partial window grew or shrank by.
+    ///
+    /// The cached bank maximum is carried through the row writes instead of
+    /// being invalidated: increments can only raise the maximum to the
+    /// largest value they write, and a decrement can only move it when it
+    /// hits a row currently *at* the maximum — so the O(II) rescan is
+    /// deferred to the rare shrink-from-the-max (and the `full`-count
+    /// transition, where a lifetime crosses a multiple of II).
     fn delta_apply(&mut self, old: Option<&ValueLifetime>, new: Option<&ValueLifetime>) {
         match (old, new) {
             (Some(o), Some(n)) if o.bank == n.bank => {
@@ -491,22 +554,47 @@ impl PressureTracker {
                 if (f1, r1, s1) == (f2, r2, s2) {
                     return;
                 }
-                let rows = match n.bank {
-                    BankAssignment::Cluster(c) => {
-                        self.max_cluster[c as usize].set((0, false));
-                        &mut self.rows_cluster[c as usize]
-                    }
-                    BankAssignment::Shared => {
-                        self.max_shared.set((0, false));
-                        &mut self.rows_shared
-                    }
+                let (cell, rows) = match n.bank {
+                    BankAssignment::Cluster(c) => (
+                        &self.max_cluster[c as usize],
+                        &mut self.rows_cluster[c as usize],
+                    ),
+                    BankAssignment::Shared => (&self.max_shared, &mut self.rows_shared),
                 };
                 if f1 != f2 {
+                    // Every row moves by the full-count delta; the window
+                    // adjustment below may then touch some rows a second
+                    // time, so per-write max tracking cannot see final
+                    // values — fall back to invalidation.
+                    cell.set((0, false));
                     let d = f2 as i64 - f1 as i64;
                     for r in rows.iter_mut() {
                         *r = (*r as i64 + d) as u32;
                     }
+                    if s1 == s2 {
+                        let (lo, hi) = (r1.min(r2), r1.max(r2));
+                        let grow = r2 > r1;
+                        for k in lo..hi {
+                            let r = ((s1 + k) % ii) as usize;
+                            if grow {
+                                rows[r] += 1;
+                            } else {
+                                rows[r] -= 1;
+                            }
+                        }
+                    } else {
+                        for k in 0..r1 {
+                            rows[((s1 + k) % ii) as usize] -= 1;
+                        }
+                        for k in 0..r2 {
+                            rows[((s2 + k) % ii) as usize] += 1;
+                        }
+                    }
+                    return;
                 }
+                let (cached, valid) = cell.get();
+                let mut grew_to = 0u32;
+                let mut shrank_from_max = false;
                 if s1 == s2 {
                     let (lo, hi) = (r1.min(r2), r1.max(r2));
                     let grow = r2 > r1;
@@ -514,16 +602,31 @@ impl PressureTracker {
                         let r = ((s1 + k) % ii) as usize;
                         if grow {
                             rows[r] += 1;
+                            grew_to = grew_to.max(rows[r]);
                         } else {
+                            shrank_from_max |= rows[r] == cached;
                             rows[r] -= 1;
                         }
                     }
                 } else {
+                    // Shrink first, grow last: a row in both windows ends on
+                    // its increment, so `grew_to` reads final values.
                     for k in 0..r1 {
-                        rows[((s1 + k) % ii) as usize] -= 1;
+                        let r = ((s1 + k) % ii) as usize;
+                        shrank_from_max |= rows[r] == cached;
+                        rows[r] -= 1;
                     }
                     for k in 0..r2 {
-                        rows[((s2 + k) % ii) as usize] += 1;
+                        let r = ((s2 + k) % ii) as usize;
+                        rows[r] += 1;
+                        grew_to = grew_to.max(rows[r]);
+                    }
+                }
+                if valid {
+                    if shrank_from_max {
+                        cell.set((0, false));
+                    } else {
+                        cell.set((cached.max(grew_to), true));
                     }
                 }
             }
@@ -538,38 +641,64 @@ impl PressureTracker {
         }
     }
 
-    /// Add or remove one lifetime's per-row register occupancy.
+    /// Add or remove one lifetime's per-row register occupancy, carrying the
+    /// cached bank maximum through the writes (see [`Self::delta_apply`]):
+    /// an add tracks the largest value it writes (and, when it touches every
+    /// row, *revalidates* an invalid cache for free); a remove only
+    /// invalidates when it decrements a row sitting at the cached maximum.
     fn apply(&mut self, lt: &ValueLifetime, add: bool) {
         let ii = self.ii;
         let length = lt.length();
         let full = (length / ii as i64) as u32;
         let rem = (length % ii as i64) as u32;
-        let rows = match lt.bank {
-            BankAssignment::Cluster(c) => {
-                self.max_cluster[c as usize].set((0, false));
-                &mut self.rows_cluster[c as usize]
-            }
-            BankAssignment::Shared => {
-                self.max_shared.set((0, false));
-                &mut self.rows_shared
-            }
+        let (cell, rows) = match lt.bank {
+            BankAssignment::Cluster(c) => (
+                &self.max_cluster[c as usize],
+                &mut self.rows_cluster[c as usize],
+            ),
+            BankAssignment::Shared => (&self.max_shared, &mut self.rows_shared),
         };
-        if full > 0 {
-            for r in rows.iter_mut() {
-                if add {
+        let (cached, valid) = cell.get();
+        let start_row = lt.start.rem_euclid(ii as i64) as u32;
+        if add {
+            let mut grew_to = 0u32;
+            if full > 0 {
+                for r in rows.iter_mut() {
                     *r += full;
-                } else {
+                }
+            }
+            for k in 0..rem {
+                let r = ((start_row + k) % ii) as usize;
+                rows[r] += 1;
+            }
+            if full > 0 {
+                // Every row was touched: the scan below is exact whether or
+                // not the cache was valid before.
+                for &r in rows.iter() {
+                    grew_to = grew_to.max(r);
+                }
+                cell.set((grew_to, true));
+            } else if valid {
+                for k in 0..rem {
+                    grew_to = grew_to.max(rows[((start_row + k) % ii) as usize]);
+                }
+                cell.set((cached.max(grew_to), true));
+            }
+        } else {
+            let mut shrank_from_max = false;
+            if full > 0 {
+                for r in rows.iter_mut() {
+                    shrank_from_max |= *r == cached;
                     *r -= full;
                 }
             }
-        }
-        let start_row = lt.start.rem_euclid(ii as i64) as u32;
-        for k in 0..rem {
-            let r = ((start_row + k) % ii) as usize;
-            if add {
-                rows[r] += 1;
-            } else {
+            for k in 0..rem {
+                let r = ((start_row + k) % ii) as usize;
+                shrank_from_max |= rows[r] == cached;
                 rows[r] -= 1;
+            }
+            if valid && shrank_from_max {
+                cell.set((0, false));
             }
         }
     }
@@ -583,10 +712,10 @@ impl PressureTracker {
 
     /// Compare against the batch oracle; returns a description of the first
     /// divergence, if any. Test/debug aid.
-    pub fn diff_from_batch(
+    pub fn diff_from_batch<P: PlacementView + ?Sized>(
         &self,
         w: &WorkGraph,
-        placements: &[Option<(i64, u32)>],
+        placements: &P,
         lat: &OpLatencies,
     ) -> Option<String> {
         let oracle = pressure(w, placements, self.ii, self.clusters, lat, false);

@@ -86,6 +86,7 @@ pub struct IterativeScheduler {
     fresh_arena: bool,
     per_victim_ejection: bool,
     unit_ladder: bool,
+    cold_attempts: bool,
     telemetry: Telemetry,
 }
 
@@ -103,6 +104,10 @@ pub struct PhaseTimings {
     pub order: Duration,
     /// Arena resets: pristine-graph restore plus placement-store reshaping.
     pub resets: Duration,
+    /// Warm-start seeding on II restarts: modulo-remapping the previous
+    /// failed attempt's surviving placements into the new MRT and requeueing
+    /// the rest (zero under [`IterativeScheduler::with_cold_attempts`]).
+    pub warm_start: Duration,
     /// The II attempts themselves (worklist loop).
     pub attempts: Duration,
 }
@@ -113,12 +118,13 @@ impl PhaseTimings {
         self.graph_build += other.graph_build;
         self.order += other.order;
         self.resets += other.resets;
+        self.warm_start += other.warm_start;
         self.attempts += other.attempts;
     }
 
-    /// Total wall time across all four phases.
+    /// Total wall time across all five phases.
     pub fn total(&self) -> Duration {
-        self.graph_build + self.order + self.resets + self.attempts
+        self.graph_build + self.order + self.resets + self.warm_start + self.attempts
     }
 
     /// Publish each phase's wall time (milliseconds) as a histogram sample
@@ -130,6 +136,7 @@ impl PhaseTimings {
         telemetry.histogram_record("sched.phase.graph_build_ms", ms(self.graph_build));
         telemetry.histogram_record("sched.phase.order_ms", ms(self.order));
         telemetry.histogram_record("sched.phase.resets_ms", ms(self.resets));
+        telemetry.histogram_record("sched.phase.warm_start_ms", ms(self.warm_start));
         telemetry.histogram_record("sched.phase.attempts_ms", ms(self.attempts));
     }
 }
@@ -177,6 +184,7 @@ impl IterativeScheduler {
             fresh_arena: false,
             per_victim_ejection: false,
             unit_ladder: false,
+            cold_attempts: false,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -254,6 +262,19 @@ impl IterativeScheduler {
         self
     }
 
+    /// Start every II attempt from an empty placement store instead of
+    /// warm-starting eligible restarts by modulo-remapping the previous
+    /// failed attempt's surviving placements. This is the paper-literal
+    /// restart policy and the oracle the warm-started ladder is checked
+    /// against: `tests/warmstart_equivalence.rs` asserts the two-tier
+    /// contract (warm final II never worse than cold, failure verdicts
+    /// never worse, a store that passes `validate_store` after every
+    /// remap).
+    pub fn with_cold_attempts(mut self) -> Self {
+        self.cold_attempts = true;
+        self
+    }
+
     /// The machine this scheduler targets.
     pub fn machine(&self) -> &MachineConfig {
         &self.machine
@@ -306,8 +327,18 @@ impl IterativeScheduler {
         let mut last_failed: Option<u32> = None;
         let mut streak = 0u32;
         let mut found: Option<ScheduleResult> = None;
+        // Warm-start state: the surviving placements of the previous failed
+        // attempt, remapped into the next rung's store when eligible (see the
+        // capture rules in the `Exhausted` arm below).
+        let mut warm_snap: Vec<(NodeId, i64, u32)> = Vec::new();
+        let mut warm_ready = false;
         while ii <= max_ii {
-            match self.run_attempt(
+            let warm = if warm_ready {
+                Some(warm_snap.as_slice())
+            } else {
+                None
+            };
+            let mut outcome = self.run_attempt(
                 &mut arena,
                 pool,
                 ddg,
@@ -316,7 +347,35 @@ impl IterativeScheduler {
                 &mut stats,
                 &mut timings,
                 &mut trace,
-            ) {
+                warm,
+            );
+            if warm.is_some() {
+                if let AttemptOutcome::Exhausted { budget_limited } = outcome {
+                    // A failed warm attempt never advances the ladder on its
+                    // own: the seed can paint the scheduler into a corner a
+                    // cold attempt would avoid, so retry the rung cold.
+                    // Attempts are Markovian in the II after a reset, so the
+                    // retry behaves exactly like the cold ladder's attempt at
+                    // this rung — the warm ladder can only ever leave a rung
+                    // the cold ladder would also have left, which is what
+                    // keeps the final II never worse than cold.
+                    if budget_limited {
+                        stats.budget_exhausts += 1;
+                    }
+                    outcome = self.run_attempt(
+                        &mut arena,
+                        pool,
+                        ddg,
+                        ii,
+                        &lat,
+                        &mut stats,
+                        &mut timings,
+                        &mut trace,
+                        None,
+                    );
+                }
+            }
+            match outcome {
                 AttemptOutcome::Success => {
                     let a = arena.as_ref().expect("attempt ran");
                     let mut best = self.finalize(ddg, a, mii);
@@ -339,6 +398,7 @@ impl IterativeScheduler {
                                 &mut stats,
                                 &mut timings,
                                 &mut trace,
+                                None,
                             );
                             match o {
                                 AttemptOutcome::Success => {
@@ -365,16 +425,45 @@ impl IterativeScheduler {
                     break;
                 }
                 AttemptOutcome::Exhausted { budget_limited } => {
+                    // Decide whether the next rung may warm-start from this
+                    // failure. Only budget-limited failures with at least one
+                    // active node left unplaced qualify: a structural failure
+                    // leaves a store mid-cascade not worth seeding from, and a
+                    // completed-but-over-capacity schedule would remap to an
+                    // empty worklist — the spill machinery never runs and the
+                    // rung fails identically forever.
+                    warm_ready = false;
+                    if !self.cold_attempts && budget_limited {
+                        let a = arena.as_ref().expect("attempt ran");
+                        if a.w.active_nodes().any(|n| !a.store.is_placed(n)) {
+                            a.capture_warm_snapshot(&mut warm_snap);
+                            warm_ready = !warm_snap.is_empty();
+                        }
+                    }
                     if budget_limited {
                         stats.budget_exhausts += 1;
                         streak += 1;
                     } else {
                         // A structural failure (no slot, no victim, guard
-                        // trip, infeasible cutoff, attempt cap) resets the
-                        // gallop: these cluster where the feasibility
-                        // frontier is irregular, exactly where skipping
-                        // risks landing past the unit ladder's answer.
-                        streak = 0;
+                        // trip, infeasible cutoff, attempt cap) joins the
+                        // gallop only when it failed *deep* — after at least
+                        // two worklist cycles' worth of scheduling attempts —
+                        // on a clustered machine. Deep failures there are
+                        // communication-churn storms that behave like budget
+                        // exhaustion (the II is far too small and nearby
+                        // rungs fail the same way). A shallow failure, or any
+                        // structural failure on a monolithic machine (a pure
+                        // resource conflict), marks an irregular feasibility
+                        // frontier — exactly where skipping risks landing
+                        // past the unit ladder's answer — and resets the
+                        // gallop.
+                        let a = arena.as_ref().expect("attempt ran");
+                        let deep = a.attempt_stats().attempts >= 2 * a.w.active_count() as u64;
+                        if deep && self.machine.clusters() > 1 {
+                            streak += 1;
+                        } else {
+                            streak = 0;
+                        }
                     }
                     // Geometric gallop over consecutive budget-limited
                     // failures (1, 2, 4, then 8 per step), with the failed
@@ -385,6 +474,15 @@ impl IterativeScheduler {
                     // final gap from below, so an overshoot costs one extra
                     // (successful) attempt; every skipped rung below the
                     // final gap is a failed attempt never paid for.
+                    // Skipping composes with warm starts: the streak and the
+                    // ejection-pressure signal are always read from the last
+                    // *cold* outcome at this rung (a failed warm attempt was
+                    // retried cold before reaching this arm), so the warm
+                    // ladder strides over exactly the rung sequence the cold
+                    // ladder would — warm attempts are interposed free tries
+                    // that can only terminate the climb early, and the
+                    // success-side gap scan keeps the final II at the first
+                    // cold-feasible rung of the last gap.
                     let stride = if self.unit_ladder || streak == 0 {
                         1
                     } else {
@@ -457,7 +555,8 @@ impl IterativeScheduler {
 
     /// Prepare the arena (reset, or build under the fresh-build oracle) and
     /// run one attempt at `ii`, folding its counters and phase times into
-    /// the ladder accumulators.
+    /// the ladder accumulators. With `warm`, the reset seeds the store by
+    /// modulo-remapping the snapshot's placements instead of starting empty.
     #[allow(clippy::too_many_arguments)]
     fn run_attempt(
         &self,
@@ -469,6 +568,7 @@ impl IterativeScheduler {
         stats: &mut SchedulerStats,
         timings: &mut PhaseTimings,
         trace: &mut TraceBuf,
+        warm: Option<&[(NodeId, i64, u32)]>,
     ) -> AttemptOutcome {
         if arena.is_none() || self.fresh_arena {
             let t = Instant::now();
@@ -503,16 +603,35 @@ impl IterativeScheduler {
         }
         stats.ii_restarts += 1;
         let t = Instant::now();
-        let order_time = a.reset(ii, lat);
+        let mut warm_unplaced = None;
+        let (order_time, warm_time) = match warm {
+            Some(snap) => {
+                let r = a.reset_warm(ii, lat, snap, self.params.binding_prefetch);
+                stats.warm_starts += 1;
+                stats.warm_nodes_retained += r.retained as u64;
+                warm_unplaced = Some((a.w.active_count() as u32).saturating_sub(r.retained));
+                trace.instant(
+                    "warm_start",
+                    "sched",
+                    &[("ii", ii as i64), ("retained", r.retained as i64)],
+                );
+                (r.order_time, r.remap_time)
+            }
+            None => (a.reset(ii, lat), Duration::ZERO),
+        };
         timings.order += order_time;
-        timings.resets += t.elapsed().saturating_sub(order_time);
+        timings.warm_start += warm_time;
+        timings.resets += t
+            .elapsed()
+            .saturating_sub(order_time)
+            .saturating_sub(warm_time);
         let t = Instant::now();
         let t0 = trace.now_ns();
         // The attempt records its cascade events through the arena's buffer;
         // swap the live one in for its duration (the arena's own stays a
         // recording-nothing default otherwise).
         std::mem::swap(&mut a.trace, trace);
-        let outcome = self.attempt(a, lat);
+        let outcome = self.attempt(a, lat, warm_unplaced);
         std::mem::swap(&mut a.trace, trace);
         timings.attempts += t.elapsed();
         stats.absorb_attempt(&a.stats);
@@ -568,10 +687,25 @@ impl IterativeScheduler {
     }
 
     /// One attempt at the arena's current II (the caller has just `reset`
-    /// the arena for it).
-    fn attempt(&self, state: &mut AttemptArena, lat: &OpLatencies) -> AttemptOutcome {
+    /// the arena for it). `warm_unplaced` is the number of active nodes the
+    /// warm remap left unplaced, when this attempt was warm-started.
+    fn attempt(
+        &self,
+        state: &mut AttemptArena,
+        lat: &OpLatencies,
+        warm_unplaced: Option<u32>,
+    ) -> AttemptOutcome {
         let ii = state.ii;
-        state.budget = (self.params.budget_ratio as i64) * (state.w.active_count() as i64).max(1);
+        // A warm attempt pays a budget proportional to the unplaced
+        // remainder the remap left over, not to the whole graph: the seed
+        // either converges quickly or the rung is retried cold, so a failed
+        // warm attempt stays cheap no matter how deep an ejection cascade
+        // it would otherwise chase.
+        state.budget = match warm_unplaced {
+            Some(unplaced) => (self.params.budget_ratio as i64) * (unplaced as i64).max(1),
+            None => (self.params.budget_ratio as i64) * (state.w.active_count() as i64).max(1),
+        };
+        state.warm_probe = warm_unplaced.is_some();
         // Hard cap on scheduling attempts: the budget can legitimately grow
         // when spill or communication operations are inserted (the paper adds
         // Budget_Ratio per inserted node), but a pathological eject/re-insert
@@ -798,10 +932,14 @@ impl IterativeScheduler {
                 return true;
             };
             let edge = *state.w.ddg.edge(edge_id);
-            let new_nodes = state.w.insert_communication(u, edge_id);
+            let mut new_nodes = std::mem::take(&mut state.chain_nodes);
+            new_nodes.clear();
+            state
+                .w
+                .insert_communication_into(u, edge_id, &mut new_nodes);
             state.store.grow(state.w.ddg.num_nodes());
             state.budget += (self.params.budget_ratio as i64) * new_nodes.len() as i64;
-            for node in new_nodes {
+            for &node in &new_nodes {
                 let kind = state.w.ddg.node(node).kind;
                 let target_cluster = match kind {
                     // StoreR executes in the cluster of its producer.
@@ -824,9 +962,11 @@ impl IterativeScheduler {
                     }
                 };
                 if !self.schedule_node(state, node, target_cluster, lat) {
+                    state.chain_nodes = new_nodes;
                     return false;
                 }
             }
+            state.chain_nodes = new_nodes;
         }
     }
 
@@ -893,11 +1033,17 @@ impl IterativeScheduler {
             };
             *spill_rounds += 1;
             let to_shared = state.w.is_hierarchical() && matches!(bank, BankAssignment::Cluster(_));
-            let new_nodes = if to_shared {
-                state.w.insert_spill_to_shared(owner, edge_id)
+            let mut new_nodes = std::mem::take(&mut state.chain_nodes);
+            new_nodes.clear();
+            if to_shared {
+                state
+                    .w
+                    .insert_spill_to_shared_into(owner, edge_id, &mut new_nodes);
             } else {
-                state.w.insert_spill_to_memory(owner, edge_id)
-            };
+                state
+                    .w
+                    .insert_spill_to_memory_into(owner, edge_id, &mut new_nodes);
+            }
             state.store.grow(state.w.ddg.num_nodes());
             state.budget += (self.params.budget_ratio as i64) * new_nodes.len() as i64;
             let producer_cluster = state.store.placement(def).map(|(_, c)| c).unwrap_or(0);
@@ -906,16 +1052,19 @@ impl IterativeScheduler {
                 .placement(last_consumer)
                 .map(|(_, c)| c)
                 .unwrap_or(producer_cluster);
-            for node in new_nodes {
+            for i in 0..new_nodes.len() {
+                let node = new_nodes[i];
                 let kind = state.w.ddg.node(node).kind;
                 let target = match kind {
                     OpKind::StoreR | OpKind::Store => producer_cluster,
                     _ => consumer_cluster,
                 };
                 if !self.schedule_node(state, node, target, lat) {
+                    state.chain_nodes = new_nodes;
                     return SpillOutcome::ScheduleFailed;
                 }
             }
+            state.chain_nodes = new_nodes;
         }
     }
 
@@ -997,6 +1146,12 @@ impl IterativeScheduler {
             return true;
         }
         if !self.params.backtracking {
+            return false;
+        }
+        // A warm probe never forces: ejecting through the densely seeded
+        // store costs more than the cold retry it would displace, so the
+        // first conflict hands the rung over.
+        if state.warm_probe {
             return false;
         }
 
@@ -1128,13 +1283,11 @@ impl IterativeScheduler {
         }
         violators.sort_unstable_by_key(|n| n.index());
         violators.dedup();
-        for &v in &violators {
-            if v != u {
-                let ejected = state.store.eject(&mut state.w, v, lat);
-                state.stats.ejections += ejected;
-                cascade_ejections += ejected;
-            }
-        }
+        let ejected = state
+            .store
+            .eject_violators(&mut state.w, &violators, u, lat);
+        state.stats.ejections += ejected;
+        cascade_ejections += ejected;
         state.violators = violators;
         // Cascade instants fire once per forced placement — orders of
         // magnitude more often than any ladder event — so they are debug

@@ -26,11 +26,10 @@
 
 use crate::mrt::{Mrt, ResourceCaps};
 use crate::order::PriorityOrder;
-use crate::pressure::PressureTracker;
+use crate::pressure::{PlacementView, PressureTracker};
 use crate::workgraph::{ChainKind, WorkGraph};
 use hcrf_ir::{NodeId, OpKind, OpLatencies, ResourceClass};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Per-(resource class, row, cluster) occupancy lists: which placed nodes
 /// reserve each row of the modulo reservation table.
@@ -148,6 +147,28 @@ impl SlotIndex {
         }
     }
 
+    /// Add or remove `n` in one row's occupancy list — the slot-index leg of
+    /// the store's fused place/eject transaction, which walks the occupancy
+    /// span once and updates MRT counts, masks and these lists per row.
+    pub(crate) fn update_row(
+        &mut self,
+        class: ResourceClass,
+        row: u32,
+        cluster: u32,
+        n: NodeId,
+        add: bool,
+    ) {
+        let slot = self.slot(class, row, cluster);
+        let list = &mut self.lists_mut(class)[slot];
+        if add {
+            list.push(n);
+        } else if let Some(pos) = list.iter().position(|&x| x == n) {
+            list.swap_remove(pos);
+        } else {
+            debug_assert!(false, "SlotIndex: {n} missing from {class:?} row {row}");
+        }
+    }
+
     /// Record a placement: the node enters the `min(occupancy, II)`
     /// consecutive row lists (modulo the II) starting at its issue row.
     pub fn insert(&mut self, n: NodeId, kind: OpKind, cycle: i64, cluster: u32, lat: &OpLatencies) {
@@ -218,21 +239,199 @@ impl SlotIndex {
     }
 }
 
+/// The per-node hot fields of the attempt inner loop, packed into one
+/// 24-byte record so a placement transaction and the neighbour walks of
+/// cluster selection and pressure tracking each touch a single contiguous
+/// array instead of parallel `Vec<Option<…>>`s (which padded the same data
+/// across 40 bytes and two cache-line streams).
+///
+/// Validity lives in `flags` instead of `Option` discriminants: bit 0 says
+/// the `(cycle, cluster)` placement is live, bit 1 says `prev_cycle` (the
+/// memory of Rau's force heuristic, deliberately retained across ejections)
+/// has ever been written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeHot {
+    cycle: i64,
+    prev_cycle: i64,
+    cluster: u32,
+    flags: u32,
+}
+
+impl NodeHot {
+    const PLACED: u32 = 1;
+    const HAS_PREV: u32 = 1 << 1;
+    /// An unplaced node with no placement history.
+    pub const EMPTY: NodeHot = NodeHot {
+        cycle: 0,
+        prev_cycle: 0,
+        cluster: 0,
+        flags: 0,
+    };
+
+    /// Current placement, `None` when unplaced.
+    #[inline]
+    pub fn placement(&self) -> Option<(i64, u32)> {
+        if self.flags & Self::PLACED != 0 {
+            Some((self.cycle, self.cluster))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the node is currently placed.
+    #[inline]
+    pub fn is_placed(&self) -> bool {
+        self.flags & Self::PLACED != 0
+    }
+
+    /// Cycle of the most recent placement, if any.
+    #[inline]
+    pub fn prev_cycle(&self) -> Option<i64> {
+        if self.flags & Self::HAS_PREV != 0 {
+            Some(self.prev_cycle)
+        } else {
+            None
+        }
+    }
+}
+
+impl PlacementView for [NodeHot] {
+    #[inline]
+    fn placement_of(&self, n: NodeId) -> Option<(i64, u32)> {
+        self[n.index()].placement()
+    }
+}
+
+impl PlacementView for Vec<NodeHot> {
+    #[inline]
+    fn placement_of(&self, n: NodeId) -> Option<(i64, u32)> {
+        self[n.index()].placement()
+    }
+}
+
+/// Two-tier bitset priority queue over the worklist's total `(rank, id)`
+/// order, replacing a binary heap. Ranks are unique (a rank is a position in
+/// the priority order), so the ranked tier is one bit per rank; nodes the
+/// order does not know (inserted after ordering, all at `usize::MAX`) tie-
+/// break by id, so the unranked tier is one bit per node id and pops after
+/// every ranked node. A membership bit also deduplicates: the heap could
+/// hold the same node twice and popped the stale copy into the caller's
+/// placed/inactive filter, so collapsing duplicates never changes the
+/// sequence of pops that survive the filter.
+#[derive(Debug, Clone, Default)]
+struct RankQueue {
+    /// One bit per priority rank.
+    ranked: Vec<u64>,
+    /// Lowest word of `ranked` that may contain a set bit.
+    ranked_hint: usize,
+    ranked_len: usize,
+    /// One bit per node id, for nodes without a rank.
+    unranked: Vec<u64>,
+    unranked_hint: usize,
+    unranked_len: usize,
+}
+
+/// A popped [`RankQueue`] entry: either a priority rank (resolve through
+/// `order.order[rank]`) or a raw node index.
+enum QueueSlot {
+    Ranked(usize),
+    Unranked(usize),
+}
+
+impl RankQueue {
+    fn clear(&mut self) {
+        self.ranked.iter_mut().for_each(|w| *w = 0);
+        self.unranked.iter_mut().for_each(|w| *w = 0);
+        self.ranked_hint = 0;
+        self.unranked_hint = 0;
+        self.ranked_len = 0;
+        self.unranked_len = 0;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ranked_len == 0 && self.unranked_len == 0
+    }
+
+    fn set(bits: &mut Vec<u64>, hint: &mut usize, len: &mut usize, i: usize) {
+        let word = i / 64;
+        if word >= bits.len() {
+            bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (i % 64);
+        if bits[word] & mask == 0 {
+            bits[word] |= mask;
+            *len += 1;
+            *hint = (*hint).min(word);
+        }
+    }
+
+    fn push_ranked(&mut self, rank: usize) {
+        Self::set(
+            &mut self.ranked,
+            &mut self.ranked_hint,
+            &mut self.ranked_len,
+            rank,
+        );
+    }
+
+    fn push_unranked(&mut self, id: usize) {
+        Self::set(
+            &mut self.unranked,
+            &mut self.unranked_hint,
+            &mut self.unranked_len,
+            id,
+        );
+    }
+
+    fn take_first(bits: &mut [u64], hint: &mut usize, len: &mut usize) -> usize {
+        let mut w = *hint;
+        loop {
+            let word = bits[w];
+            if word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                bits[w] = word & (word - 1);
+                *hint = w;
+                *len -= 1;
+                return w * 64 + bit;
+            }
+            w += 1;
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueueSlot> {
+        if self.ranked_len > 0 {
+            return Some(QueueSlot::Ranked(Self::take_first(
+                &mut self.ranked,
+                &mut self.ranked_hint,
+                &mut self.ranked_len,
+            )));
+        }
+        if self.unranked_len > 0 {
+            return Some(QueueSlot::Unranked(Self::take_first(
+                &mut self.unranked,
+                &mut self.unranked_hint,
+                &mut self.unranked_len,
+            )));
+        }
+        None
+    }
+}
+
 /// The unified placement state of one II attempt. See the module docs.
 #[derive(Debug, Clone)]
 pub struct PlacementStore {
     ii: u32,
     mrt: Mrt,
     index: SlotIndex,
-    placements: Vec<Option<(i64, u32)>>,
-    prev_cycle: Vec<Option<i64>>,
+    /// Per-node hot fields (placement + `prev_cycle`), structure-of-arrays.
+    hot: Vec<NodeHot>,
     tracker: PressureTracker,
     /// `false` in batch-pressure-oracle mode: the tracker is never consulted,
     /// so transactions skip its maintenance (keeping the oracle benchmark an
     /// honest recompute-the-world baseline).
     track_pressure: bool,
     order: PriorityOrder,
-    worklist: BinaryHeap<Reverse<(usize, u32)>>,
+    worklist: RankQueue,
     /// `true` while [`PlacementStore::eject_row_occupants`] runs: tracker
     /// touches and worklist requeues are deferred into the two buffers below
     /// and flushed once at the end of the batch.
@@ -244,10 +443,22 @@ pub struct PlacementStore {
     /// Worklist re-insertions deferred by the batch (heap order is
     /// irrelevant: pops follow the total `(rank, id)` order).
     batch_requeue: Vec<NodeId>,
+    /// Scratch for the chain ids removed by one ejection (reused; the
+    /// collect-then-remove two-phase is required because removal mutates the
+    /// index being enumerated).
+    chain_ids_scratch: Vec<usize>,
+    /// Scratch for the member nodes of one removed chain (reused).
+    chain_members_scratch: Vec<NodeId>,
     /// Reusable snapshot buffer for the ranked row candidates of a batched
     /// row ejection (the forced-placement path runs hundreds of thousands
     /// of times per churn suite; it should not allocate).
     batch_cands: Vec<NodeId>,
+    /// Reusable drain buffer for the graph's pressure-dirty set (swapped
+    /// back and forth so neither side reallocates at steady state).
+    dirty_scratch: Vec<NodeId>,
+    /// Reusable `(rank, snapshot index)` sort buffer for
+    /// [`PlacementStore::warm_remap`].
+    warm_scratch: Vec<(usize, u32)>,
 }
 
 /// How a batched forced-row ejection ended (see
@@ -290,16 +501,19 @@ impl PlacementStore {
             ii,
             mrt: Mrt::new(ii, caps),
             index: SlotIndex::new(ii, &caps),
-            placements: vec![None; num_nodes],
-            prev_cycle: vec![None; num_nodes],
+            hot: vec![NodeHot::EMPTY; num_nodes],
             tracker: PressureTracker::new(ii, clusters, num_nodes),
             track_pressure,
             order,
-            worklist: BinaryHeap::new(),
+            worklist: RankQueue::default(),
+            chain_ids_scratch: Vec::new(),
+            chain_members_scratch: Vec::new(),
             batch_active: false,
             batch_touched: Vec::new(),
             batch_requeue: Vec::new(),
             batch_cands: Vec::new(),
+            dirty_scratch: Vec::new(),
+            warm_scratch: Vec::new(),
         }
     }
 
@@ -317,10 +531,8 @@ impl PlacementStore {
         self.ii = ii;
         self.mrt.reset_for_ii(ii);
         self.index.reset_for_ii(ii);
-        self.placements.clear();
-        self.placements.resize(num_nodes, None);
-        self.prev_cycle.clear();
-        self.prev_cycle.resize(num_nodes, None);
+        self.hot.clear();
+        self.hot.resize(num_nodes, NodeHot::EMPTY);
         self.tracker.reset_for_ii(ii, num_nodes);
         self.worklist.clear();
         debug_assert!(!self.batch_active);
@@ -340,10 +552,8 @@ impl PlacementStore {
         self.ii = 1;
         self.mrt.rebind(1, caps);
         self.index.rebind(1, &caps);
-        self.placements.clear();
-        self.placements.resize(num_nodes, None);
-        self.prev_cycle.clear();
-        self.prev_cycle.resize(num_nodes, None);
+        self.hot.clear();
+        self.hot.resize(num_nodes, NodeHot::EMPTY);
         self.tracker.rebind(1, caps.clusters, num_nodes);
         self.track_pressure = track_pressure;
         self.worklist.clear();
@@ -388,25 +598,26 @@ impl PlacementStore {
         &self.order
     }
 
-    /// Current (partial) placements, `None` = not scheduled.
-    pub fn placements(&self) -> &[Option<(i64, u32)>] {
-        &self.placements
+    /// Current (partial) placements as the contiguous per-node hot block —
+    /// a [`PlacementView`], so pressure and cluster queries take it directly.
+    pub fn placements(&self) -> &[NodeHot] {
+        &self.hot
     }
 
     /// Placement of one node.
     pub fn placement(&self, n: NodeId) -> Option<(i64, u32)> {
-        self.placements[n.index()]
+        self.hot[n.index()].placement()
     }
 
     /// Whether a node is currently placed.
     pub fn is_placed(&self, n: NodeId) -> bool {
-        self.placements[n.index()].is_some()
+        self.hot[n.index()].is_placed()
     }
 
     /// Cycle of the node's most recent placement (Rau's force heuristic
     /// never re-forces at or before it).
     pub fn prev_cycle(&self, n: NodeId) -> Option<i64> {
-        self.prev_cycle[n.index()]
+        self.hot[n.index()].prev_cycle()
     }
 
     /// Push a node (back) onto the worklist at its priority rank. During a
@@ -417,21 +628,26 @@ impl PlacementStore {
             self.batch_requeue.push(n);
             return;
         }
-        self.worklist.push(Reverse((self.order.rank_of(n), n.0)));
+        match self.order.rank_of(n) {
+            usize::MAX => self.worklist.push_unranked(n.index()),
+            rank => self.worklist.push_ranked(rank),
+        }
     }
 
     /// Pop the highest-priority worklist entry. Entries may be stale
     /// (already placed or deactivated since they were pushed); the caller
     /// filters, so a pop is not necessarily a scheduling attempt.
     pub fn pop_worklist(&mut self) -> Option<NodeId> {
-        self.worklist.pop().map(|Reverse((_, raw))| NodeId(raw))
+        match self.worklist.pop()? {
+            QueueSlot::Ranked(rank) => Some(self.order.order[rank]),
+            QueueSlot::Unranked(id) => Some(NodeId(id as u32)),
+        }
     }
 
     /// Keep the per-node arrays in sync with a growing graph.
     pub fn grow(&mut self, num_nodes: usize) {
-        if num_nodes > self.placements.len() {
-            self.placements.resize(num_nodes, None);
-            self.prev_cycle.resize(num_nodes, None);
+        if num_nodes > self.hot.len() {
+            self.hot.resize(num_nodes, NodeHot::EMPTY);
         }
         self.tracker.grow(num_nodes);
     }
@@ -440,12 +656,61 @@ impl PlacementStore {
     /// (chain insertion/removal) since the last query. In oracle mode the
     /// dirty set is discarded so it cannot grow for the whole attempt.
     pub fn sync_pressure(&mut self, w: &mut WorkGraph) {
-        let dirty = w.take_pressure_dirty();
-        if !self.track_pressure {
-            return;
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        w.swap_pressure_dirty(&mut dirty);
+        if self.track_pressure {
+            // One chain rewiring pushes the same def once per flow edge it
+            // touches; refresh is idempotent and order-independent, so the
+            // duplicates are pure waste — each one re-derives the def's full
+            // lifetime from its consumer edges.
+            dirty.sort_unstable_by_key(|n| n.index());
+            dirty.dedup();
+            for &n in &dirty {
+                self.tracker.refresh(w, self.hot.as_slice(), n);
+            }
         }
-        for n in dirty {
-            self.tracker.refresh(w, &self.placements, n);
+        self.dirty_scratch = dirty;
+    }
+
+    /// The fused reservation kernel shared by place and unplace: one walk
+    /// over the occupancy span updates the MRT row counts, the availability
+    /// masks, the incremental FU free-slot total and the [`SlotIndex`] row
+    /// lists together, with the class/span/start-row decode done once
+    /// (previously `Mrt::adjust` and `SlotIndex::insert`/`remove` each
+    /// re-derived them and walked the span separately).
+    fn apply_reservation(
+        &mut self,
+        kind: OpKind,
+        n: NodeId,
+        cycle: i64,
+        cluster: u32,
+        lat: &OpLatencies,
+        add: bool,
+    ) {
+        let class = kind.resource_class();
+        let ii = self.ii;
+        let occ = lat.occupancy(kind);
+        let span = occ.min(ii);
+        let start = cycle.rem_euclid(ii as i64) as u32;
+        let delta = if add { 1 } else { -1 };
+        match class {
+            ResourceClass::Fu => {
+                for k in 0..span {
+                    let row = (start + k) % ii;
+                    let copies = self.mrt.fu_copies(occ, k);
+                    self.mrt.fu_adjust_row(row, copies, cluster, delta);
+                    self.index.update_row(class, row, cluster, n, add);
+                }
+            }
+            _ => {
+                // Non-FU classes pin their resource only in the issue row;
+                // the index still lists the node across the whole span.
+                self.mrt.adjust_single(class, cycle, cluster, delta);
+                for k in 0..span {
+                    self.index
+                        .update_row(class, (start + k) % ii, cluster, n, add);
+                }
+            }
         }
     }
 
@@ -453,19 +718,22 @@ impl PlacementStore {
     /// the placement and `prev_cycle`, and update the pressure tracker —
     /// one transaction, nothing to forget.
     pub fn place(&mut self, w: &WorkGraph, n: NodeId, cycle: i64, cluster: u32, lat: &OpLatencies) {
-        debug_assert!(self.placements[n.index()].is_none(), "{n} placed twice");
+        debug_assert!(!self.hot[n.index()].is_placed(), "{n} placed twice");
         // Placing a deactivated node would leak its MRT reservation (no
         // eject can ever reach it again) and let the indexed victim search
         // see a node the active-node scan cannot — the scheduler checks
         // activity after every ejection cascade instead.
         debug_assert!(w.is_active(n), "{n} placed while inactive");
         let kind = w.ddg.node(n).kind;
-        self.mrt.place(kind, cycle, cluster, lat);
-        self.index.insert(n, kind, cycle, cluster, lat);
-        self.placements[n.index()] = Some((cycle, cluster));
-        self.prev_cycle[n.index()] = Some(cycle);
+        self.apply_reservation(kind, n, cycle, cluster, lat, true);
+        self.hot[n.index()] = NodeHot {
+            cycle,
+            prev_cycle: cycle,
+            cluster,
+            flags: NodeHot::PLACED | NodeHot::HAS_PREV,
+        };
         if self.track_pressure {
-            self.tracker.touch(w, &self.placements, n);
+            self.tracker.touch(w, self.hot.as_slice(), n);
         }
     }
 
@@ -473,10 +741,10 @@ impl PlacementStore {
     /// MRT slots, erase the index entries, forget the placement and refresh
     /// the pressure tracker. `prev_cycle` is deliberately retained.
     fn unplace(&mut self, w: &WorkGraph, n: NodeId, lat: &OpLatencies) {
-        if let Some((cycle, cluster)) = self.placements[n.index()].take() {
+        if let Some((cycle, cluster)) = self.hot[n.index()].placement() {
             let kind = w.ddg.node(n).kind;
-            self.mrt.remove(kind, cycle, cluster, lat);
-            self.index.remove(n, kind, cycle, cluster, lat);
+            self.apply_reservation(kind, n, cycle, cluster, lat, false);
+            self.hot[n.index()].flags &= !NodeHot::PLACED;
         }
         if self.track_pressure {
             if self.batch_active {
@@ -491,7 +759,7 @@ impl PlacementStore {
             }
             // Refresh even when the node was unplaced: chain removal
             // deactivates nodes, which perturbs lifetimes on its own.
-            self.tracker.touch(w, &self.placements, n);
+            self.tracker.touch(w, self.hot.as_slice(), n);
         }
     }
 
@@ -526,9 +794,13 @@ impl PlacementStore {
             return count;
         }
         // Remove chains attached to this node and unplace their members.
-        for chain in w.chains_to_remove_for(v) {
+        let mut chains = std::mem::take(&mut self.chain_ids_scratch);
+        chains.clear();
+        w.chains_to_remove_into(v, &mut chains);
+        for &chain in &chains {
             self.remove_chain_members(w, chain, lat);
         }
+        self.chain_ids_scratch = chains;
         self.requeue(v);
         count
     }
@@ -538,9 +810,13 @@ impl PlacementStore {
     /// through the store so no mutation path can forget the MRT, index or
     /// tracker updates.
     pub fn remove_chain_members(&mut self, w: &mut WorkGraph, chain: usize, lat: &OpLatencies) {
-        for r in w.remove_chain(chain) {
+        let mut members = std::mem::take(&mut self.chain_members_scratch);
+        members.clear();
+        w.remove_chain_into(chain, &mut members);
+        for &r in &members {
             self.unplace(w, r, lat);
         }
+        self.chain_members_scratch = members;
     }
 
     /// Choose an ejection victim that frees the resource `kind` needs at
@@ -583,7 +859,7 @@ impl PlacementStore {
         let global = matches!(class, ResourceClass::Bus)
             || (class == ResourceClass::MemPort && caps.memory_is_shared());
         let candidates = w.active_nodes().filter(|&v| {
-            let Some((vc, vcl)) = self.placements[v.index()] else {
+            let Some((vc, vcl)) = self.hot[v.index()].placement() else {
                 return false;
             };
             let vkind = w.ddg.node(v).kind;
@@ -672,7 +948,7 @@ impl PlacementStore {
                     break None;
                 };
                 cursor += 1;
-                if v != u && self.placements[v.index()].is_some() {
+                if v != u && self.hot[v.index()].is_placed() {
                     break Some(v);
                 }
             };
@@ -689,18 +965,47 @@ impl PlacementStore {
         RowEjectReport { ejections, outcome }
     }
 
+    /// Eject a list of dependence violators as one batched transaction:
+    /// pressure-tracker touches and worklist re-insertions are deferred to a
+    /// single flush exactly like [`PlacementStore::eject_row_occupants`]
+    /// (touches are idempotent and converge to the tracker state the eager
+    /// per-ejection touches reach; the worklist heap pops in total
+    /// `(rank, id)` order, so insertion order never matters). A producer
+    /// feeding several violators is rescanned once instead of once per
+    /// ejection. `skip` is the just-forced node itself, which must keep its
+    /// slot.
+    pub fn eject_violators(
+        &mut self,
+        w: &mut WorkGraph,
+        victims: &[NodeId],
+        skip: NodeId,
+        lat: &OpLatencies,
+    ) -> u64 {
+        debug_assert!(!self.batch_active);
+        self.batch_active = true;
+        let mut count = 0u64;
+        for &v in victims {
+            if v != skip {
+                count += self.eject(w, v, lat);
+            }
+        }
+        self.flush_batch(w);
+        count
+    }
+
     /// Apply the deferred tracker touches and worklist insertions of a
     /// batched row ejection.
     fn flush_batch(&mut self, w: &WorkGraph) {
         self.batch_active = false;
-        for i in 0..self.batch_touched.len() {
-            let n = self.batch_touched[i];
-            self.tracker.touch(w, &self.placements, n);
-        }
+        self.tracker
+            .touch_all(w, self.hot.as_slice(), &self.batch_touched);
         self.batch_touched.clear();
         for i in 0..self.batch_requeue.len() {
             let n = self.batch_requeue[i];
-            self.worklist.push(Reverse((self.order.rank_of(n), n.0)));
+            match self.order.rank_of(n) {
+                usize::MAX => self.worklist.push_unranked(n.index()),
+                rank => self.worklist.push_ranked(rank),
+            }
         }
         self.batch_requeue.clear();
     }
@@ -713,8 +1018,107 @@ impl PlacementStore {
         candidates: impl Iterator<Item = NodeId>,
     ) -> Option<NodeId> {
         candidates
-            .filter(|&v| v != u && self.placements[v.index()].is_some())
+            .filter(|&v| v != u && self.hot[v.index()].is_placed())
             .max_by_key(|&v| (!w.is_inserted(v), self.order.rank_of(v), Reverse(v.0)))
+    }
+
+    /// Warm-start remap: re-seed a just-reset store with the surviving
+    /// placements of the previous (failed, lower-II) attempt. Each snapshot
+    /// entry keeps its absolute `(cycle, cluster)` — the MRT row falls out
+    /// as `cycle mod new-II` — after passing two checks against the
+    /// survivors re-placed before it:
+    ///
+    /// * every active dependence edge window still holds
+    ///   (`dst ≥ src + delay − II·distance`; on an *upward* II bump the
+    ///   ladder's windows only widen, but the proptests drive arbitrary
+    ///   snapshots, and self-edges are probed at the candidate cycle), and
+    ///   the edge needs no communication between the two retained clusters
+    ///   — the reset truncated the failed attempt's comm chains, and
+    ///   retained nodes never pass through communication insertion;
+    /// * the MRT masks/capacity accept the exact cycle
+    ///   ([`Mrt::first_free_row_in`] over the single-cycle window).
+    ///
+    /// Entries are processed in ascending `(rank, id)` — worklist pop order
+    /// — so when survivors collide in the smaller row space, the node the
+    /// scheduler would have scheduled first keeps its slot. Conflicting
+    /// nodes are simply skipped; the caller requeues every node left
+    /// unplaced. Returns the number of placements retained.
+    pub fn warm_remap(
+        &mut self,
+        w: &mut WorkGraph,
+        snapshot: &[(NodeId, i64, u32)],
+        lat: &OpLatencies,
+        binding_prefetch: bool,
+    ) -> u32 {
+        // The pristine reset just truncated the failed attempt's chains;
+        // drain the dirty set before the first tracker touch.
+        self.sync_pressure(w);
+        let ii = self.ii as i64;
+        let mut idxs = std::mem::take(&mut self.warm_scratch);
+        idxs.clear();
+        // Snapshot entries arrive in ascending node id, so sorting by
+        // (rank, snapshot index) is sorting by (rank, id) — the worklist's
+        // total pop order.
+        idxs.extend(
+            snapshot
+                .iter()
+                .enumerate()
+                .map(|(i, &(n, _, _))| (self.order.rank_of(n), i as u32)),
+        );
+        idxs.sort_unstable();
+        let mut retained = 0u32;
+        'entries: for &(_, i) in &idxs {
+            let (n, cycle, cluster) = snapshot[i as usize];
+            if !w.is_active(n) || self.hot[n.index()].is_placed() {
+                continue;
+            }
+            for (_, e) in w.active_pred_edges(n) {
+                let (src_cycle, src_cluster) = if e.src == n {
+                    (cycle, cluster)
+                } else {
+                    match self.hot[e.src.index()].placement() {
+                        Some(p) => p,
+                        None => continue,
+                    }
+                };
+                if w.needs_communication(e, src_cluster, cluster) {
+                    continue 'entries;
+                }
+                let delay = w.edge_delay(e, lat, binding_prefetch);
+                if src_cycle + delay - ii * e.distance as i64 > cycle {
+                    continue 'entries;
+                }
+            }
+            for (_, e) in w.active_succ_edges(n) {
+                let (dst_cycle, dst_cluster) = if e.dst == n {
+                    (cycle, cluster)
+                } else {
+                    match self.hot[e.dst.index()].placement() {
+                        Some(p) => p,
+                        None => continue,
+                    }
+                };
+                if w.needs_communication(e, cluster, dst_cluster) {
+                    continue 'entries;
+                }
+                let delay = w.edge_delay(e, lat, binding_prefetch);
+                if cycle + delay - ii * e.distance as i64 > dst_cycle {
+                    continue 'entries;
+                }
+            }
+            let kind = w.ddg.node(n).kind;
+            if self
+                .mrt
+                .first_free_row_in(kind, cluster, (cycle, cycle), true, lat)
+                != Some(cycle)
+            {
+                continue;
+            }
+            self.place(w, n, cycle, cluster, lat);
+            retained += 1;
+        }
+        self.warm_scratch = idxs;
+        retained
     }
 
     /// Desynchronise the index on purpose (test aid for the store
@@ -723,7 +1127,9 @@ impl PlacementStore {
     /// mutation path bypassing the transactional API would cause.
     #[cfg(test)]
     pub(crate) fn desync_index_for_test(&mut self, w: &WorkGraph, n: NodeId, lat: &OpLatencies) {
-        let (cycle, cluster) = self.placements[n.index()].expect("node must be placed");
+        let (cycle, cluster) = self.hot[n.index()]
+            .placement()
+            .expect("node must be placed");
         let kind = w.ddg.node(n).kind;
         self.index.remove(n, kind, cycle, cluster, lat);
     }
@@ -737,7 +1143,7 @@ impl PlacementStore {
         let mut index = SlotIndex::new(self.ii, &caps);
         let mut mrt = Mrt::new(self.ii, caps);
         for n in w.active_nodes() {
-            if let Some((cycle, cluster)) = self.placements.get(n.index()).copied().flatten() {
+            if let Some((cycle, cluster)) = self.hot.get(n.index()).and_then(|r| r.placement()) {
                 let kind = w.ddg.node(n).kind;
                 index.insert(n, kind, cycle, cluster, lat);
                 mrt.place(kind, cycle, cluster, lat);

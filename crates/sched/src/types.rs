@@ -128,14 +128,25 @@ pub struct SchedulerStats {
     /// cluster's units), so no victim set could ever free the slot.
     /// Accumulated across all IIs of the loop, like `guard_trips`.
     pub infeasible_cutoffs: u64,
+    /// II restarts that warm-started: seeded by modulo-remapping the
+    /// previous failed attempt's surviving placements instead of an empty
+    /// store (zero under
+    /// [`crate::IterativeScheduler::with_cold_attempts`] and whenever the
+    /// previous failure was ineligible — see the warm-eligibility rules in
+    /// the ladder).
+    pub warm_starts: u32,
+    /// Total placements retained across all warm starts — the nodes that
+    /// kept their cycle and cluster through the modulo-remap.
+    pub warm_nodes_retained: u64,
 }
 
 impl SchedulerStats {
     /// Fold one attempt's counters into a ladder-level accumulator. This is
     /// the single place per-attempt work is summed across II restarts; the
     /// ladder-owned counters (`ii_restarts`, `ii_skips`, `arena_resets`,
-    /// `budget_exhausts`) are maintained directly by the ladder loop and
-    /// deliberately not absorbed here.
+    /// `budget_exhausts`, `warm_starts`, `warm_nodes_retained`) are
+    /// maintained directly by the ladder loop and deliberately not absorbed
+    /// here.
     pub fn absorb_attempt(&mut self, attempt: &SchedulerStats) {
         self.attempts += attempt.attempts;
         self.ejections += attempt.ejections;
@@ -154,6 +165,8 @@ impl SchedulerStats {
         telemetry.counter_add("sched.budget_exhausts", self.budget_exhausts as u64);
         telemetry.counter_add("sched.guard_trips", self.guard_trips);
         telemetry.counter_add("sched.infeasible_cutoffs", self.infeasible_cutoffs);
+        telemetry.counter_add("sched.warm_starts", self.warm_starts as u64);
+        telemetry.counter_add("sched.warm_nodes_retained", self.warm_nodes_retained);
     }
 }
 

@@ -100,6 +100,15 @@ pub struct WorkGraph {
     /// after construction (loop body + memory-interface chains), before any
     /// communication or spill chain of an II attempt. `None` until marked.
     pristine: Option<PristineMark>,
+    /// Spent [`CommChain`]s recycled by [`WorkGraph::reset_to_pristine`];
+    /// chain insertion pops from here so the per-attempt insert/reset cycle
+    /// stops allocating (churn-heavy ladders insert tens of thousands of
+    /// chains per schedule).
+    chain_pool: Vec<CommChain>,
+    /// Recycled active-adjacency lists of truncated inserted nodes.
+    edge_list_pool: Vec<Vec<EdgeId>>,
+    /// Recycled `chains_touching` lists of truncated inserted nodes.
+    chain_index_pool: Vec<Vec<u32>>,
 }
 
 /// What [`WorkGraph::reset_to_pristine`] needs to restore: every container of
@@ -151,6 +160,9 @@ impl WorkGraph {
             chains_touching: vec![Vec::new(); original.num_nodes()],
             topo_version: 0,
             pristine: None,
+            chain_pool: Vec::new(),
+            edge_list_pool: Vec::new(),
+            chain_index_pool: Vec::new(),
         };
         if hierarchical {
             wg.insert_memory_interface();
@@ -270,14 +282,31 @@ impl WorkGraph {
         let mark = self.pristine.as_ref().expect("mark_pristine not called");
         let (nodes, edges, chains) = (mark.nodes, mark.edges, mark.chains);
         self.topo_version += 1;
+        for mut c in self.chains.drain(chains..) {
+            c.replaced_edges.clear();
+            c.nodes.clear();
+            c.edges.clear();
+            c.touched.clear();
+            self.chain_pool.push(c);
+        }
+        for mut l in self.succ_active_edges.drain(nodes..) {
+            l.clear();
+            self.edge_list_pool.push(l);
+        }
+        for mut l in self.pred_active_edges.drain(nodes..) {
+            l.clear();
+            self.edge_list_pool.push(l);
+        }
+        for mut l in self.chains_touching.drain(nodes..) {
+            l.clear();
+            self.chain_index_pool.push(l);
+        }
         self.ddg.truncate(nodes, edges);
         self.node_active.truncate(nodes);
         debug_assert!(self.node_active.iter().all(|a| *a));
         self.spill_reload.truncate(nodes);
         debug_assert!(self.spill_reload.iter().all(|s| !*s));
         self.chain_of_node.truncate(nodes);
-        self.chains.truncate(chains);
-        self.chains_touching.truncate(nodes);
         for touched in &mut self.chains_touching {
             touched.clear();
         }
@@ -483,10 +512,41 @@ impl WorkGraph {
         self.node_active.push(true);
         self.spill_reload.push(false);
         self.chain_of_node.push(None);
-        self.chains_touching.push(Vec::new());
-        self.succ_active_edges.push(Vec::new());
-        self.pred_active_edges.push(Vec::new());
+        self.chains_touching
+            .push(self.chain_index_pool.pop().unwrap_or_default());
+        self.succ_active_edges
+            .push(self.edge_list_pool.pop().unwrap_or_default());
+        self.pred_active_edges
+            .push(self.edge_list_pool.pop().unwrap_or_default());
         id
+    }
+
+    /// A fresh (or recycled) chain shell with empty member lists, ready for
+    /// one of the insertion paths to fill and [`WorkGraph::push_chain`].
+    fn take_chain(&mut self, kind: ChainKind, owner: NodeId) -> CommChain {
+        match self.chain_pool.pop() {
+            Some(mut c) => {
+                debug_assert!(
+                    c.replaced_edges.is_empty()
+                        && c.nodes.is_empty()
+                        && c.edges.is_empty()
+                        && c.touched.is_empty()
+                );
+                c.kind = kind;
+                c.owner = owner;
+                c.active = true;
+                c
+            }
+            None => CommChain {
+                kind,
+                owner,
+                replaced_edges: Vec::new(),
+                nodes: Vec::new(),
+                edges: Vec::new(),
+                touched: Vec::new(),
+                active: true,
+            },
+        }
     }
 
     /// Register a chain, indexing its member nodes and — for removable
@@ -501,18 +561,18 @@ impl WorkGraph {
             self.chain_of_node[n.index()] = Some(id);
         }
         if chain.kind != ChainKind::MemInterface {
-            let mut touched = vec![chain.owner];
+            debug_assert!(chain.touched.is_empty());
+            chain.touched.push(chain.owner);
             for e in &chain.replaced_edges {
                 let edge = self.ddg.edge(*e);
-                touched.push(edge.src);
-                touched.push(edge.dst);
+                chain.touched.push(edge.src);
+                chain.touched.push(edge.dst);
             }
-            touched.sort_unstable_by_key(|n| n.index());
-            touched.dedup();
-            for t in &touched {
+            chain.touched.sort_unstable_by_key(|n| n.index());
+            chain.touched.dedup();
+            for t in &chain.touched {
                 self.chains_touching[t.index()].push(id);
             }
-            chain.touched = touched;
         }
         self.chains.push(chain);
     }
@@ -583,6 +643,16 @@ impl WorkGraph {
     /// tracker; refreshing is idempotent, so duplicates are harmless.
     pub fn take_pressure_dirty(&mut self) -> Vec<NodeId> {
         std::mem::take(&mut self.pressure_dirty)
+    }
+
+    /// [`WorkGraph::take_pressure_dirty`] without giving up either
+    /// allocation: the dirty set is swapped into `buf` (cleared first) and
+    /// the graph keeps `buf`'s old backing storage for the next rewiring.
+    /// The store's per-pop pressure sync uses this so draining an empty or
+    /// small dirty set never reallocates on either side.
+    pub fn swap_pressure_dirty(&mut self, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        std::mem::swap(&mut self.pressure_dirty, buf);
     }
 
     /// Insert the memory-interface operations for a hierarchical target:
@@ -694,13 +764,27 @@ impl WorkGraph {
     /// already lives in the shared bank. For clustered organizations the
     /// chain is a single bus `Move`.
     pub fn insert_communication(&mut self, owner: NodeId, edge_id: EdgeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.insert_communication_into(owner, edge_id, &mut out);
+        out
+    }
+
+    /// [`WorkGraph::insert_communication`] appending the new nodes to `out`
+    /// instead of returning a fresh vector — the scheduler's hot path reuses
+    /// one scratch buffer across every insertion of an attempt.
+    pub fn insert_communication_into(
+        &mut self,
+        owner: NodeId,
+        edge_id: EdgeId,
+        out: &mut Vec<NodeId>,
+    ) {
         self.topo_version += 1;
         let edge = *self.ddg.edge(edge_id);
         debug_assert!(self.edge_active[edge_id.index()]);
         if self.hierarchical {
-            self.insert_hier_communication(owner, edge_id, edge)
+            self.insert_hier_communication(owner, edge_id, edge, out);
         } else {
-            self.insert_move_communication(owner, edge_id, edge)
+            self.insert_move_communication(owner, edge_id, edge, out);
         }
     }
 
@@ -709,14 +793,15 @@ impl WorkGraph {
         owner: NodeId,
         edge_id: EdgeId,
         edge: Edge,
-    ) -> Vec<NodeId> {
+        out: &mut Vec<NodeId>,
+    ) {
         let src_kind = self.ddg.node(edge.src).kind;
         let produced_in_shared = matches!(src_kind, OpKind::Load | OpKind::StoreR);
         let consumed_from_shared =
             matches!(self.ddg.node(edge.dst).kind, OpKind::Store | OpKind::LoadR);
         self.deactivate_edge(edge_id);
-        let mut new_nodes = Vec::new();
-        let mut new_edges = Vec::new();
+        let mut ch = self.take_chain(ChainKind::CommHierarchical, owner);
+        ch.replaced_edges.push(edge_id);
         // Source of the value in the shared bank.
         let shared_source = if produced_in_shared {
             edge.src
@@ -727,8 +812,8 @@ impl WorkGraph {
                 existing
             } else {
                 let sr = self.push_node(Node::new(OpKind::StoreR));
-                new_nodes.push(sr);
-                new_edges.push(self.push_edge(Edge {
+                ch.nodes.push(sr);
+                ch.edges.push(self.push_edge(Edge {
                     src: edge.src,
                     dst: sr,
                     kind: DepKind::Flow,
@@ -741,8 +826,8 @@ impl WorkGraph {
             shared_source
         } else {
             let lr = self.push_node(Node::new(OpKind::LoadR));
-            new_nodes.push(lr);
-            new_edges.push(self.push_edge(Edge {
+            ch.nodes.push(lr);
+            ch.edges.push(self.push_edge(Edge {
                 src: shared_source,
                 dst: lr,
                 kind: DepKind::Flow,
@@ -750,22 +835,14 @@ impl WorkGraph {
             }));
             lr
         };
-        new_edges.push(self.push_edge(Edge {
+        ch.edges.push(self.push_edge(Edge {
             src: final_src,
             dst: edge.dst,
             kind: DepKind::Flow,
             distance: edge.distance,
         }));
-        self.push_chain(CommChain {
-            kind: ChainKind::CommHierarchical,
-            owner,
-            replaced_edges: vec![edge_id],
-            nodes: new_nodes.clone(),
-            edges: new_edges,
-            touched: Vec::new(),
-            active: true,
-        });
-        new_nodes
+        out.extend_from_slice(&ch.nodes);
+        self.push_chain(ch);
     }
 
     fn insert_move_communication(
@@ -773,8 +850,11 @@ impl WorkGraph {
         owner: NodeId,
         edge_id: EdgeId,
         edge: Edge,
-    ) -> Vec<NodeId> {
+        out: &mut Vec<NodeId>,
+    ) {
         self.deactivate_edge(edge_id);
+        let mut ch = self.take_chain(ChainKind::CommClustered, owner);
+        ch.replaced_edges.push(edge_id);
         let mv = self.push_node(Node::new(OpKind::Move));
         let e1 = self.push_edge(Edge {
             src: edge.src,
@@ -788,16 +868,11 @@ impl WorkGraph {
             kind: DepKind::Flow,
             distance: edge.distance,
         });
-        self.push_chain(CommChain {
-            kind: ChainKind::CommClustered,
-            owner,
-            replaced_edges: vec![edge_id],
-            nodes: vec![mv],
-            edges: vec![e1, e2],
-            touched: Vec::new(),
-            active: true,
-        });
-        vec![mv]
+        ch.nodes.push(mv);
+        ch.edges.push(e1);
+        ch.edges.push(e2);
+        out.push(mv);
+        self.push_chain(ch);
     }
 
     /// Find an active StoreR already fed by `producer` (for StoreR reuse).
@@ -812,19 +887,32 @@ impl WorkGraph {
     /// the consumer reached through `edge_id` will re-load the value with a
     /// LoadR instead of keeping it live in the cluster bank.
     pub fn insert_spill_to_shared(&mut self, owner: NodeId, edge_id: EdgeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.insert_spill_to_shared_into(owner, edge_id, &mut out);
+        out
+    }
+
+    /// [`WorkGraph::insert_spill_to_shared`] appending the new nodes to
+    /// `out` (scratch-buffer variant for the scheduler's hot path).
+    pub fn insert_spill_to_shared_into(
+        &mut self,
+        owner: NodeId,
+        edge_id: EdgeId,
+        out: &mut Vec<NodeId>,
+    ) {
         self.topo_version += 1;
         let edge = *self.ddg.edge(edge_id);
         self.deactivate_edge(edge_id);
-        let mut nodes = Vec::new();
-        let mut edges = Vec::new();
+        let mut ch = self.take_chain(ChainKind::SpillToShared, owner);
+        ch.replaced_edges.push(edge_id);
         let shared_src = if matches!(self.ddg.node(edge.src).kind, OpKind::Load | OpKind::StoreR) {
             edge.src
         } else if let Some(sr) = self.existing_storer_for(edge.src) {
             sr
         } else {
             let sr = self.push_node(Node::new(OpKind::StoreR));
-            nodes.push(sr);
-            edges.push(self.push_edge(Edge {
+            ch.nodes.push(sr);
+            ch.edges.push(self.push_edge(Edge {
                 src: edge.src,
                 dst: sr,
                 kind: DepKind::Flow,
@@ -833,29 +921,21 @@ impl WorkGraph {
             sr
         };
         let lr = self.push_node(Node::new(OpKind::LoadR));
-        nodes.push(lr);
-        edges.push(self.push_edge(Edge {
+        ch.nodes.push(lr);
+        ch.edges.push(self.push_edge(Edge {
             src: shared_src,
             dst: lr,
             kind: DepKind::Flow,
             distance: 0,
         }));
-        edges.push(self.push_edge(Edge {
+        ch.edges.push(self.push_edge(Edge {
             src: lr,
             dst: edge.dst,
             kind: DepKind::Flow,
             distance: edge.distance,
         }));
-        self.push_chain(CommChain {
-            kind: ChainKind::SpillToShared,
-            owner,
-            replaced_edges: vec![edge_id],
-            nodes: nodes.clone(),
-            edges,
-            touched: Vec::new(),
-            active: true,
-        });
-        nodes
+        out.extend_from_slice(&ch.nodes);
+        self.push_chain(ch);
     }
 
     /// Insert a spill of the value defined by `def` to memory: a store after
@@ -863,6 +943,19 @@ impl WorkGraph {
     /// `edge_id`. This is the spill used by monolithic and clustered
     /// organizations, and by the shared bank when it overflows.
     pub fn insert_spill_to_memory(&mut self, owner: NodeId, edge_id: EdgeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.insert_spill_to_memory_into(owner, edge_id, &mut out);
+        out
+    }
+
+    /// [`WorkGraph::insert_spill_to_memory`] appending the new nodes to
+    /// `out` (scratch-buffer variant for the scheduler's hot path).
+    pub fn insert_spill_to_memory_into(
+        &mut self,
+        owner: NodeId,
+        edge_id: EdgeId,
+        out: &mut Vec<NodeId>,
+    ) {
         self.topo_version += 1;
         let edge = *self.ddg.edge(edge_id);
         self.deactivate_edge(edge_id);
@@ -899,16 +992,16 @@ impl WorkGraph {
             kind: DepKind::Flow,
             distance: edge.distance,
         });
-        self.push_chain(CommChain {
-            kind: ChainKind::SpillToMemory,
-            owner,
-            replaced_edges: vec![edge_id],
-            nodes: vec![st, ld],
-            edges: vec![e1, e2, e3],
-            touched: Vec::new(),
-            active: true,
-        });
-        vec![st, ld]
+        let mut ch = self.take_chain(ChainKind::SpillToMemory, owner);
+        ch.replaced_edges.push(edge_id);
+        ch.nodes.push(st);
+        ch.nodes.push(ld);
+        ch.edges.push(e1);
+        ch.edges.push(e2);
+        ch.edges.push(e3);
+        out.push(st);
+        out.push(ld);
+        self.push_chain(ch);
     }
 
     /// Remove every removable chain owned by `node` or whose replaced edge
@@ -928,11 +1021,19 @@ impl WorkGraph {
     /// chain order. Served from the per-node index built at insertion (the
     /// full chain scan this replaced dominated ejection storms).
     pub fn chains_to_remove_for(&self, node: NodeId) -> Vec<usize> {
-        self.chains_touching[node.index()]
-            .iter()
-            .map(|&id| id as usize)
-            .filter(|&id| self.chains[id].active)
-            .collect()
+        let mut out = Vec::new();
+        self.chains_to_remove_into(node, &mut out);
+        out
+    }
+
+    /// [`WorkGraph::chains_to_remove_for`] appending into a caller scratch.
+    pub fn chains_to_remove_into(&self, node: NodeId, out: &mut Vec<usize>) {
+        out.extend(
+            self.chains_touching[node.index()]
+                .iter()
+                .map(|&id| id as usize)
+                .filter(|&id| self.chains[id].active),
+        );
     }
 
     /// Nodes belonging to a chain (for the scheduler to unplace them).
@@ -960,16 +1061,26 @@ impl WorkGraph {
 
     /// Deactivate one chain, reactivating the edge it replaced.
     pub fn remove_chain(&mut self, chain: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.remove_chain_into(chain, &mut out);
+        out
+    }
+
+    /// [`WorkGraph::remove_chain`] appending the deactivated nodes to `out`.
+    /// The chain's member lists are moved aside for the duration of the walk
+    /// and restored afterwards (no clones), so the insert/remove cycle of an
+    /// ejection storm never allocates.
+    pub fn remove_chain_into(&mut self, chain: usize, out: &mut Vec<NodeId>) {
         let c = &mut self.chains[chain];
         if !c.active {
-            return Vec::new();
+            return;
         }
         self.topo_version += 1;
         let c = &mut self.chains[chain];
         c.active = false;
-        let nodes = c.nodes.clone();
-        let edges = c.edges.clone();
-        let replaced = c.replaced_edges.clone();
+        let nodes = std::mem::take(&mut c.nodes);
+        let edges = std::mem::take(&mut c.edges);
+        let replaced = std::mem::take(&mut c.replaced_edges);
         let touched = std::mem::take(&mut c.touched);
         // Unindex the (now permanently dead) chain from the nodes it
         // touched; the lists hold ascending chain ids, so the removal keeps
@@ -990,10 +1101,15 @@ impl WorkGraph {
         for e in &edges {
             self.deactivate_edge(*e);
         }
-        for e in replaced {
-            self.reactivate_edge(e);
+        for e in &replaced {
+            self.reactivate_edge(*e);
         }
-        nodes
+        out.extend_from_slice(&nodes);
+        let c = &mut self.chains[chain];
+        c.nodes = nodes;
+        c.edges = edges;
+        c.replaced_edges = replaced;
+        c.touched = touched;
     }
 
     /// Counts of inserted operations currently active, by kind:

@@ -98,6 +98,10 @@ fn main() {
         "ladder: {} II values skipped, {} arena resets, {} budget-limited attempts",
         result.stats.ii_skips, result.stats.arena_resets, result.stats.budget_exhausts
     );
+    println!(
+        "warm starts: {} ({} placements retained across II bumps)",
+        result.stats.warm_starts, result.stats.warm_nodes_retained
+    );
 
     if let Some(path) = trace_path {
         println!("\ntrace timeline:");

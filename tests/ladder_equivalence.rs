@@ -142,10 +142,12 @@ fn batched_ejection_bit_identical_to_per_victim_wide_suite() {
     );
 }
 
-/// The budget-aware ladder skips rungs but re-checks the final gap from
-/// below on success, so it must never land on a higher final II than the
-/// unit ladder — and since both scan upward, "never higher" means the final
-/// IIs (and the failure outcomes) are exactly equal.
+/// The budget-aware ladder (cold-attempts oracle: skipping only engages
+/// there — the default warm ladder climbs rung by rung) skips rungs but
+/// re-checks the final gap from below on success, so it must never land on
+/// a higher final II than the unit ladder — and since both scan upward,
+/// "never higher" means the final IIs (and the failure outcomes) are
+/// exactly equal.
 #[test]
 fn skipping_ladder_never_lands_on_higher_final_ii() {
     let suites: [(&str, Vec<hcrf_ir::Loop>, SchedulerParams); 3] = [
@@ -161,8 +163,11 @@ fn skipping_ladder_never_lands_on_higher_final_ii() {
         for name in CONFIGS {
             let cfg = ConfiguredMachine::from_name(name).unwrap();
             let skipping = IterativeScheduler::new(cfg.machine.clone(), *params)
+                .with_cold_attempts()
                 .with_telemetry(Telemetry::enabled());
-            let unit = IterativeScheduler::new(cfg.machine.clone(), *params).with_unit_ladder();
+            let unit = IterativeScheduler::new(cfg.machine.clone(), *params)
+                .with_unit_ladder()
+                .with_cold_attempts();
             for l in loops {
                 let s = skipping.schedule(&l.ddg);
                 let u = unit.schedule(&l.ddg);

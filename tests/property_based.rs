@@ -351,6 +351,66 @@ proptest! {
         }
     }
 
+    /// Warm remaps of arbitrary snapshots never corrupt the store: random
+    /// place/eject traffic driven through the `PlacementStore` at one II is
+    /// captured and remapped at a bumped II, after which `validate_store`
+    /// (slot-index scan, MRT replay and `Mrt::check_masks`) passes, every
+    /// retained node satisfies its active dependence windows, and the remap
+    /// is deterministic (a second round trip retains the same count). The
+    /// traffic is resource-legal but deliberately not dependence-legal —
+    /// the remap must re-validate and drop violators itself.
+    #[test]
+    fn warm_remap_preserves_validity(
+        ddg in arb_loop(12),
+        ops in prop::collection::vec((any::<u16>(), 0u32..4, 0i64..48), 4..32),
+        ii0 in 1u32..10,
+        bump in 1u32..8,
+        which in 0usize..7,
+    ) {
+        let lat = OpLatencies::paper_baseline();
+        let machine = &machines()[which];
+        let mut arena = AttemptArena::new(&ddg, machine, true);
+        arena.reset(ii0, &lat);
+        let (w, store) = arena.parts_mut();
+        let nodes: Vec<_> = w.active_nodes().collect();
+        for &(sel, cluster, cycle) in &ops {
+            let n = nodes[sel as usize % nodes.len()];
+            if !w.is_active(n) {
+                continue;
+            }
+            if store.is_placed(n) {
+                store.eject(w, n, &lat);
+            } else {
+                store.place(w, n, cycle, cluster % machine.clusters(), &lat);
+            }
+        }
+        let mut snap = Vec::new();
+        arena.capture_warm_snapshot(&mut snap);
+        let ii = ii0 + bump;
+        let r = arena.reset_warm(ii, &lat, &snap, false);
+        if let Err(diff) = validate_store(arena.store(), arena.workgraph(), &lat) {
+            return Err(TestCaseError::fail(format!("{} II={ii}: {diff}", machine.rf)));
+        }
+        let w = arena.workgraph();
+        let store = arena.store();
+        for n in w.active_nodes() {
+            if let Some((cycle, _)) = store.placement(n) {
+                for (_, e) in w.active_pred_edges(n) {
+                    if let Some((src_cycle, _)) = store.placement(e.src) {
+                        let delay = w.edge_delay(e, &lat, false);
+                        prop_assert!(
+                            src_cycle + delay - (ii as i64) * e.distance as i64 <= cycle,
+                            "{} II={ii}: retained {n} violates its window from {}",
+                            machine.rf, e.src
+                        );
+                    }
+                }
+            }
+        }
+        let r2 = arena.reset_warm(ii, &lat, &snap, false);
+        prop_assert_eq!(r.retained, r2.retained, "remap not deterministic");
+    }
+
     /// The RF timing/area model is monotone in both capacity and port count.
     #[test]
     fn rf_model_is_monotone(regs in 8u32..512, ports in 2u32..40) {
