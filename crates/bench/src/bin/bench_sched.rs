@@ -173,8 +173,9 @@ fn run_sweep(
         |_| ArenaPool::new(),
         |pool, ctx| sched.schedule_with_timings_pooled(&loops[ctx.group].ddg, pool),
     );
+    let (results, _, _) = run.expect_complete();
     let mut sweep = Sweep::default();
-    for (r, phases) in &run.results {
+    for (r, phases) in &results {
         sweep.loops += 1;
         sweep.failed += u64::from(r.failed);
         sweep.sum_ii += r.ii as u64;

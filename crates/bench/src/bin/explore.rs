@@ -9,16 +9,27 @@
 //! explore [--clusters 1,2,4,8] [--regs 16..128] [--budget 160] [--min-regs 0]
 //!         [--max-bank-ports N] [--scenario ideal|real] [--loops 96]
 //!         [--threads 0] [--top 10] [--cache-dir target/explore/cache]
-//!         [--no-cache] [--json PATH] [--csv PATH] [--quiet] [--verbose]
-//!         [--trace PATH]
+//!         [--no-cache] [--retries N] [--json PATH] [--csv PATH] [--quiet]
+//!         [--verbose] [--trace PATH]
+//! explore --fsck    [--cache-dir DIR]     # read-only store integrity scan
+//! explore --compact [--cache-dir DIR]     # fold duplicates/damage away
 //! ```
 //!
 //! `--regs` accepts either an inclusive range (`16..128`, expanded to the
 //! powers of two it contains) or an explicit list (`16,24,32`). A second
 //! identical invocation is answered almost entirely from the cache; the hit
 //! count is reported at the end.
+//!
+//! `--retries N` switches the engine to the isolate failure policy: a
+//! panicking loop task is retried up to N times, then its design point is
+//! quarantined (reported in the failure manifest) instead of aborting the
+//! sweep. `--fsck` scans the result store without modifying it and exits
+//! nonzero if any segment holds torn or corrupt bytes; `--compact` rewrites
+//! the store to exactly its live records.
 
+use hcrf_engine::FailurePolicy;
 use hcrf_explore::prelude::*;
+use hcrf_explore::ResultStore;
 use hcrf_telemetry::DEFAULT_TRACE_CAPACITY;
 use hcrf_workloads::{suite::suite, SuiteParams};
 use std::path::PathBuf;
@@ -35,6 +46,9 @@ struct Args {
     csv_path: PathBuf,
     verbosity: Verbosity,
     trace_path: Option<PathBuf>,
+    retries: Option<u32>,
+    fsck: bool,
+    compact: bool,
 }
 
 // Large enough that spills/communication discriminate the organizations,
@@ -46,8 +60,10 @@ fn usage() -> ! {
         "usage: explore [--clusters 1,2,4,8] [--regs 16..128 | --regs 16,32,64] \
          [--budget 160] [--min-regs 0] [--max-bank-ports N] \
          [--scenario ideal|real] [--loops {DEFAULT_LOOPS}] [--threads 0] [--top 10] \
-         [--cache-dir DIR] [--no-cache] [--json PATH] [--csv PATH] [--quiet] \
-         [--verbose] [--trace PATH]"
+         [--cache-dir DIR] [--no-cache] [--retries N] [--json PATH] [--csv PATH] \
+         [--quiet] [--verbose] [--trace PATH]\n\
+         \x20      explore --fsck [--cache-dir DIR]\n\
+         \x20      explore --compact [--cache-dir DIR]"
     );
     exit(2)
 }
@@ -104,6 +120,9 @@ fn parse_args() -> Args {
         csv_path: PathBuf::from("target/explore/points.csv"),
         verbosity: Verbosity::Progress,
         trace_path: None,
+        retries: None,
+        fsck: false,
+        compact: false,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -142,6 +161,9 @@ fn parse_args() -> Args {
             "--quiet" => args.verbosity = Verbosity::Silent,
             "--verbose" => args.verbosity = Verbosity::Debug,
             "--trace" => args.trace_path = Some(PathBuf::from(value(&mut i))),
+            "--retries" => args.retries = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--fsck" => args.fsck = true,
+            "--compact" => args.compact = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("explore: unknown argument '{other}'");
@@ -163,8 +185,90 @@ fn write_report(path: &PathBuf, contents: String, what: &str) {
     }
 }
 
+/// `explore --fsck`: read-only store integrity scan. Exit 0 when every
+/// segment is clean, 1 when torn or corrupt bytes are present.
+fn run_fsck(dir: &PathBuf) -> ! {
+    match ResultStore::fsck(dir) {
+        Ok(report) => {
+            println!(
+                "fsck {}: {} shard file(s), {} record(s), {} live key(s)",
+                dir.display(),
+                report.shards,
+                report.records,
+                report.live_keys,
+            );
+            if report.legacy_files > 0 {
+                println!(
+                    "  {} legacy per-point file(s) pending migration",
+                    report.legacy_files
+                );
+            }
+            if report.quarantined_bytes > 0 {
+                println!(
+                    "  {} byte(s) in quarantine from previous recoveries",
+                    report.quarantined_bytes
+                );
+            }
+            if report.is_clean() {
+                println!("  clean");
+                exit(0);
+            }
+            println!(
+                "  DAMAGE: {} corrupt record(s), {} torn tail byte(s) — reopen the store (or rerun explore) to recover",
+                report.corrupt_records, report.torn_bytes,
+            );
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("explore: fsck of {} failed: {e}", dir.display());
+            exit(1);
+        }
+    }
+}
+
+/// `explore --compact`: open (recovering + migrating) and rewrite the store
+/// to exactly its live records.
+fn run_compact(dir: &PathBuf, verbosity: Verbosity) -> ! {
+    let telemetry = Telemetry::reporter(verbosity);
+    match ResultCache::open_traced(dir, &telemetry) {
+        Ok(mut cache) => {
+            let before = ResultStore::fsck(dir).map(|r| r.records).unwrap_or(0);
+            match cache.compact() {
+                Ok(()) => {
+                    let after = ResultStore::fsck(dir).map(|r| r.records).unwrap_or(0);
+                    println!(
+                        "compacted {}: {} record(s) -> {} live record(s)",
+                        dir.display(),
+                        before,
+                        after
+                    );
+                    exit(0);
+                }
+                Err(e) => {
+                    eprintln!("explore: compaction of {} failed: {e}", dir.display());
+                    exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("explore: cannot open store {}: {e}", dir.display());
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.fsck || args.compact {
+        let Some(dir) = args.cache_dir.as_ref() else {
+            eprintln!("explore: --fsck/--compact need a cache directory (omit --no-cache)");
+            exit(2);
+        };
+        if args.fsck {
+            run_fsck(dir);
+        }
+        run_compact(dir, args.verbosity);
+    }
     let orgs = args.space.enumerate();
     if orgs.is_empty() {
         eprintln!("explore: the constraints admit no organization");
@@ -199,8 +303,13 @@ fn main() {
         total_loops: args.loops,
         ..Default::default()
     });
+    let telemetry = if args.trace_path.is_some() {
+        Telemetry::new(args.verbosity, DEFAULT_TRACE_CAPACITY)
+    } else {
+        Telemetry::reporter(args.verbosity)
+    };
     let mut cache = match args.cache_dir.as_ref() {
-        Some(dir) => ResultCache::open(dir).unwrap_or_else(|e| {
+        Some(dir) => ResultCache::open_traced(dir, &telemetry).unwrap_or_else(|e| {
             eprintln!(
                 "explore: cannot open cache dir {} ({e}); continuing without cache",
                 dir.display()
@@ -209,15 +318,14 @@ fn main() {
         }),
         None => ResultCache::disabled(),
     };
-    let telemetry = if args.trace_path.is_some() {
-        Telemetry::new(args.verbosity, DEFAULT_TRACE_CAPACITY)
-    } else {
-        Telemetry::reporter(args.verbosity)
-    };
     let options = ExploreOptions {
         scenario: args.scenario,
         threads: args.threads,
         progress: args.verbosity >= Verbosity::Progress,
+        failure: match args.retries {
+            Some(retries) => FailurePolicy::Isolate { retries },
+            None => FailurePolicy::FailFast,
+        },
         ..Default::default()
     };
     let outcome = explore_traced(&orgs, &loops, &options, &mut cache, &telemetry);
@@ -238,13 +346,24 @@ fn main() {
         report.points.len(),
         report.frontier.join(", ")
     );
+    if !report.quarantined.is_empty() {
+        println!(
+            "quarantined: {} point(s) failed evaluation — see the failure manifest above",
+            report.quarantined.len()
+        );
+    }
     let stats = outcome.cache;
     println!(
-        "cache: {} hits, {} misses ({:.1}% hit rate), {} stored | wall time {:.2}s",
+        "cache: {} hits, {} misses ({:.1}% hit rate), {} stored{} | wall time {:.2}s",
         stats.hits,
         stats.misses,
         100.0 * stats.hit_rate(),
         stats.stores,
+        if cache.stats().corrupt > 0 {
+            format!(", {} corrupt entr(ies) quarantined", cache.stats().corrupt)
+        } else {
+            String::new()
+        },
         outcome.wall_seconds,
     );
     write_report(&args.json_path, report.to_json().to_pretty(), "JSON");

@@ -6,7 +6,7 @@
 //! folds the index-ordered results so the [`SuiteRun`] is bit-identical for
 //! any thread count.
 
-use hcrf_engine::Engine;
+use hcrf_engine::{Engine, FailurePolicy, TaskFailure};
 use hcrf_ir::Loop;
 use hcrf_machine::stable::StableHasher;
 use hcrf_machine::{MachineConfig, RfOrganization};
@@ -80,6 +80,11 @@ pub struct RunOptions {
     pub max_simulated_iterations: u64,
     /// Number of worker threads (0 = one per available CPU).
     pub threads: usize,
+    /// How the engine responds to a panicking loop task: fail fast (the
+    /// default) or isolate-and-retry, quarantining loops that keep
+    /// panicking instead of poisoning the sweep. Retry bookkeeping is
+    /// per-task, so results stay bit-identical for any thread count.
+    pub failure: FailurePolicy,
 }
 
 impl Default for RunOptions {
@@ -89,6 +94,7 @@ impl Default for RunOptions {
             real_memory: false,
             max_simulated_iterations: 64,
             threads: 0,
+            failure: FailurePolicy::default(),
         }
     }
 }
@@ -118,6 +124,12 @@ impl RunOptions {
         self.threads = threads;
         self
     }
+
+    /// Use the given engine failure policy.
+    pub fn with_failure(mut self, failure: FailurePolicy) -> Self {
+        self.failure = failure;
+        self
+    }
 }
 
 /// Per-loop outcome of a suite run.
@@ -138,9 +150,15 @@ pub struct LoopRun {
 pub struct SuiteRun {
     /// The configuration that was evaluated.
     pub config: ConfiguredMachine,
-    /// Per-loop outcomes, in suite order.
+    /// Per-loop outcomes, in suite order. Under
+    /// [`FailurePolicy::Isolate`] a quarantined loop is absent here (and
+    /// listed in [`SuiteRun::quarantined`]); under the default fail-fast
+    /// policy this always holds every loop.
     pub loops: Vec<LoopRun>,
-    /// Aggregated metrics.
+    /// Loops whose task kept panicking and was quarantined, sorted by loop
+    /// index. Always empty under [`FailurePolicy::FailFast`].
+    pub quarantined: Vec<TaskFailure>,
+    /// Aggregated metrics (quarantined loops excluded).
     pub aggregate: SuiteAggregate,
     /// Wall-clock seconds spent scheduling (the paper's "Sch. time").
     pub scheduling_seconds: f64,
@@ -166,7 +184,9 @@ pub fn run_suite_traced(
     let started = std::time::Instant::now();
     let scheduler = IterativeScheduler::new(config.machine.clone(), options.scheduler)
         .with_telemetry(telemetry.clone());
-    let engine = Engine::new(options.threads).with_telemetry(telemetry.clone());
+    let engine = Engine::new(options.threads)
+        .with_telemetry(telemetry.clone())
+        .with_failure_policy(options.failure);
     let run = engine.map_indexed(
         suite.len(),
         |_| ArenaPool::new(),
@@ -183,7 +203,10 @@ pub fn run_suite_traced(
             )
         },
     );
-    let loops = run.results;
+    // Quarantined loops (isolate policy only) drop out of `loops` and the
+    // aggregate; the manifest records them. Suite order is preserved.
+    let loops: Vec<LoopRun> = run.results.into_iter().flatten().collect();
+    let quarantined = run.quarantined;
     let (aggregate, phases) = fold_suite_aggregate(config, &loops);
     let scheduling_seconds = started.elapsed().as_secs_f64();
     if telemetry.is_enabled() {
@@ -197,6 +220,7 @@ pub fn run_suite_traced(
     SuiteRun {
         config: config.clone(),
         loops,
+        quarantined,
         aggregate,
         scheduling_seconds,
         phases,

@@ -3,7 +3,7 @@
 //! Every compute surface of the repository — suite sweeps
 //! (`hcrf::run_suite`), design-space exploration (`hcrf_explore::explore`)
 //! and the bench binaries — funnels its parallelism through this crate
-//! instead of rolling its own thread pool. The engine provides three things
+//! instead of rolling its own thread pool. The engine provides four things
 //! the flat atomic-counter loops it replaced could not:
 //!
 //! * **Work stealing across heterogeneous tasks.** Each worker owns a
@@ -26,6 +26,17 @@
 //!   channel drains fully before worker panics propagate, so a crash in one
 //!   design point can never lose the completed points before it.
 //!
+//! * **Per-task isolation and retry.** Under the opt-in
+//!   [`FailurePolicy::Isolate`], a panicking task is caught
+//!   (`catch_unwind`), its worker state rebuilt, and the task retried up to
+//!   a bounded number of times; a task that keeps panicking is
+//!   *quarantined* — its group folds to `None` and the failure lands in
+//!   [`EngineRun::quarantined`] — instead of poisoning the whole run.
+//!   Retry decisions are keyed on the task alone (never on worker
+//!   history), so results stay bit-identical for any worker count. The
+//!   deterministic [`FaultPlan`] drives fault-injection drills through the
+//!   same seams.
+//!
 //! Workers also own caller-defined per-worker state (created by an `init`
 //! hook) — the schedulers park a pooled `AttemptArena` there so consecutive
 //! loops rebind one allocation instead of rebuilding per loop. The states
@@ -35,8 +46,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use hcrf_telemetry::Telemetry;
+use hcrf_telemetry::{Telemetry, TraceBuf};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
@@ -80,12 +92,126 @@ pub struct TaskCtx {
     pub index: usize,
 }
 
+/// How the engine responds to a panicking task.
+///
+/// The retry/quarantine bookkeeping never reaches the task *results*:
+/// retries are keyed on the task identity alone (a task that panics on its
+/// first attempt panics on its first attempt on every worker count), so an
+/// isolated run's completed groups are bit-identical to a fail-fast run's.
+/// Counters (`engine.task_retries`, `engine.task_quarantined`) go to
+/// telemetry, per the standing thread-count-invisibility invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Propagate the first task panic to the caller (after the completed
+    /// groups have streamed to `on_group`). The default, and the historical
+    /// behavior.
+    #[default]
+    FailFast,
+    /// Catch a task panic, rebuild the worker's pooled state (a panic can
+    /// leave it mid-mutation), and retry the task up to `retries` more
+    /// times. A task that exhausts its retries is quarantined: its group's
+    /// result is `None` and the failure is reported in
+    /// [`EngineRun::quarantined`] instead of poisoning the run.
+    Isolate {
+        /// Retries after the first failed attempt (total attempts =
+        /// `retries + 1`).
+        retries: u32,
+    },
+}
+
+/// One task that exhausted its retries under [`FailurePolicy::Isolate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Group the task belonged to.
+    pub group: usize,
+    /// Index of the task within its group.
+    pub index: usize,
+    /// Attempts made (always `retries + 1`).
+    pub attempts: u32,
+    /// The panic message of the final attempt.
+    pub message: String,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A deterministic fault-injection plan for chaos drills and the
+/// fault-tolerance test suite.
+///
+/// Every decision is a pure function of the plan's `seed` and the *identity*
+/// of the thing being faulted — a task's `(group, index)` or a store
+/// record's key digest — never of time, worker ids or call order. The same
+/// plan therefore injects the same faults at 1, 2, 4 or 8 workers, which is
+/// what lets `tests/fault_injection.rs` assert bit-identical degraded
+/// results across thread counts. Rates are per-mille (`100` = 10%).
+///
+/// Task panics are split into two classes so one plan exercises both
+/// recovery paths: *transient* faults panic only on a task's first attempt
+/// (a retry succeeds), *permanent* faults panic on every attempt (the task
+/// is quarantined once its retries are exhausted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision.
+    pub seed: u64,
+    /// Per-mille rate of tasks that panic on their first attempt only.
+    pub transient_task_panics_per_mille: u32,
+    /// Per-mille rate of tasks that panic on every attempt.
+    pub permanent_task_panics_per_mille: u32,
+    /// Per-mille rate of store appends cut short mid-record (simulated
+    /// `kill -9` during a write); honored by the explore result store.
+    pub truncated_writes_per_mille: u32,
+    /// Per-mille rate of store records corrupted in place after their
+    /// checksum is computed (simulated bit rot); honored by the explore
+    /// result store.
+    pub corrupt_records_per_mille: u32,
+}
+
+impl FaultPlan {
+    fn decide(&self, domain: u8, a: u64, b: u64, per_mille: u32) -> bool {
+        if per_mille == 0 {
+            return false;
+        }
+        let mut h = fnv_bytes(FNV_OFFSET, &self.seed.to_le_bytes());
+        h = fnv_bytes(h, &[domain]);
+        h = fnv_bytes(h, &a.to_le_bytes());
+        h = fnv_bytes(h, &b.to_le_bytes());
+        h % 1000 < per_mille as u64
+    }
+
+    /// Whether attempt `attempt` of task `(group, index)` should panic.
+    pub fn panics_task(&self, group: u64, index: u64, attempt: u32) -> bool {
+        if self.decide(0, group, index, self.permanent_task_panics_per_mille) {
+            return true;
+        }
+        attempt == 0 && self.decide(1, group, index, self.transient_task_panics_per_mille)
+    }
+
+    /// Whether the append of the record addressed by `digest` should be
+    /// truncated mid-write.
+    pub fn truncates_write(&self, digest: u64) -> bool {
+        self.decide(2, digest, 0, self.truncated_writes_per_mille)
+    }
+
+    /// Whether the record addressed by `digest` should be corrupted in
+    /// place after its checksum is computed.
+    pub fn corrupts_record(&self, digest: u64) -> bool {
+        self.decide(3, digest, 0, self.corrupt_records_per_mille)
+    }
+}
+
 /// Execution counters of one engine run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineReport {
     /// Workers the run executed on.
     pub workers: usize,
-    /// Inner tasks executed.
+    /// Inner tasks executed (counted once per task, not per retry attempt).
     pub tasks: u64,
     /// Successful batch steals (a thief moving the back half of another
     /// worker's deque into its own).
@@ -96,20 +222,52 @@ pub struct EngineReport {
 #[derive(Debug)]
 pub struct EngineRun<R, S> {
     /// Per-group results, in group order (deterministic for any worker
-    /// count).
-    pub results: Vec<R>,
+    /// count). `None` marks a group quarantined under
+    /// [`FailurePolicy::Isolate`]; under [`FailurePolicy::FailFast`] every
+    /// entry is `Some` (a panic would have propagated instead).
+    pub results: Vec<Option<R>>,
+    /// Tasks that exhausted their retries, sorted by `(group, index)` —
+    /// deterministic for any worker count. Empty under
+    /// [`FailurePolicy::FailFast`].
+    pub quarantined: Vec<TaskFailure>,
     /// The per-worker states, in worker order.
     pub states: Vec<S>,
     /// Execution counters.
     pub report: EngineReport,
 }
 
-/// The execution engine: a worker count plus a telemetry sink. Construct
-/// once per run site; the engine itself holds no threads (workers live only
-/// for the duration of one `run_two_level` call).
+impl<R, S> EngineRun<R, S> {
+    /// Unwrap a run that must have completed every group — the contract of
+    /// every fail-fast call site (a task panic there propagates instead of
+    /// quarantining). Panics with the failure manifest if any task was
+    /// quarantined.
+    pub fn expect_complete(self) -> (Vec<R>, Vec<S>, EngineReport) {
+        if !self.quarantined.is_empty() {
+            panic!(
+                "engine run quarantined {} task(s): {:?}",
+                self.quarantined.len(),
+                self.quarantined
+            );
+        }
+        (
+            self.results
+                .into_iter()
+                .map(|r| r.expect("every group must have folded"))
+                .collect(),
+            self.states,
+            self.report,
+        )
+    }
+}
+
+/// The execution engine: a worker count, a failure policy and a telemetry
+/// sink. Construct once per run site; the engine itself holds no threads
+/// (workers live only for the duration of one `run_two_level` call).
 #[derive(Debug, Clone)]
 pub struct Engine {
     workers: usize,
+    failure: FailurePolicy,
+    fault_plan: Option<FaultPlan>,
     telemetry: Telemetry,
 }
 
@@ -126,27 +284,129 @@ impl Drop for PoisonGuard<'_> {
     }
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 impl Engine {
     /// An engine with `threads` workers (`0` = auto, see
-    /// [`resolve_workers`]) and no telemetry.
+    /// [`resolve_workers`]), the fail-fast policy and no telemetry.
     pub fn new(threads: usize) -> Self {
         Engine {
             workers: resolve_workers(threads),
+            failure: FailurePolicy::default(),
+            fault_plan: None,
             telemetry: Telemetry::disabled(),
         }
     }
 
     /// Attach a telemetry sink: the run publishes `engine.tasks` /
-    /// `engine.steals` / `engine.runs` counters and records one labeled
-    /// `worker` span per worker.
+    /// `engine.steals` / `engine.runs` counters (plus
+    /// `engine.task_retries` / `engine.task_quarantined` under
+    /// [`FailurePolicy::Isolate`]) and records one labeled `worker` span per
+    /// worker.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Select how task panics are handled (default
+    /// [`FailurePolicy::FailFast`]).
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure = policy;
+        self
+    }
+
+    /// Inject deterministic task panics according to `plan` (store-level
+    /// faults in the same plan are honored by the explore result store, not
+    /// here). Test/drill seam; without a plan no injection code runs.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
     /// The resolved worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The configured failure policy.
+    pub fn failure_policy(&self) -> FailurePolicy {
+        self.failure
+    }
+
+    /// Execute one task under the failure policy: fail-fast calls straight
+    /// through (any panic, injected or real, propagates); isolate catches,
+    /// rebuilds the worker state (the panic may have left pooled arenas
+    /// mid-mutation) and retries until the task succeeds or exhausts its
+    /// attempts.
+    fn execute_task<S, T>(
+        &self,
+        state: &mut S,
+        trace: &mut TraceBuf,
+        ctx: TaskCtx,
+        init: impl Fn(usize) -> S,
+        inner: impl Fn(&mut S, TaskCtx) -> T,
+    ) -> Result<T, TaskFailure> {
+        let inject = |attempt: u32| {
+            if let Some(plan) = &self.fault_plan {
+                if plan.panics_task(ctx.group as u64, ctx.index as u64, attempt) {
+                    panic!(
+                        "injected fault: task {}:{} attempt {attempt}",
+                        ctx.group, ctx.index
+                    );
+                }
+            }
+        };
+        let FailurePolicy::Isolate { retries } = self.failure else {
+            inject(0);
+            return Ok(inner(state, ctx));
+        };
+        let mut attempt = 0u32;
+        loop {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                inject(attempt);
+                inner(state, ctx)
+            }));
+            match caught {
+                Ok(value) => return Ok(value),
+                Err(payload) => {
+                    *state = init(ctx.worker);
+                    trace.instant(
+                        "task_panic",
+                        "engine",
+                        &[
+                            ("group", ctx.group as i64),
+                            ("index", ctx.index as i64),
+                            ("attempt", attempt as i64),
+                        ],
+                    );
+                    if attempt < retries {
+                        attempt += 1;
+                        self.telemetry.counter_add("engine.task_retries", 1);
+                    } else {
+                        self.telemetry.counter_add("engine.task_quarantined", 1);
+                        trace.instant(
+                            "task_quarantined",
+                            "engine",
+                            &[("group", ctx.group as i64), ("index", ctx.index as i64)],
+                        );
+                        return Err(TaskFailure {
+                            group: ctx.group,
+                            index: ctx.index,
+                            attempts: attempt + 1,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                }
+            }
+        }
     }
 
     /// Run a two-level task set: `group_sizes[g]` inner tasks per group
@@ -167,8 +427,13 @@ impl Engine {
     /// behind steal chains. Stealing (which moves the back half of a deque)
     /// still redistributes a slow share's tail across idle workers.
     ///
-    /// If a task panics, completed groups still stream to `on_group`, then
-    /// the panic resumes on the caller's thread.
+    /// If a task panics under the default fail-fast policy, completed
+    /// groups still stream to `on_group`, then the panic resumes on the
+    /// caller's thread. Under [`FailurePolicy::Isolate`] the task is
+    /// retried and, if it keeps panicking, quarantined: every other task of
+    /// its group still runs (retry bookkeeping is per-task, so counters and
+    /// sibling results stay thread-count-invariant), but the group's fold
+    /// is skipped, `on_group` never fires for it, and its result is `None`.
     pub fn run_two_level<S, T, R>(
         &self,
         group_sizes: &[usize],
@@ -209,7 +474,11 @@ impl Engine {
                 &mut on_group,
             )
         };
-        let (states, report) = run;
+        let (states, report, mut quarantined) = run;
+        quarantined.sort_by_key(|f| (f.group, f.index));
+        if quarantined.is_empty() {
+            debug_assert!(results.iter().all(|r| r.is_some()));
+        }
 
         if self.telemetry.is_enabled() {
             self.telemetry.counter_add("engine.runs", 1);
@@ -217,10 +486,8 @@ impl Engine {
             self.telemetry.counter_add("engine.steals", report.steals);
         }
         EngineRun {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("every group must have folded"))
-                .collect(),
+            results,
+            quarantined,
             states,
             report,
         }
@@ -228,7 +495,9 @@ impl Engine {
 
     /// The `workers <= 1` path: everything runs on the caller's thread, in
     /// group and index order (tests pin the streaming hook's inline
-    /// ordering to exactly this sequence).
+    /// ordering to exactly this sequence). Every task of a quarantined
+    /// group still runs, exactly as on the stealing path, so retry
+    /// counters and sibling failures are thread-count-invariant.
     #[allow(clippy::too_many_arguments)]
     fn run_inline<S, T, R>(
         &self,
@@ -238,30 +507,46 @@ impl Engine {
         inner: impl Fn(&mut S, TaskCtx) -> T,
         fold: impl Fn(usize, Vec<T>) -> R,
         on_group: &mut impl FnMut(usize, &R),
-    ) -> (Vec<S>, EngineReport) {
+    ) -> (Vec<S>, EngineReport, Vec<TaskFailure>) {
         let mut state = init(0);
+        let mut trace = self.telemetry.trace_buf();
         let mut tasks = 0u64;
+        let mut quarantined = Vec::new();
         for (g, &size) in group_sizes.iter().enumerate() {
             if size == 0 {
                 continue; // already folded
             }
-            let inners: Vec<T> = (0..size)
-                .map(|index| {
-                    tasks += 1;
-                    inner(
-                        &mut state,
-                        TaskCtx {
-                            worker: 0,
-                            group: g,
-                            index,
-                        },
-                    )
-                })
-                .collect();
-            let r = fold(g, inners);
-            on_group(g, &r);
-            results[g] = Some(r);
+            let mut inners: Vec<Option<T>> = Vec::with_capacity(size);
+            let mut failed = false;
+            for index in 0..size {
+                tasks += 1;
+                let ctx = TaskCtx {
+                    worker: 0,
+                    group: g,
+                    index,
+                };
+                match self.execute_task(&mut state, &mut trace, ctx, &init, &inner) {
+                    Ok(value) => inners.push(Some(value)),
+                    Err(failure) => {
+                        failed = true;
+                        quarantined.push(failure);
+                        inners.push(None);
+                    }
+                }
+            }
+            if !failed {
+                let r = fold(
+                    g,
+                    inners
+                        .into_iter()
+                        .map(|v| v.expect("group complete"))
+                        .collect(),
+                );
+                on_group(g, &r);
+                results[g] = Some(r);
+            }
         }
+        self.telemetry.flush(&mut trace);
         (
             vec![state],
             EngineReport {
@@ -269,6 +554,7 @@ impl Engine {
                 tasks,
                 steals: 0,
             },
+            quarantined,
         )
     }
 
@@ -283,7 +569,7 @@ impl Engine {
         inner: impl Fn(&mut S, TaskCtx) -> T + Sync,
         fold: impl Fn(usize, Vec<T>) -> R + Sync,
         on_group: &mut impl FnMut(usize, &R),
-    ) -> (Vec<S>, EngineReport)
+    ) -> (Vec<S>, EngineReport, Vec<TaskFailure>)
     where
         S: Send,
         T: Send,
@@ -305,13 +591,18 @@ impl Engine {
         let deques: Vec<Mutex<VecDeque<(u32, u32)>>> = seeded.into_iter().map(Mutex::new).collect();
 
         // Per-group reduction state: index-ordered slots + a countdown the
-        // last finisher trips to fold and send.
+        // last finisher trips to fold and send. A quarantined task marks
+        // its group failed; the last finisher of a failed group discards
+        // the partial slots instead of folding.
         let slots: Vec<Mutex<Vec<Option<T>>>> = group_sizes
             .iter()
             .map(|&size| Mutex::new((0..size).map(|_| None).collect()))
             .collect();
         let group_left: Vec<AtomicUsize> =
             group_sizes.iter().map(|&s| AtomicUsize::new(s)).collect();
+        let group_failed: Vec<AtomicBool> =
+            group_sizes.iter().map(|_| AtomicBool::new(false)).collect();
+        let failures: Mutex<Vec<TaskFailure>> = Mutex::new(Vec::new());
         let remaining = AtomicUsize::new(group_sizes.iter().sum());
         let poisoned = AtomicBool::new(false);
         let steals = AtomicU64::new(0);
@@ -327,6 +618,8 @@ impl Engine {
                     let deques = &deques;
                     let slots = &slots;
                     let group_left = &group_left;
+                    let group_failed = &group_failed;
+                    let failures = &failures;
                     let remaining = &remaining;
                     let poisoned = &poisoned;
                     let steals = &steals;
@@ -334,6 +627,7 @@ impl Engine {
                     let init = &init;
                     let inner = &inner;
                     let fold = &fold;
+                    let engine = &*self;
                     let telemetry = self.telemetry.clone();
                     scope.spawn(move || {
                         let _guard = PoisonGuard(poisoned);
@@ -384,27 +678,46 @@ impl Engine {
                                 }
                             };
                             let (g, index) = (g as usize, index as usize);
-                            let value = inner(
-                                &mut state,
-                                TaskCtx {
-                                    worker: me,
-                                    group: g,
-                                    index,
-                                },
-                            );
+                            let ctx = TaskCtx {
+                                worker: me,
+                                group: g,
+                                index,
+                            };
+                            let outcome =
+                                engine.execute_task(&mut state, &mut trace, ctx, init, inner);
                             my_tasks += 1;
-                            slots[g].lock().expect("slots poisoned")[index] = Some(value);
+                            match outcome {
+                                Ok(value) => {
+                                    slots[g].lock().expect("slots poisoned")[index] = Some(value);
+                                }
+                                Err(failure) => {
+                                    group_failed[g].store(true, Ordering::SeqCst);
+                                    failures.lock().expect("failures poisoned").push(failure);
+                                }
+                            }
                             if group_left[g].fetch_sub(1, Ordering::SeqCst) == 1 {
-                                // Last task of the group: fold the
-                                // index-ordered slots and stream the result.
-                                let inners: Vec<T> = slots[g]
-                                    .lock()
-                                    .expect("slots poisoned")
-                                    .iter_mut()
-                                    .map(|s| s.take().expect("group complete"))
-                                    .collect();
-                                let r = fold(g, inners);
-                                let _ = tx.send((g, r));
+                                if group_failed[g].load(Ordering::SeqCst) {
+                                    // Quarantined group: discard the partial
+                                    // slots; the caller sees `None` plus the
+                                    // failure manifest.
+                                    slots[g]
+                                        .lock()
+                                        .expect("slots poisoned")
+                                        .iter_mut()
+                                        .for_each(|s| *s = None);
+                                } else {
+                                    // Last task of the group: fold the
+                                    // index-ordered slots and stream the
+                                    // result.
+                                    let inners: Vec<T> = slots[g]
+                                        .lock()
+                                        .expect("slots poisoned")
+                                        .iter_mut()
+                                        .map(|s| s.take().expect("group complete"))
+                                        .collect();
+                                    let r = fold(g, inners);
+                                    let _ = tx.send((g, r));
+                                }
                             }
                             remaining.fetch_sub(1, Ordering::SeqCst);
                         }
@@ -452,6 +765,7 @@ impl Engine {
                 tasks: tasks_run.load(Ordering::Relaxed),
                 steals: steals.load(Ordering::Relaxed),
             },
+            failures.into_inner().expect("failures poisoned"),
         )
     }
 
@@ -529,10 +843,11 @@ mod tests {
         );
         // The inline hook fires in exact index order.
         assert_eq!(seen, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
-        assert_eq!(run.results, vec![0, 10, 20, 30, 40]);
-        assert_eq!(run.states.len(), 1);
-        assert_eq!(run.report.tasks, 5);
-        assert_eq!(run.report.steals, 0);
+        let (results, states, report) = run.expect_complete();
+        assert_eq!(results, vec![0, 10, 20, 30, 40]);
+        assert_eq!(states.len(), 1);
+        assert_eq!(report.tasks, 5);
+        assert_eq!(report.steals, 0);
     }
 
     #[test]
@@ -551,7 +866,8 @@ mod tests {
             },
             |i, r| seen.push((i, *r)),
         );
-        assert_eq!(run.results, (0..32).map(|i| i * 2).collect::<Vec<u64>>());
+        let (results, mut states, report) = run.expect_complete();
+        assert_eq!(results, (0..32).map(|i| i * 2).collect::<Vec<u64>>());
         // The hook saw every result exactly once (in whatever order)...
         seen.sort_unstable();
         assert_eq!(
@@ -559,32 +875,33 @@ mod tests {
             (0..32usize).map(|i| (i, i as u64 * 2)).collect::<Vec<_>>()
         );
         // ...and every worker state came back.
-        let mut states = run.states.clone();
         states.sort_unstable();
         assert_eq!(states, vec![0, 1, 2, 3]);
-        assert_eq!(run.report.tasks, 32);
+        assert_eq!(report.tasks, 32);
     }
 
     #[test]
     fn two_level_folds_index_ordered_groups_identically_for_any_worker_count() {
         let sizes = [3usize, 0, 5, 1, 4];
         let run_with = |workers: usize| {
-            Engine::new(workers).run_two_level(
-                &sizes,
-                |_| (),
-                |_, ctx| format!("{}:{}", ctx.group, ctx.index),
-                |g, inners| (g, inners.join(",")),
-                |_, _| {},
-            )
+            Engine::new(workers)
+                .run_two_level(
+                    &sizes,
+                    |_| (),
+                    |_, ctx| format!("{}:{}", ctx.group, ctx.index),
+                    |g, inners| (g, inners.join(",")),
+                    |_, _| {},
+                )
+                .expect_complete()
         };
-        let one = run_with(1);
+        let (one, _, _) = run_with(1);
         for workers in [2, 4, 8] {
-            let many = run_with(workers);
-            assert_eq!(one.results, many.results, "workers={workers}");
-            assert_eq!(many.report.tasks, 13);
+            let (many, _, report) = run_with(workers);
+            assert_eq!(one, many, "workers={workers}");
+            assert_eq!(report.tasks, 13);
         }
-        assert_eq!(one.results[2], (2, "2:0,2:1,2:2,2:3,2:4".to_string()));
-        assert_eq!(one.results[1], (1, String::new()));
+        assert_eq!(one[2], (2, "2:0,2:1,2:2,2:3,2:4".to_string()));
+        assert_eq!(one[1], (1, String::new()));
     }
 
     #[test]
@@ -605,7 +922,10 @@ mod tests {
             |_, inners| inners,
             |_, _| {},
         );
-        assert_eq!(run.results[0], (0..16).collect::<Vec<usize>>());
+        assert_eq!(
+            run.results[0].as_ref().unwrap(),
+            &(0..16).collect::<Vec<usize>>()
+        );
         assert!(
             run.report.steals > 0,
             "expected at least one steal, report: {:?}",
@@ -646,7 +966,8 @@ mod tests {
             "a worker never saw a task, report: {:?}",
             run.report
         );
-        for (g, (group, inners)) in run.results.iter().enumerate() {
+        let (results, _, _) = run.expect_complete();
+        for (g, (group, inners)) in results.iter().enumerate() {
             assert_eq!(*group, g);
             assert_eq!(inners, &(0..16).map(|i| (g, i)).collect::<Vec<_>>());
         }
@@ -717,6 +1038,7 @@ mod tests {
         assert!(run.results.is_empty());
         assert_eq!(run.report.tasks, 0);
         assert_eq!(run.states.len(), 1);
+        assert!(run.quarantined.is_empty());
     }
 
     #[test]
@@ -727,5 +1049,197 @@ mod tests {
         let snap = telemetry.metrics_snapshot();
         assert_eq!(snap.counter("engine.tasks"), Some(6));
         assert_eq!(snap.counter("engine.runs"), Some(1));
+    }
+
+    // --- failure policy & fault injection ---------------------------------
+
+    /// Tasks with a transient fault succeed on retry; the run completes
+    /// with no quarantine and the retry counter matches the faulted tasks.
+    #[test]
+    fn isolate_retries_transient_panics_to_success() {
+        for workers in [1usize, 4] {
+            let telemetry = Telemetry::enabled();
+            let plan = FaultPlan {
+                seed: 7,
+                transient_task_panics_per_mille: 1000, // every task, attempt 0 only
+                ..Default::default()
+            };
+            let run = Engine::new(workers)
+                .with_telemetry(telemetry.clone())
+                .with_failure_policy(FailurePolicy::Isolate { retries: 1 })
+                .with_fault_plan(plan)
+                .map_indexed(6, |_| (), |_, ctx| ctx.group * 3);
+            let (results, _, report) = run.expect_complete();
+            assert_eq!(results, (0..6).map(|i| i * 3).collect::<Vec<_>>());
+            assert_eq!(report.tasks, 6);
+            let snap = telemetry.metrics_snapshot();
+            assert_eq!(snap.counter("engine.task_retries"), Some(6));
+            assert_eq!(snap.counter("engine.task_quarantined"), None);
+        }
+    }
+
+    /// A permanently panicking task exhausts its retries and quarantines
+    /// its group; sibling groups complete; the manifest is deterministic
+    /// across worker counts.
+    #[test]
+    fn isolate_quarantines_permanent_panics_deterministically() {
+        let run_at = |workers: usize| {
+            let telemetry = Telemetry::enabled();
+            let run = Engine::new(workers)
+                .with_telemetry(telemetry.clone())
+                .with_failure_policy(FailurePolicy::Isolate { retries: 2 })
+                .run_two_level(
+                    &[2usize, 2, 2],
+                    |_| (),
+                    |_, ctx| {
+                        if ctx.group == 1 && ctx.index == 1 {
+                            panic!("permanent fault");
+                        }
+                        (ctx.group, ctx.index)
+                    },
+                    |g, inners| (g, inners),
+                    |_, _| {},
+                );
+            let retries = telemetry
+                .metrics_snapshot()
+                .counter("engine.task_retries")
+                .unwrap_or(0);
+            let quarantined = telemetry
+                .metrics_snapshot()
+                .counter("engine.task_quarantined")
+                .unwrap_or(0);
+            (run, retries, quarantined)
+        };
+        let (baseline, base_retries, base_quarantined) = run_at(1);
+        assert_eq!(baseline.quarantined.len(), 1);
+        let failure = &baseline.quarantined[0];
+        assert_eq!((failure.group, failure.index), (1, 1));
+        assert_eq!(failure.attempts, 3); // 1 + 2 retries
+        assert_eq!(failure.message, "permanent fault");
+        assert!(baseline.results[0].is_some());
+        assert!(baseline.results[1].is_none(), "failed group must be None");
+        assert!(baseline.results[2].is_some());
+        assert_eq!(base_retries, 2);
+        assert_eq!(base_quarantined, 1);
+        for workers in [2, 4] {
+            let (run, retries, quarantined) = run_at(workers);
+            assert_eq!(run.quarantined, baseline.quarantined, "workers={workers}");
+            assert_eq!(retries, base_retries, "workers={workers}");
+            assert_eq!(quarantined, base_quarantined, "workers={workers}");
+            for (a, b) in baseline.results.iter().zip(run.results.iter()) {
+                assert_eq!(a.is_some(), b.is_some());
+            }
+        }
+    }
+
+    /// `on_group` fires only for completed groups, and the cache-persist
+    /// path therefore never sees a quarantined group's partial fold.
+    #[test]
+    fn on_group_skips_quarantined_groups() {
+        let mut streamed = Vec::new();
+        let run = Engine::new(2)
+            .with_failure_policy(FailurePolicy::Isolate { retries: 0 })
+            .run_two_level(
+                &[1usize, 1, 1],
+                |_| (),
+                |_, ctx| {
+                    if ctx.group == 1 {
+                        panic!("boom");
+                    }
+                    ctx.group
+                },
+                |g, _| g,
+                |g, _| streamed.push(g),
+            );
+        streamed.sort_unstable();
+        assert_eq!(streamed, vec![0, 2]);
+        assert_eq!(run.quarantined.len(), 1);
+    }
+
+    /// Under isolate, a caught panic rebuilds the worker's pooled state
+    /// before the retry — a half-mutated pool never leaks into another
+    /// task.
+    #[test]
+    fn isolate_rebuilds_worker_state_after_a_panic() {
+        // State is a counter of tasks run since (re)build; the task panics
+        // once when the state is "dirty" from a previous increment, which
+        // only terminates if the rebuild actually resets it.
+        let builds = AtomicU64::new(0);
+        let run = Engine::new(1)
+            .with_failure_policy(FailurePolicy::Isolate { retries: 1 })
+            .map_indexed(
+                3,
+                |_| {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    0u64
+                },
+                |state, ctx| {
+                    *state += 1;
+                    if ctx.group == 1 && *state > 1 {
+                        panic!("dirty state");
+                    }
+                    *state
+                },
+            );
+        let (results, _, _) = run.expect_complete();
+        // Task 0 ran on the fresh state (1); task 1 panicked on the dirty
+        // state, got a rebuilt one and returned 1; task 2 saw 2.
+        assert_eq!(results, vec![1, 1, 2]);
+        assert!(builds.load(Ordering::SeqCst) >= 2, "state never rebuilt");
+    }
+
+    /// Fail-fast with an injected fault behaves exactly like a real panic:
+    /// it propagates.
+    #[test]
+    fn fail_fast_propagates_injected_faults() {
+        let plan = FaultPlan {
+            seed: 1,
+            permanent_task_panics_per_mille: 1000,
+            ..Default::default()
+        };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Engine::new(1)
+                .with_fault_plan(plan)
+                .map_indexed(2, |_| (), |_, ctx| ctx.group);
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_rate_bounded() {
+        let plan = FaultPlan {
+            seed: 0xFA17,
+            transient_task_panics_per_mille: 100,
+            permanent_task_panics_per_mille: 50,
+            truncated_writes_per_mille: 100,
+            corrupt_records_per_mille: 0,
+        };
+        // Pure function of identity: same inputs, same answer.
+        for g in 0..50u64 {
+            for i in 0..4u64 {
+                assert_eq!(plan.panics_task(g, i, 0), plan.panics_task(g, i, 0));
+                assert_eq!(plan.panics_task(g, i, 3), plan.panics_task(g, i, 3));
+            }
+            assert_eq!(plan.truncates_write(g), plan.truncates_write(g));
+        }
+        // Zero rate never fires.
+        assert!((0..1000u64).all(|d| !plan.corrupts_record(d)));
+        // Rates land in the right ballpark over a large sample.
+        let panics = (0..10_000u64)
+            .filter(|&g| plan.panics_task(g, 0, 0))
+            .count();
+        assert!(
+            (500..2800).contains(&panics),
+            "~15% expected, got {panics}/10000"
+        );
+        // Transient faults clear after attempt 0; permanent ones persist.
+        let transient = (0..10_000u64)
+            .find(|&g| plan.panics_task(g, 0, 0) && !plan.panics_task(g, 0, 1))
+            .expect("no transient fault in sample");
+        assert!(!plan.panics_task(transient, 0, 5));
+        let permanent = (0..10_000u64)
+            .find(|&g| plan.panics_task(g, 0, 5))
+            .expect("no permanent fault in sample");
+        assert!(plan.panics_task(permanent, 0, 0));
     }
 }

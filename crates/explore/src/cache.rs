@@ -12,19 +12,26 @@
 //! * the scheduler parameters actually in effect, and
 //! * the scenario (ideal / real memory) with its simulation depth,
 //!
-//! plus a format version. Entries are one JSON file per key under the cache
-//! directory; every file also embeds the full key components, which are
-//! verified on load so a digest collision or a stale format degrades into a
-//! miss (a re-run), never a wrong result.
+//! plus a format version. Persistence lives in the crash-safe sharded
+//! [`ResultStore`] (`store.rs`): append-only checksummed segment files with
+//! a recovery scan on open, so a torn or corrupted entry degrades into a
+//! miss (a re-run), never a wrong result. Every record embeds the full key
+//! components, verified on lookup, so a digest collision misses too. Legacy
+//! one-JSON-file-per-key directories are migrated into the store on open.
+//! [`ResultCache`] is the thin session facade the executor talks to: it
+//! owns the hit/miss/store counters and the telemetry wiring.
 
 use crate::json::Json;
+use crate::store::ResultStore;
+use hcrf_engine::FaultPlan;
 use hcrf_machine::stable::StableHasher;
 use hcrf_machine::MachineConfig;
 use hcrf_perf::SuiteAggregate;
 use hcrf_sched::SchedulerParams;
+use hcrf_telemetry::Telemetry;
 use std::fmt;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::str::FromStr;
 
 /// Bump when the entry layout, any hashed encoding, *or the behavior of the
@@ -121,7 +128,7 @@ impl CacheKey {
         format!("{:016x}.json", self.digest())
     }
 
-    fn to_json(self) -> Json {
+    pub(crate) fn to_json(self) -> Json {
         Json::obj(vec![
             ("machine", Json::str(format!("{:016x}", self.machine))),
             ("suite", Json::str(format!("{:016x}", self.suite))),
@@ -135,7 +142,7 @@ impl CacheKey {
         ])
     }
 
-    fn from_json(doc: &Json) -> Option<CacheKey> {
+    pub(crate) fn from_json(doc: &Json) -> Option<CacheKey> {
         let hex = |k: &str| u64::from_str_radix(doc.get(k)?.as_str()?, 16).ok();
         Some(CacheKey {
             machine: hex("machine")?,
@@ -205,7 +212,7 @@ fn aggregate_from_json(doc: &Json) -> Option<SuiteAggregate> {
 }
 
 impl CachedResult {
-    fn to_json(&self, key: &CacheKey) -> Json {
+    pub(crate) fn to_json(&self, key: &CacheKey) -> Json {
         Json::obj(vec![
             ("key", key.to_json()),
             ("config", Json::str(&self.config)),
@@ -216,7 +223,7 @@ impl CachedResult {
         ])
     }
 
-    fn from_json(doc: &Json) -> Option<(CacheKey, CachedResult)> {
+    pub(crate) fn from_json(doc: &Json) -> Option<(CacheKey, CachedResult)> {
         let key = CacheKey::from_json(doc.get("key")?)?;
         let result = CachedResult {
             config: doc.get("config")?.as_str()?.to_string(),
@@ -238,6 +245,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries written.
     pub stores: u64,
+    /// Corrupt entries found (and quarantined) when the session opened —
+    /// distinguishable from a cold cache, which reports zero here.
+    pub corrupt: u64,
 }
 
 impl CacheStats {
@@ -258,39 +268,66 @@ impl CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             stores: self.stores - earlier.stores,
+            corrupt: self.corrupt - earlier.corrupt,
         }
     }
 }
 
-/// A directory of content-addressed result entries.
+/// One session over the content-addressed result store: the facade the
+/// executor talks to. Persistence (sharding, recovery, migration) lives in
+/// [`ResultStore`]; this type owns the session counters and telemetry.
 #[derive(Debug)]
 pub struct ResultCache {
-    dir: Option<PathBuf>,
+    store: Option<ResultStore>,
     stats: CacheStats,
+    telemetry: Telemetry,
 }
 
 impl ResultCache {
-    /// Cache rooted at `dir` (created if missing).
+    /// Cache rooted at `dir` (created if missing). Opening runs the store's
+    /// recovery scan and migrates any legacy per-point JSON entries.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        Self::open_traced(dir, &Telemetry::disabled())
+    }
+
+    /// [`ResultCache::open`] with a telemetry sink: recovery publishes
+    /// `explore.store.*` counters, corrupt entries land in
+    /// `explore.cache.corrupt`, and warnings name the damaged files.
+    pub fn open_traced(dir: impl AsRef<Path>, telemetry: &Telemetry) -> io::Result<Self> {
+        let store = ResultStore::open(dir, telemetry)?;
+        let corrupt = store.counters().corrupt;
+        if corrupt > 0 {
+            telemetry.counter_add("explore.cache.corrupt", corrupt);
+        }
         Ok(ResultCache {
-            dir: Some(dir),
-            stats: CacheStats::default(),
+            store: Some(store),
+            stats: CacheStats {
+                corrupt,
+                ..CacheStats::default()
+            },
+            telemetry: telemetry.clone(),
         })
     }
 
     /// A disabled cache: every lookup misses, stores are dropped.
     pub fn disabled() -> Self {
         ResultCache {
-            dir: None,
+            store: None,
             stats: CacheStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Inject deterministic store faults (write truncation, record
+    /// corruption). Test/drill seam; a disabled cache ignores the plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.store = self.store.map(|s| s.with_fault_plan(plan));
+        self
     }
 
     /// Whether the cache persists anything.
     pub fn is_enabled(&self) -> bool {
-        self.dir.is_some()
+        self.store.is_some()
     }
 
     /// Session counters.
@@ -298,19 +335,17 @@ impl ResultCache {
         self.stats
     }
 
-    /// Look `key` up; corrupt, mismatched or missing entries are misses.
+    /// The underlying store, if the cache is enabled.
+    pub fn store_ref(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// Look `key` up; quarantined, mismatched or missing entries are misses.
     pub fn lookup(&mut self, key: &CacheKey) -> Option<CachedResult> {
-        let found = self.dir.as_ref().and_then(|dir| {
-            let text = std::fs::read_to_string(dir.join(key.file_name())).ok()?;
-            let doc = Json::parse(&text).ok()?;
-            let (stored_key, result) = CachedResult::from_json(&doc)?;
-            // The digest named the file; the embedded key proves the content.
-            (stored_key == *key).then_some(result)
-        });
-        match found {
+        match self.store.as_ref().and_then(|s| s.lookup(key)) {
             Some(result) => {
                 self.stats.hits += 1;
-                Some(result)
+                Some(result.clone())
             }
             None => {
                 self.stats.misses += 1;
@@ -319,16 +354,22 @@ impl ResultCache {
         }
     }
 
-    /// Persist `result` under `key` (atomically: write + rename).
+    /// Persist `result` under `key` (a durable checksummed append).
     pub fn store(&mut self, key: &CacheKey, result: &CachedResult) -> io::Result<()> {
-        let Some(dir) = self.dir.as_ref() else {
+        let Some(store) = self.store.as_mut() else {
             return Ok(());
         };
-        let final_path = dir.join(key.file_name());
-        let tmp_path = dir.join(format!("{}.tmp.{}", key.file_name(), std::process::id()));
-        std::fs::write(&tmp_path, result.to_json(key).to_pretty())?;
-        std::fs::rename(&tmp_path, &final_path)?;
+        store.store(key, result)?;
         self.stats.stores += 1;
+        Ok(())
+    }
+
+    /// Fold duplicate and quarantined records out of the underlying store.
+    pub fn compact(&mut self) -> io::Result<()> {
+        if let Some(store) = self.store.as_mut() {
+            store.compact()?;
+            self.telemetry.debug("explore store: compacted");
+        }
         Ok(())
     }
 }
@@ -337,6 +378,7 @@ impl ResultCache {
 mod tests {
     use super::*;
     use hcrf_machine::RfOrganization;
+    use std::path::PathBuf;
 
     fn machine(name: &str) -> MachineConfig {
         MachineConfig::paper_baseline(RfOrganization::parse(name).unwrap())
@@ -436,13 +478,21 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_and_mismatched_entries_miss() {
+    fn corrupt_and_mismatched_legacy_entries_miss_and_are_counted() {
         let dir = temp_dir("corrupt");
-        let mut cache = ResultCache::open(&dir).unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
         let key = sample_key();
+        // An unparseable legacy entry is quarantined at open and counted.
         std::fs::write(dir.join(key.file_name()), "not json").unwrap();
+        let mut cache = ResultCache::open(&dir).unwrap();
         assert!(cache.lookup(&key).is_none());
-        // An entry whose embedded key disagrees with the digest is rejected.
+        assert_eq!(cache.stats().corrupt, 1);
+        assert!(
+            dir.join("quarantine").join(key.file_name()).exists(),
+            "damaged legacy entry must move to the quarantine sidecar"
+        );
+        // A legacy entry whose embedded key disagrees with its file name
+        // (digest collision or tampering) is quarantined too, not served.
         let other = CacheKey {
             suite: key.suite ^ 1,
             ..key
@@ -452,7 +502,32 @@ mod tests {
             sample_result().to_json(&other).to_pretty(),
         )
         .unwrap();
+        let mut cache = ResultCache::open(&dir).unwrap();
         assert!(cache.lookup(&key).is_none());
+        assert!(cache.lookup(&other).is_none());
+        assert_eq!(cache.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_per_point_entries_migrate_into_the_store() {
+        let dir = temp_dir("migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = sample_key();
+        let result = sample_result();
+        // A well-formed legacy entry, as the pre-store cache wrote it.
+        std::fs::write(dir.join(key.file_name()), result.to_json(&key).to_pretty()).unwrap();
+        let mut cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.lookup(&key), Some(result.clone()));
+        assert!(
+            !dir.join(key.file_name()).exists(),
+            "migrated legacy file must be removed"
+        );
+        assert_eq!(cache.stats().corrupt, 0);
+        // The migrated record survives further reopens from the shards.
+        drop(cache);
+        let mut cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.lookup(&key), Some(result));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

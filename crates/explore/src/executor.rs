@@ -17,7 +17,7 @@ use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache, Scenario};
 use hcrf::driver::{
     fold_suite_aggregate, run_loop_traced, suite_fingerprint, ConfiguredMachine, RunOptions,
 };
-use hcrf_engine::Engine;
+use hcrf_engine::{Engine, FailurePolicy, FaultPlan, TaskFailure};
 use hcrf_ir::Loop;
 use hcrf_machine::RfOrganization;
 use hcrf_sched::{ArenaPool, IterativeScheduler, SchedulerParams};
@@ -41,6 +41,13 @@ pub struct ExploreOptions {
     /// [`explore_traced`] reports at its telemetry handle's own verbosity
     /// instead.
     pub progress: bool,
+    /// How the engine responds to a panicking loop task: fail fast (the
+    /// default) or isolate-and-retry, quarantining design points whose
+    /// tasks keep panicking instead of poisoning the sweep.
+    pub failure: FailurePolicy,
+    /// Deterministic fault injection for chaos drills and the
+    /// fault-tolerance tests; `None` (the default) runs no injection code.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ExploreOptions {
@@ -51,6 +58,8 @@ impl Default for ExploreOptions {
             threads: 0,
             max_simulated_iterations: 64,
             progress: false,
+            failure: FailurePolicy::default(),
+            fault_plan: None,
         }
     }
 }
@@ -67,6 +76,7 @@ impl ExploreOptions {
             real_memory: false,
             max_simulated_iterations: self.max_simulated_iterations,
             threads: 1,
+            failure: self.failure,
         };
         if matches!(self.scenario, Scenario::Real) {
             options.real_memory = true;
@@ -99,11 +109,31 @@ pub struct PointResult {
     pub from_cache: bool,
 }
 
+/// A design point whose evaluation was quarantined: one or more of its
+/// loop tasks kept panicking under [`FailurePolicy::Isolate`], so the
+/// point has no result — but the sweep completed and every other point
+/// persisted. The Pareto report lists these in its failure manifest.
+#[derive(Debug, Clone)]
+pub struct QuarantinedPoint {
+    /// The organization whose evaluation failed.
+    pub rf: RfOrganization,
+    /// Its `xCy-Sz` name.
+    pub name: String,
+    /// The failed loop tasks (index = loop index in the suite), sorted.
+    pub failures: Vec<TaskFailure>,
+}
+
 /// The outcome of an exploration sweep.
 #[derive(Debug, Clone)]
 pub struct ExploreOutcome {
-    /// Evaluated points, in the input organization order.
+    /// Evaluated points, in the input organization order. Quarantined
+    /// points are absent here and listed in
+    /// [`ExploreOutcome::quarantined`]; `points.len() + quarantined.len()`
+    /// always equals the input organization count.
     pub points: Vec<PointResult>,
+    /// Design points quarantined under [`FailurePolicy::Isolate`], in
+    /// input order. Always empty under the default fail-fast policy.
+    pub quarantined: Vec<QuarantinedPoint>,
     /// Cache counters of this run (hits + misses = points).
     pub cache: CacheStats,
     /// Fingerprint of the suite the points were evaluated on.
@@ -192,7 +222,12 @@ pub fn explore_traced(
     // is persisted to the cache on this thread as it lands (before any
     // worker panic would propagate), and the per-point folds run over
     // index-ordered loop results so aggregates are thread-count-invariant.
-    let engine = Engine::new(options.threads).with_telemetry(telemetry.clone());
+    let mut engine = Engine::new(options.threads)
+        .with_telemetry(telemetry.clone())
+        .with_failure_policy(options.failure);
+    if let Some(plan) = options.fault_plan {
+        engine = engine.with_fault_plan(plan);
+    }
     let sweep_t0 = hit_buf.now_ns();
     telemetry.flush(&mut hit_buf);
     let progress = AtomicUsize::new(completed);
@@ -266,8 +301,36 @@ pub fn explore_traced(
         let rebinds: u64 = run.states.iter().map(|p| p.rebinds()).sum();
         telemetry.counter_add("engine.arena_rebinds", rebinds);
     }
-    for ((index, _, _), result) in pending.iter().zip(run.results) {
-        points[*index] = Some(result);
+    // A `None` group result is a quarantined point (isolate policy only):
+    // it stays out of `points` and lands in the failure manifest with its
+    // failed loop tasks. `run.quarantined` is sorted by (group, index), so
+    // per-point failure lists come out sorted by loop index and the
+    // manifest by input order.
+    let mut quarantined: Vec<QuarantinedPoint> = Vec::new();
+    for (g, ((index, configured, _), result)) in
+        pending.iter().zip(run.results).enumerate()
+    {
+        match result {
+            Some(result) => points[*index] = Some(result),
+            None => {
+                let failures: Vec<TaskFailure> = run
+                    .quarantined
+                    .iter()
+                    .filter(|f| f.group == g)
+                    .cloned()
+                    .collect();
+                telemetry.warn(format!(
+                    "{}: quarantined ({} loop task(s) kept panicking)",
+                    configured.name(),
+                    failures.len()
+                ));
+                quarantined.push(QuarantinedPoint {
+                    rf: configured.machine.rf,
+                    name: configured.name(),
+                    failures,
+                });
+            }
+        }
     }
 
     let cache_stats = cache.stats().since(&stats_at_entry);
@@ -276,13 +339,18 @@ pub fn explore_traced(
         telemetry.counter_add("explore.points", total as u64);
         telemetry.counter_add("explore.cache_hits", cache_stats.hits);
         telemetry.counter_add("explore.cache_misses", cache_stats.misses);
+        telemetry.counter_add("explore.points_quarantined", quarantined.len() as u64);
         telemetry.gauge_set("explore.wall_seconds", wall_seconds);
     }
+    let points: Vec<PointResult> = points.into_iter().flatten().collect();
+    assert_eq!(
+        points.len() + quarantined.len(),
+        total,
+        "every design point must be either evaluated or quarantined"
+    );
     ExploreOutcome {
-        points: points
-            .into_iter()
-            .map(|p| p.expect("every design point must have been evaluated"))
-            .collect(),
+        points,
+        quarantined,
         cache: cache_stats,
         suite_fingerprint: fingerprint,
         suite_loops: suite.len(),

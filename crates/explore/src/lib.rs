@@ -53,11 +53,15 @@ pub mod executor;
 pub mod json;
 pub mod report;
 pub mod space;
+pub mod store;
 
 pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache, Scenario, CACHE_FORMAT_VERSION};
-pub use executor::{explore, explore_traced, ExploreOptions, ExploreOutcome, PointResult};
+pub use executor::{
+    explore, explore_traced, ExploreOptions, ExploreOutcome, PointResult, QuarantinedPoint,
+};
 pub use report::{build_report, RankedPoint, Report};
 pub use space::DesignSpace;
+pub use store::{FsckReport, ResultStore, StoreCounters};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {

@@ -5,7 +5,7 @@
 //! by execution time — and renders the ranking as a terminal table, a CSV
 //! (one row per point) or a JSON document with an explicit `frontier` array.
 
-use crate::executor::ExploreOutcome;
+use crate::executor::{ExploreOutcome, QuarantinedPoint};
 use crate::json::Json;
 use hcrf_perf::{pareto_frontier, MetricBundle};
 
@@ -43,6 +43,10 @@ pub struct Report {
     pub suite_loops: usize,
     /// Suite fingerprint (content address of the workload).
     pub suite_fingerprint: u64,
+    /// Failure manifest: design points quarantined by the engine's isolate
+    /// policy (their tasks kept panicking). Ranked points never include
+    /// them; a consumer deciding on the frontier should know they exist.
+    pub quarantined: Vec<QuarantinedPoint>,
 }
 
 /// Rank an exploration outcome.
@@ -88,6 +92,7 @@ pub fn build_report(outcome: &ExploreOutcome) -> Report {
         frontier,
         suite_loops: outcome.suite_loops,
         suite_fingerprint: outcome.suite_fingerprint,
+        quarantined: outcome.quarantined.clone(),
     }
 }
 
@@ -113,6 +118,26 @@ impl Report {
                     .unwrap_or_else(|| "inf".into()),
                 if p.from_cache { "hit" } else { "miss" },
             ));
+        }
+        if !self.quarantined.is_empty() {
+            out.push_str(&format!(
+                "\nquarantined ({} point(s) failed evaluation):\n",
+                self.quarantined.len()
+            ));
+            for q in &self.quarantined {
+                let first = q.failures.first();
+                out.push_str(&format!(
+                    "  {:<10}  {} failed loop task(s){}\n",
+                    q.name,
+                    q.failures.len(),
+                    first
+                        .map(|f| format!(
+                            " — loop {} after {} attempt(s): {}",
+                            f.index, f.attempts, f.message
+                        ))
+                        .unwrap_or_default(),
+                ));
+            }
         }
         out
     }
@@ -171,6 +196,30 @@ impl Report {
                 ])
             })
             .collect();
+        let quarantined = self
+            .quarantined
+            .iter()
+            .map(|q| {
+                Json::obj(vec![
+                    ("config", Json::str(&q.name)),
+                    (
+                        "failures",
+                        Json::Arr(
+                            q.failures
+                                .iter()
+                                .map(|f| {
+                                    Json::obj(vec![
+                                        ("loop", Json::usize(f.index)),
+                                        ("attempts", Json::u64(f.attempts as u64)),
+                                        ("message", Json::str(&f.message)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("suite_loops", Json::usize(self.suite_loops)),
             (
@@ -182,6 +231,7 @@ impl Report {
                 Json::Arr(self.frontier.iter().map(Json::str).collect()),
             ),
             ("points", Json::Arr(points)),
+            ("quarantined", Json::Arr(quarantined)),
         ])
     }
 }
@@ -213,11 +263,37 @@ mod tests {
     fn outcome(points: Vec<PointResult>) -> ExploreOutcome {
         ExploreOutcome {
             points,
+            quarantined: Vec::new(),
             cache: Default::default(),
             suite_fingerprint: 0xabcd,
             suite_loops: 10,
             wall_seconds: 0.0,
         }
+    }
+
+    #[test]
+    fn failure_manifest_renders_in_table_and_json() {
+        let mut o = outcome(vec![point("S64", 1000, 0.98, 7.2, 600)]);
+        o.quarantined.push(QuarantinedPoint {
+            rf: RfOrganization::parse("S128").unwrap(),
+            name: "S128".to_string(),
+            failures: vec![hcrf_engine::TaskFailure {
+                group: 0,
+                index: 3,
+                attempts: 2,
+                message: "boom".to_string(),
+            }],
+        });
+        let report = build_report(&o);
+        let table = report.format_table(10);
+        assert!(table.contains("quarantined (1 point(s)"));
+        assert!(table.contains("S128") && table.contains("loop 3"));
+        let json = report.to_json();
+        let q = json.get("quarantined").and_then(Json::as_arr).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].get("config").and_then(Json::as_str), Some("S128"));
+        // Quarantined points never rank.
+        assert_eq!(report.points.len(), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! against the 1-worker baseline.
 
 use hcrf::driver::{run_suite_traced, ConfiguredMachine, RunOptions};
+use hcrf_engine::FailurePolicy;
 use hcrf_explore::{explore_traced, ExploreOptions, ResultCache};
 use hcrf_ir::Loop;
 use hcrf_machine::RfOrganization;
@@ -163,6 +164,96 @@ fn explore_points_invariant_across_thread_counts() {
             assert!(!a.from_cache && !b.from_cache);
         }
         assert_eq!(outcome.cache.misses, baseline.cache.misses);
+    }
+}
+
+/// Switching on the isolate failure policy must be invisible when nothing
+/// panics: suite results stay bit-identical to the fail-fast baseline at
+/// every worker count, and no retry/quarantine bookkeeping leaks into the
+/// `ScheduleResult`s or the folded `SuiteAggregate`.
+#[test]
+fn suite_results_identical_under_isolate_policy() {
+    let loops = small_suite(4);
+    let options = RunOptions::default();
+    let isolate = options.with_failure(FailurePolicy::Isolate { retries: 2 });
+    for name in CONFIGS {
+        let cfg = ConfiguredMachine::from_name(name).unwrap();
+        let baseline = run_suite_traced(
+            &cfg,
+            &loops,
+            &options.with_threads(1),
+            &Telemetry::disabled(),
+        );
+        assert!(baseline.quarantined.is_empty());
+        let mut workers_under_test = vec![1];
+        workers_under_test.extend(thread_counts());
+        for workers in workers_under_test {
+            let run = run_suite_traced(
+                &cfg,
+                &loops,
+                &isolate.with_threads(workers),
+                &Telemetry::disabled(),
+            );
+            assert!(
+                run.quarantined.is_empty(),
+                "{name}: fault-free isolate run quarantined tasks at {workers} workers"
+            );
+            assert_eq!(baseline.loops.len(), run.loops.len());
+            for (a, b) in baseline.loops.iter().zip(run.loops.iter()) {
+                assert_eq!(
+                    a.schedule, b.schedule,
+                    "{name}/loop {}: isolate policy changed the schedule at {workers} workers",
+                    a.index
+                );
+                assert_eq!(a.performance, b.performance);
+            }
+            assert_eq!(
+                baseline.aggregate, run.aggregate,
+                "{name}: isolate policy changed the aggregate at {workers} workers"
+            );
+        }
+    }
+}
+
+/// Same invariant one layer up: an exploration sweep under the isolate
+/// policy matches the fail-fast sweep point for point, at every worker
+/// count, with an empty failure manifest.
+#[test]
+fn explore_points_identical_under_isolate_policy() {
+    let suite = small_suite(4);
+    let orgs: Vec<RfOrganization> = CONFIGS
+        .iter()
+        .map(|n| RfOrganization::parse(n).unwrap())
+        .collect();
+    let run_at = |threads: usize, failure: FailurePolicy| {
+        let options = ExploreOptions {
+            threads,
+            failure,
+            ..Default::default()
+        };
+        let mut cache = ResultCache::disabled();
+        explore_traced(&orgs, &suite, &options, &mut cache, &Telemetry::disabled())
+    };
+    let baseline = run_at(1, FailurePolicy::FailFast);
+    let mut workers_under_test = vec![1];
+    workers_under_test.extend(thread_counts());
+    for workers in workers_under_test {
+        let outcome = run_at(workers, FailurePolicy::Isolate { retries: 2 });
+        assert!(
+            outcome.quarantined.is_empty(),
+            "fault-free isolate sweep quarantined points at {workers} workers"
+        );
+        assert_eq!(outcome.points.len(), baseline.points.len());
+        for (a, b) in baseline.points.iter().zip(outcome.points.iter()) {
+            assert_eq!(a.name, b.name, "point order changed at {workers} workers");
+            assert_eq!(
+                a.aggregate, b.aggregate,
+                "{}: isolate policy changed the aggregate at {workers} workers",
+                a.name
+            );
+            assert_eq!(a.clock_ns, b.clock_ns);
+            assert_eq!(a.total_area, b.total_area);
+        }
     }
 }
 
