@@ -32,7 +32,7 @@ use hcrf_machine::{MachineConfig, RfOrganization};
 use hcrf_sched::mrt::ResourceCaps;
 use hcrf_sched::order::priority_order;
 use hcrf_sched::workgraph::WorkGraph;
-use hcrf_sched::{IterativeScheduler, PlacementStore, SchedulerParams};
+use hcrf_sched::{IterativeScheduler, PlacementStore, SchedulerParams, StoreTuning};
 use hcrf_workloads::{churn_suite, wide_window_suite};
 
 fn victim_search(c: &mut Criterion) {
@@ -78,7 +78,8 @@ fn victim_probe(c: &mut Criterion) {
     let w = WorkGraph::new(&g, &machine);
     let caps = ResourceCaps::from_machine(&machine);
     let order = priority_order(&w, &lat, ii);
-    let mut store = PlacementStore::new(ii, caps, g.num_nodes(), order, false);
+    let mut store =
+        PlacementStore::new(ii, caps, g.num_nodes(), order, StoreTuning::tracking(false));
     for (i, n) in nodes.iter().enumerate() {
         store.place(&w, *n, (i % ii as usize) as i64, 0, &lat);
     }

@@ -307,9 +307,7 @@ pub fn explore_traced(
     // per-point failure lists come out sorted by loop index and the
     // manifest by input order.
     let mut quarantined: Vec<QuarantinedPoint> = Vec::new();
-    for (g, ((index, configured, _), result)) in
-        pending.iter().zip(run.results).enumerate()
-    {
+    for (g, ((index, configured, _), result)) in pending.iter().zip(run.results).enumerate() {
         match result {
             Some(result) => points[*index] = Some(result),
             None => {

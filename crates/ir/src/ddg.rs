@@ -195,6 +195,7 @@ impl Ddg {
     }
 
     /// Number of nodes.
+    #[inline]
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
@@ -226,6 +227,7 @@ impl Ddg {
     }
 
     /// Access a node.
+    #[inline]
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.index()]
     }
@@ -236,6 +238,7 @@ impl Ddg {
     }
 
     /// Access an edge.
+    #[inline]
     pub fn edge(&self, id: EdgeId) -> &Edge {
         &self.edges[id.index()]
     }

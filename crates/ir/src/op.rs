@@ -51,6 +51,7 @@ impl OpKind {
     ];
 
     /// Resource class this operation executes on.
+    #[inline]
     pub fn resource_class(self) -> ResourceClass {
         match self {
             OpKind::FAdd | OpKind::FMul | OpKind::FDiv | OpKind::FSqrt | OpKind::Copy => {
@@ -82,12 +83,14 @@ impl OpKind {
     }
 
     /// Whether the operation accesses memory.
+    #[inline]
     pub fn is_memory(self) -> bool {
         matches!(self, OpKind::Load | OpKind::Store)
     }
 
     /// Whether the functional unit executing this operation is fully
     /// pipelined (can accept a new operation every cycle).
+    #[inline]
     pub fn fully_pipelined(self) -> bool {
         !matches!(self, OpKind::FDiv | OpKind::FSqrt)
     }
@@ -178,6 +181,7 @@ impl OpLatencies {
     }
 
     /// Latency, in cycles, of an operation of kind `kind`.
+    #[inline]
     pub fn of(&self, kind: OpKind) -> u32 {
         match kind {
             OpKind::FAdd => self.fadd,
@@ -198,6 +202,7 @@ impl OpLatencies {
     /// Fully-pipelined units are busy for a single cycle; division and square
     /// root block their unit for their whole latency (Section 2.2: "all
     /// operations are fully pipelined except for division and square root").
+    #[inline]
     pub fn occupancy(&self, kind: OpKind) -> u32 {
         if kind.fully_pipelined() {
             1

@@ -278,6 +278,26 @@ pub struct PressureTracker {
     max_shared: Cell<(u32, bool)>,
     /// Reusable buffer for the flow predecessors visited by `touch`.
     scratch: Vec<NodeId>,
+    /// Per-def lifetime-endpoint version: bumped by every event that can
+    /// move the stored contribution of the def (its own placement, a tie or
+    /// final-consumer perturbation from a consumer, a graph rewiring via the
+    /// public [`PressureTracker::refresh`]). Invariant: `epoch[i] ==
+    /// clean[i]` implies the stored lifetime and invariant contribution of
+    /// node `i` equal what a rescan would derive.
+    epoch: Vec<u32>,
+    /// Epoch at which each def's contribution was last re-derived.
+    clean: Vec<u32>,
+    /// When set, skip-eligible refreshes rescan anyway (the
+    /// [`crate::IterativeScheduler::with_eager_refresh`] oracle); the epoch
+    /// bookkeeping and both counters below are maintained identically, and
+    /// in debug builds the redundant rescan asserts it was a no-op.
+    eager: bool,
+    /// Refreshes that had to rescan (`epoch != clean` on entry).
+    refreshes: u64,
+    /// Refreshes whose endpoints provably had not moved (`epoch == clean`):
+    /// O(1) skips on the fast path, asserted-no-op rescans under the eager
+    /// oracle.
+    skips: u64,
 }
 
 impl PressureTracker {
@@ -296,7 +316,30 @@ impl PressureTracker {
             max_cluster: vec![Cell::new((0, true)); clusters as usize],
             max_shared: Cell::new((0, true)),
             scratch: Vec::new(),
+            epoch: vec![0; num_nodes],
+            clean: vec![0; num_nodes],
+            eager: false,
+            refreshes: 0,
+            skips: 0,
         }
+    }
+
+    /// Select the eager-refresh oracle: skip-eligible refreshes rescan (and,
+    /// in debug builds, assert the rescan was a no-op) instead of returning
+    /// early. Counters and epoch bookkeeping are unaffected.
+    pub fn set_eager_refresh(&mut self, eager: bool) {
+        self.eager = eager;
+    }
+
+    /// Drain the `(refreshes, skips)` counters accumulated since the last
+    /// call (or reset). Both count refresh *requests*, classified by whether
+    /// the endpoint epoch had moved — identical between the skip fast path
+    /// and the eager oracle.
+    pub fn take_refresh_counters(&mut self) -> (u64, u64) {
+        let out = (self.refreshes, self.skips);
+        self.refreshes = 0;
+        self.skips = 0;
+        out
     }
 
     /// II the tracker was built for.
@@ -331,6 +374,16 @@ impl PressureTracker {
         }
         self.max_shared.set((0, true));
         self.scratch.clear();
+        // Epoch state restarts at the all-clean origin: every stored
+        // contribution was just cleared to `None`, which is exactly what a
+        // rescan of the empty placement set derives. The eager-oracle flag
+        // is a mode, not state, and survives the reset.
+        self.epoch.clear();
+        self.epoch.resize(num_nodes, 0);
+        self.clean.clear();
+        self.clean.resize(num_nodes, 0);
+        self.refreshes = 0;
+        self.skips = 0;
     }
 
     /// Re-target the tracker at a new machine's cluster count and clear it
@@ -347,12 +400,23 @@ impl PressureTracker {
         self.reset_for_ii(ii, num_nodes);
     }
 
-    /// Keep the per-node arrays in sync with a growing graph.
+    /// Keep the per-node arrays in sync with a growing graph. New nodes
+    /// start clean (`epoch == clean == 0`): they are unplaced, so their
+    /// stored `None` contribution already equals what a rescan derives.
     pub fn grow(&mut self, num_nodes: usize) {
         if num_nodes > self.lifetimes.len() {
             self.lifetimes.resize(num_nodes, None);
             self.invariant_of.resize(num_nodes, None);
+            self.epoch.resize(num_nodes, 0);
+            self.clean.resize(num_nodes, 0);
         }
+    }
+
+    /// Record that an event may have moved node's lifetime endpoints: the
+    /// next [`PressureTracker::refresh`] of the node must rescan.
+    #[inline]
+    fn mark_endpoints_moved(&mut self, node: NodeId) {
+        self.epoch[node.index()] = self.epoch[node.index()].wrapping_add(1);
     }
 
     /// Report that `node` was placed or ejected: re-derives the lifetime of
@@ -417,18 +481,24 @@ impl PressureTracker {
                             // Tie with the current end: `last_consumer`
                             // follows edge order, which only the rescan
                             // knows.
+                            self.mark_endpoints_moved(p);
                             preds.push(p);
                         }
                     }
                     (None, Some(lt)) => {
                         if lt.last_consumer == Some(node) {
+                            self.mark_endpoints_moved(p);
                             preds.push(p);
                         }
                         // Ejecting a non-final consumer cannot move the end.
                     }
                     // No stored lifetime: the producer is unplaced, inactive
-                    // or defines no value — the rescan is already cheap, and
-                    // it also covers a first-ever contribution.
+                    // or defines no value. Its epoch is *not* bumped — if no
+                    // other event moved it, the deduplicated rescan below
+                    // degenerates to an O(1) skip (stored `None` is exactly
+                    // what the rescan would re-derive); the push still
+                    // covers a first-ever contribution, whose placement
+                    // event will have bumped the epoch.
                     _ => preds.push(p),
                 }
             }
@@ -436,7 +506,11 @@ impl PressureTracker {
         preds.sort_unstable_by_key(|n| n.index());
         preds.dedup();
         for &p in &preds {
-            self.refresh(w, placements, p);
+            // Skip-eligible: rescans only when some event bumped the
+            // producer's endpoint epoch (its own refresh above counts — a
+            // member that is also a pred of a later member was already
+            // rescanned against the final placements and skips here).
+            self.refresh_maybe(w, placements, p);
         }
         self.scratch = preds;
     }
@@ -445,21 +519,81 @@ impl PressureTracker {
     /// and placements (idempotent; clears the contribution when the node is
     /// inactive or unplaced).
     ///
-    /// The update is a *delta*: the freshly derived lifetime is diffed
-    /// against the stored one and only the rows whose register count
-    /// actually changes are touched. `refresh` runs for the node and all its
-    /// flow predecessors on every place/eject plus once per dirty def after
-    /// graph rewiring, and most of those calls end with an unchanged (or
-    /// only slightly stretched) lifetime — the old clear-and-rebuild paid
-    /// O(II) row writes and a cache invalidation for every one of them.
+    /// The public entry always bumps the node's endpoint epoch first — the
+    /// callers that reach it directly (the store's dirty-def drain after
+    /// graph rewiring, `touch_all`'s own-member updates) report events that
+    /// can genuinely move the contribution, so the rescan is never skipped.
+    /// The skip decision lives in [`PressureTracker::refresh_maybe`], which
+    /// `touch_all` uses for the deduplicated producer rescans.
     pub fn refresh<P: PlacementView + ?Sized>(
         &mut self,
         w: &WorkGraph,
         placements: &P,
         node: NodeId,
     ) {
+        self.grow(node.index() + 1);
+        // The bump would make `epoch != clean`, so the classification is
+        // fixed: count the refresh, mark the node clean at the bumped epoch
+        // and rescan — one less branch than routing through `refresh_maybe`.
         let i = node.index();
-        self.grow(i + 1);
+        self.epoch[i] = self.epoch[i].wrapping_add(1);
+        self.clean[i] = self.epoch[i];
+        self.refreshes += 1;
+        self.rescan(w, placements, node);
+    }
+
+    /// Rescan `node` only if its endpoint epoch moved since the last rescan;
+    /// otherwise the stored contribution is provably current and the call is
+    /// an O(1) skip (under the eager oracle: a rescan asserted to be a
+    /// no-op). Counts every request into the `refreshes`/`skips` counters
+    /// identically in both modes.
+    fn refresh_maybe<P: PlacementView + ?Sized>(
+        &mut self,
+        w: &WorkGraph,
+        placements: &P,
+        node: NodeId,
+    ) {
+        // No `grow` here: every caller reached the node through edges of a
+        // graph the tracker is already sized for (`touch_all` indexed its
+        // stored lifetime before pushing it).
+        let i = node.index();
+        if self.epoch[i] == self.clean[i] {
+            self.skips += 1;
+            if !self.eager {
+                return;
+            }
+            // Eager oracle: pay the rescan the fast path skips, and require
+            // it to change nothing — a skip whose endpoints *had* moved
+            // would silently self-repair here while the fast path diverges,
+            // so surface it immediately in debug builds.
+            #[cfg(debug_assertions)]
+            let before = (self.lifetimes[i], self.invariant_of[i]);
+            self.rescan(w, placements, node);
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                before == (self.lifetimes[i], self.invariant_of[i]),
+                "epoch-clean node {node:?} changed under an eager rescan: \
+                 a refresh-skip event source is missing an epoch bump"
+            );
+            return;
+        }
+        self.refreshes += 1;
+        self.clean[i] = self.epoch[i];
+        self.rescan(w, placements, node);
+    }
+
+    /// The full successor-edge rescan behind [`PressureTracker::refresh`].
+    ///
+    /// The update is a *delta*: the freshly derived lifetime is diffed
+    /// against the stored one and only the rows whose register count
+    /// actually changes are touched. It runs for the node and the epoch-
+    /// bumped subset of its flow predecessors on every place/eject plus once
+    /// per dirty def after graph rewiring, and most of those calls end with
+    /// an unchanged (or only slightly stretched) lifetime — the old
+    /// clear-and-rebuild paid O(II) row writes and a cache invalidation for
+    /// every one of them.
+    fn rescan<P: PlacementView + ?Sized>(&mut self, w: &WorkGraph, placements: &P, node: NodeId) {
+        let i = node.index();
         // Derive the node's current contributions.
         let mut new_invariant = None;
         let mut new_lt = None;
@@ -523,6 +657,23 @@ impl PressureTracker {
         }
     }
 
+    /// Run `f` over the `len` rows starting at `start` with modulo wrap, as
+    /// at most two linear slices — the hot row loops previously paid a
+    /// `% ii` per iteration, which also blocked vectorization.
+    #[inline]
+    fn for_wrapped(rows: &mut [u32], start: u32, len: u32, mut f: impl FnMut(&mut u32)) {
+        let n = rows.len();
+        let start = (start as usize).min(n);
+        let len = (len as usize).min(n);
+        let first = len.min(n - start);
+        for r in &mut rows[start..start + first] {
+            f(r);
+        }
+        for r in &mut rows[..len - first] {
+            f(r);
+        }
+    }
+
     /// Per-row register occupancy of a lifetime: `full` registers in every
     /// row plus one more in the `rem` rows starting at `start_row`.
     fn decompose(lt: &ValueLifetime, ii: u32) -> (u32, u32, u32) {
@@ -573,22 +724,14 @@ impl PressureTracker {
                     }
                     if s1 == s2 {
                         let (lo, hi) = (r1.min(r2), r1.max(r2));
-                        let grow = r2 > r1;
-                        for k in lo..hi {
-                            let r = ((s1 + k) % ii) as usize;
-                            if grow {
-                                rows[r] += 1;
-                            } else {
-                                rows[r] -= 1;
-                            }
+                        if r2 > r1 {
+                            Self::for_wrapped(rows, (s1 + lo) % ii, hi - lo, |r| *r += 1);
+                        } else {
+                            Self::for_wrapped(rows, (s1 + lo) % ii, hi - lo, |r| *r -= 1);
                         }
                     } else {
-                        for k in 0..r1 {
-                            rows[((s1 + k) % ii) as usize] -= 1;
-                        }
-                        for k in 0..r2 {
-                            rows[((s2 + k) % ii) as usize] += 1;
-                        }
+                        Self::for_wrapped(rows, s1, r1, |r| *r -= 1);
+                        Self::for_wrapped(rows, s2, r2, |r| *r += 1);
                     }
                     return;
                 }
@@ -597,30 +740,28 @@ impl PressureTracker {
                 let mut shrank_from_max = false;
                 if s1 == s2 {
                     let (lo, hi) = (r1.min(r2), r1.max(r2));
-                    let grow = r2 > r1;
-                    for k in lo..hi {
-                        let r = ((s1 + k) % ii) as usize;
-                        if grow {
-                            rows[r] += 1;
-                            grew_to = grew_to.max(rows[r]);
-                        } else {
-                            shrank_from_max |= rows[r] == cached;
-                            rows[r] -= 1;
-                        }
+                    if r2 > r1 {
+                        Self::for_wrapped(rows, (s1 + lo) % ii, hi - lo, |r| {
+                            *r += 1;
+                            grew_to = grew_to.max(*r);
+                        });
+                    } else {
+                        Self::for_wrapped(rows, (s1 + lo) % ii, hi - lo, |r| {
+                            shrank_from_max |= *r == cached;
+                            *r -= 1;
+                        });
                     }
                 } else {
                     // Shrink first, grow last: a row in both windows ends on
                     // its increment, so `grew_to` reads final values.
-                    for k in 0..r1 {
-                        let r = ((s1 + k) % ii) as usize;
-                        shrank_from_max |= rows[r] == cached;
-                        rows[r] -= 1;
-                    }
-                    for k in 0..r2 {
-                        let r = ((s2 + k) % ii) as usize;
-                        rows[r] += 1;
-                        grew_to = grew_to.max(rows[r]);
-                    }
+                    Self::for_wrapped(rows, s1, r1, |r| {
+                        shrank_from_max |= *r == cached;
+                        *r -= 1;
+                    });
+                    Self::for_wrapped(rows, s2, r2, |r| {
+                        *r += 1;
+                        grew_to = grew_to.max(*r);
+                    });
                 }
                 if valid {
                     if shrank_from_max {
@@ -667,9 +808,13 @@ impl PressureTracker {
                     *r += full;
                 }
             }
-            for k in 0..rem {
-                let r = ((start_row + k) % ii) as usize;
-                rows[r] += 1;
+            if full > 0 || valid {
+                Self::for_wrapped(rows, start_row, rem, |r| {
+                    *r += 1;
+                    grew_to = grew_to.max(*r);
+                });
+            } else {
+                Self::for_wrapped(rows, start_row, rem, |r| *r += 1);
             }
             if full > 0 {
                 // Every row was touched: the scan below is exact whether or
@@ -679,9 +824,6 @@ impl PressureTracker {
                 }
                 cell.set((grew_to, true));
             } else if valid {
-                for k in 0..rem {
-                    grew_to = grew_to.max(rows[((start_row + k) % ii) as usize]);
-                }
                 cell.set((cached.max(grew_to), true));
             }
         } else {
@@ -692,11 +834,10 @@ impl PressureTracker {
                     *r -= full;
                 }
             }
-            for k in 0..rem {
-                let r = ((start_row + k) % ii) as usize;
-                shrank_from_max |= rows[r] == cached;
-                rows[r] -= 1;
-            }
+            Self::for_wrapped(rows, start_row, rem, |r| {
+                shrank_from_max |= *r == cached;
+                *r -= 1;
+            });
             if valid && shrank_from_max {
                 cell.set((0, false));
             }

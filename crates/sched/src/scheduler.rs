@@ -33,7 +33,7 @@ use crate::cluster::select_cluster_recording;
 use crate::pressure::{
     pick_spill_candidate, pick_spill_candidate_from, pressure, Pressure, PressureQuery,
 };
-use crate::store::RowEjectOutcome;
+use crate::store::{RowEjectOutcome, StoreTuning};
 use crate::types::{BankAssignment, Placement, ScheduleResult, SchedulerParams, SchedulerStats};
 use crate::workgraph::WorkGraph;
 use hcrf_ir::{mii as mii_mod, Ddg, DepKind, NodeId, OpKind, OpLatencies};
@@ -87,6 +87,8 @@ pub struct IterativeScheduler {
     per_victim_ejection: bool,
     unit_ladder: bool,
     cold_attempts: bool,
+    eager_refresh: bool,
+    split_row_update: bool,
     telemetry: Telemetry,
 }
 
@@ -185,6 +187,8 @@ impl IterativeScheduler {
             per_victim_ejection: false,
             unit_ladder: false,
             cold_attempts: false,
+            eager_refresh: false,
+            split_row_update: false,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -272,6 +276,30 @@ impl IterativeScheduler {
     /// remap).
     pub fn with_cold_attempts(mut self) -> Self {
         self.cold_attempts = true;
+        self
+    }
+
+    /// Rescan every pressure-refresh request instead of letting the
+    /// tracker's lifetime epochs prove skip-eligible requests up to date in
+    /// O(1). Lifetimes, scheduling decisions and the refresh/skip
+    /// classification counters are bit-identical either way
+    /// (`tests/refresh_equivalence.rs` and the `refresh_skip_matches_eager`
+    /// property test assert it; in debug builds the eager path additionally
+    /// asserts every skipped rescan would have been a no-op). This is the
+    /// oracle the epoch-skip fast path is checked against.
+    pub fn with_eager_refresh(mut self) -> Self {
+        self.eager_refresh = true;
+        self
+    }
+
+    /// Maintain the MRT's FU rows with the split per-row update (one scalar
+    /// count/mask/free-total adjustment per occupied row) instead of the
+    /// fused word-parallel span pass. The resulting MRT state and schedules
+    /// are bit-identical either way (`tests/refresh_equivalence.rs` and the
+    /// in-module MRT tests assert it); this is the oracle the fused row
+    /// maintenance is checked against.
+    pub fn with_split_row_update(mut self) -> Self {
+        self.split_row_update = true;
         self
     }
 
@@ -573,14 +601,18 @@ impl IterativeScheduler {
         if arena.is_none() || self.fresh_arena {
             let t = Instant::now();
             let t0 = trace.now_ns();
-            let track = !self.batch_pressure;
+            let tuning = StoreTuning {
+                track_pressure: !self.batch_pressure,
+                eager_refresh: self.eager_refresh,
+                split_row_update: self.split_row_update,
+            };
             // The fresh-arena oracle rebuilds per attempt and must stay a
             // true from-scratch baseline, so it never draws from the pool.
             let (a, rebound) = if self.fresh_arena {
-                (AttemptArena::new(ddg, &self.machine, track), false)
+                (AttemptArena::new(ddg, &self.machine, tuning), false)
             } else {
                 let before = pool.rebinds();
-                let a = pool.take(ddg, &self.machine, track);
+                let a = pool.take(ddg, &self.machine, tuning);
                 (a, pool.rebinds() > before)
             };
             *arena = Some(a);
@@ -634,6 +666,7 @@ impl IterativeScheduler {
         let outcome = self.attempt(a, lat, warm_unplaced);
         std::mem::swap(&mut a.trace, trace);
         timings.attempts += t.elapsed();
+        a.fold_store_counters();
         stats.absorb_attempt(&a.stats);
         if trace.enabled() {
             let (ok, budget_limited) = match outcome {

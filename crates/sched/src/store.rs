@@ -417,6 +417,45 @@ impl RankQueue {
     }
 }
 
+/// Engine/oracle selection for a store's internal fast paths, stamped at
+/// construction and re-stamped by [`PlacementStore::rebind`]. The scheduler
+/// builds it from its `with_*` oracle knobs; everything else uses the
+/// default (every fast path on, tracker maintained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreTuning {
+    /// Maintain the incremental pressure tracker (`false` = the scheduler
+    /// runs the batch-pressure oracle and the tracker stays empty).
+    pub track_pressure: bool,
+    /// Run the tracker's eager-refresh oracle: skip-eligible refreshes
+    /// rescan anyway instead of returning in O(1)
+    /// ([`crate::IterativeScheduler::with_eager_refresh`]).
+    pub eager_refresh: bool,
+    /// Route FU row maintenance through the split per-row oracle instead of
+    /// the fused word-parallel span update
+    /// ([`crate::IterativeScheduler::with_split_row_update`]).
+    pub split_row_update: bool,
+}
+
+impl Default for StoreTuning {
+    fn default() -> Self {
+        StoreTuning {
+            track_pressure: true,
+            eager_refresh: false,
+            split_row_update: false,
+        }
+    }
+}
+
+impl StoreTuning {
+    /// Default tuning with the pressure tracker on or off.
+    pub fn tracking(track_pressure: bool) -> Self {
+        StoreTuning {
+            track_pressure,
+            ..Self::default()
+        }
+    }
+}
+
 /// The unified placement state of one II attempt. See the module docs.
 #[derive(Debug, Clone)]
 pub struct PlacementStore {
@@ -430,6 +469,15 @@ pub struct PlacementStore {
     /// so transactions skip its maintenance (keeping the oracle benchmark an
     /// honest recompute-the-world baseline).
     track_pressure: bool,
+    /// Route FU row maintenance through the split per-row oracle
+    /// (see [`StoreTuning::split_row_update`]).
+    split_row_update: bool,
+    /// Rows maintained by [`PlacementStore::apply_reservation`] this attempt
+    /// (counts+masks+index lists moved together for each) — the event-volume
+    /// side of [`crate::SchedulerStats::fused_row_updates`]. Identical in
+    /// split and fused mode: it counts the transaction's row maintenance,
+    /// not which engine performed it.
+    fused_rows: u64,
     order: PriorityOrder,
     worklist: RankQueue,
     /// `true` while [`PlacementStore::eject_row_occupants`] runs: tracker
@@ -493,17 +541,21 @@ impl PlacementStore {
         caps: ResourceCaps,
         num_nodes: usize,
         order: PriorityOrder,
-        track_pressure: bool,
+        tuning: StoreTuning,
     ) -> Self {
         let ii = ii.max(1);
         let clusters = caps.clusters;
+        let mut tracker = PressureTracker::new(ii, clusters, num_nodes);
+        tracker.set_eager_refresh(tuning.eager_refresh);
         PlacementStore {
             ii,
             mrt: Mrt::new(ii, caps),
             index: SlotIndex::new(ii, &caps),
             hot: vec![NodeHot::EMPTY; num_nodes],
-            tracker: PressureTracker::new(ii, clusters, num_nodes),
-            track_pressure,
+            tracker,
+            track_pressure: tuning.track_pressure,
+            split_row_update: tuning.split_row_update,
+            fused_rows: 0,
             order,
             worklist: RankQueue::default(),
             chain_ids_scratch: Vec::new(),
@@ -534,6 +586,7 @@ impl PlacementStore {
         self.hot.clear();
         self.hot.resize(num_nodes, NodeHot::EMPTY);
         self.tracker.reset_for_ii(ii, num_nodes);
+        self.fused_rows = 0;
         self.worklist.clear();
         debug_assert!(!self.batch_active);
         self.batch_touched.clear();
@@ -541,21 +594,24 @@ impl PlacementStore {
         self.batch_cands.clear();
     }
 
-    /// Re-target the store at a new machine's capacities (and pressure
-    /// mode) and clear it for a fresh II ladder — equivalent to
+    /// Re-target the store at a new machine's capacities (and tuning) and
+    /// clear it for a fresh II ladder — equivalent to
     /// [`PlacementStore::new`] with an empty order but reusing the MRT,
     /// slot-index, tracker and per-node array allocations. `num_nodes` is
     /// the pristine node count of the newly bound working graph. The
     /// priority order is recomputed separately by the arena's first reset
     /// (via [`PlacementStore::order_mut`]), exactly as after `new`.
-    pub fn rebind(&mut self, caps: ResourceCaps, num_nodes: usize, track_pressure: bool) {
+    pub fn rebind(&mut self, caps: ResourceCaps, num_nodes: usize, tuning: StoreTuning) {
         self.ii = 1;
         self.mrt.rebind(1, caps);
         self.index.rebind(1, &caps);
         self.hot.clear();
         self.hot.resize(num_nodes, NodeHot::EMPTY);
         self.tracker.rebind(1, caps.clusters, num_nodes);
-        self.track_pressure = track_pressure;
+        self.tracker.set_eager_refresh(tuning.eager_refresh);
+        self.track_pressure = tuning.track_pressure;
+        self.split_row_update = tuning.split_row_update;
+        self.fused_rows = 0;
         self.worklist.clear();
         debug_assert!(!self.batch_active);
         self.batch_touched.clear();
@@ -591,6 +647,15 @@ impl PlacementStore {
     /// The incremental pressure tracker (read-only).
     pub fn tracker(&self) -> &PressureTracker {
         &self.tracker
+    }
+
+    /// Drain the attempt's engine counters:
+    /// `(pressure refreshes, refresh skips, fused row updates)`. The arena
+    /// folds them into its [`crate::SchedulerStats`] after each attempt.
+    pub fn take_engine_counters(&mut self) -> (u64, u64, u64) {
+        let (refreshes, skips) = self.tracker.take_refresh_counters();
+        let fused = std::mem::take(&mut self.fused_rows);
+        (refreshes, skips, fused)
     }
 
     /// The scheduling priority order of this attempt.
@@ -656,6 +721,12 @@ impl PlacementStore {
     /// (chain insertion/removal) since the last query. In oracle mode the
     /// dirty set is discarded so it cannot grow for the whole attempt.
     pub fn sync_pressure(&mut self, w: &mut WorkGraph) {
+        if !w.has_pressure_dirty() {
+            // Nothing rewired since the last drain — the common case on the
+            // per-pop sync. Draining an empty set would only shuffle the two
+            // scratch buffers around.
+            return;
+        }
         let mut dirty = std::mem::take(&mut self.dirty_scratch);
         w.swap_pressure_dirty(&mut dirty);
         if self.track_pressure {
@@ -693,13 +764,27 @@ impl PlacementStore {
         let span = occ.min(ii);
         let start = cycle.rem_euclid(ii as i64) as u32;
         let delta = if add { 1 } else { -1 };
+        self.fused_rows += span as u64;
         match class {
             ResourceClass::Fu => {
-                for k in 0..span {
-                    let row = (start + k) % ii;
-                    let copies = self.mrt.fu_copies(occ, k);
-                    self.mrt.fu_adjust_row(row, copies, cluster, delta);
-                    self.index.update_row(class, row, cluster, n, add);
+                if self.split_row_update {
+                    // Split oracle: the pre-fusion per-row walk, one scalar
+                    // count/mask/free update per occupied row.
+                    for k in 0..span {
+                        let row = (start + k) % ii;
+                        let copies = self.mrt.fu_copies(occ, k);
+                        self.mrt.fu_adjust_row(row, copies, cluster, delta);
+                        self.index.update_row(class, row, cluster, n, add);
+                    }
+                } else {
+                    // Fused path: one word-parallel pass moves the packed
+                    // counts, the availability masks and the free-slot total
+                    // together; only the index lists still walk per row.
+                    self.mrt.fu_adjust_span(start, occ, cluster, delta);
+                    for k in 0..span {
+                        self.index
+                            .update_row(class, (start + k) % ii, cluster, n, add);
+                    }
                 }
             }
             _ => {
@@ -1184,7 +1269,7 @@ mod tests {
     fn store_for(w: &WorkGraph, m: &MachineConfig, ii: u32) -> PlacementStore {
         let caps = ResourceCaps::from_machine(m);
         let order = priority_order(w, &lat(), ii);
-        PlacementStore::new(ii, caps, w.ddg.num_nodes(), order, true)
+        PlacementStore::new(ii, caps, w.ddg.num_nodes(), order, StoreTuning::default())
     }
 
     #[test]

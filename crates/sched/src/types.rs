@@ -91,7 +91,14 @@ impl SchedulerParams {
 }
 
 /// Counters describing the work the scheduler performed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality is *schedule equality*, not byte equality: the pressure-refresh
+/// counters (`pressure_refreshes`, `refresh_skips`) are excluded from
+/// `PartialEq` because the batch-pressure oracle never runs the tracker at
+/// all — its results must still compare equal to incremental runs
+/// (`tests/pressure_equivalence.rs`). Every other counter, including
+/// `fused_row_updates` (a mode-independent volume metric), participates.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct SchedulerStats {
     /// Number of node scheduling attempts performed (across all IIs).
     pub attempts: u64,
@@ -138,7 +145,42 @@ pub struct SchedulerStats {
     /// Total placements retained across all warm starts — the nodes that
     /// kept their cycle and cluster through the modulo-remap.
     pub warm_nodes_retained: u64,
+    /// Pressure-tracker refresh requests that actually rescanned the def's
+    /// consumer edges (its lifetime endpoints could have moved). Zero in
+    /// batch-pressure-oracle mode, where the tracker never runs; excluded
+    /// from `PartialEq` for that reason.
+    pub pressure_refreshes: u64,
+    /// Pressure-tracker refresh requests proven up to date by the lifetime
+    /// epoch and skipped in O(1) (identical under the
+    /// [`crate::IterativeScheduler::with_eager_refresh`] oracle, which
+    /// classifies the same but rescans anyway). Zero in batch-pressure
+    /// mode; excluded from `PartialEq`.
+    pub refresh_skips: u64,
+    /// MRT rows maintained by place/unplace reservations — the row volume
+    /// the fused word-parallel update collapses into packed-word passes.
+    /// Counted identically in fused and split
+    /// ([`crate::IterativeScheduler::with_split_row_update`]) mode: it
+    /// measures the transaction's row traffic, not which engine moved it.
+    pub fused_row_updates: u64,
 }
+
+impl PartialEq for SchedulerStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.attempts == other.attempts
+            && self.ejections == other.ejections
+            && self.ii_restarts == other.ii_restarts
+            && self.ii_skips == other.ii_skips
+            && self.arena_resets == other.arena_resets
+            && self.budget_exhausts == other.budget_exhausts
+            && self.guard_trips == other.guard_trips
+            && self.infeasible_cutoffs == other.infeasible_cutoffs
+            && self.warm_starts == other.warm_starts
+            && self.warm_nodes_retained == other.warm_nodes_retained
+            && self.fused_row_updates == other.fused_row_updates
+    }
+}
+
+impl Eq for SchedulerStats {}
 
 impl SchedulerStats {
     /// Fold one attempt's counters into a ladder-level accumulator. This is
@@ -152,6 +194,9 @@ impl SchedulerStats {
         self.ejections += attempt.ejections;
         self.guard_trips += attempt.guard_trips;
         self.infeasible_cutoffs += attempt.infeasible_cutoffs;
+        self.pressure_refreshes += attempt.pressure_refreshes;
+        self.refresh_skips += attempt.refresh_skips;
+        self.fused_row_updates += attempt.fused_row_updates;
     }
 
     /// Publish every counter into the telemetry metrics registry under the
@@ -167,6 +212,9 @@ impl SchedulerStats {
         telemetry.counter_add("sched.infeasible_cutoffs", self.infeasible_cutoffs);
         telemetry.counter_add("sched.warm_starts", self.warm_starts as u64);
         telemetry.counter_add("sched.warm_nodes_retained", self.warm_nodes_retained);
+        telemetry.counter_add("pressure.refreshes", self.pressure_refreshes);
+        telemetry.counter_add("pressure.refresh_skips", self.refresh_skips);
+        telemetry.counter_add("mrt.fused_row_updates", self.fused_row_updates);
     }
 }
 

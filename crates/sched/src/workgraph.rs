@@ -645,6 +645,14 @@ impl WorkGraph {
         std::mem::take(&mut self.pressure_dirty)
     }
 
+    /// Whether any defs are waiting in the pressure-dirty set. The store's
+    /// per-pop sync probes this before paying for the buffer swap: most
+    /// worklist pops follow no chain rewiring at all.
+    #[inline]
+    pub fn has_pressure_dirty(&self) -> bool {
+        !self.pressure_dirty.is_empty()
+    }
+
     /// [`WorkGraph::take_pressure_dirty`] without giving up either
     /// allocation: the dirty set is swapped into `buf` (cleared first) and
     /// the graph keeps `buf`'s old backing storage for the next rewiring.
